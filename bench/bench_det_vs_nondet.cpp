@@ -1,0 +1,47 @@
+// Ablation A: deterministic protocol vs the repeat-until-success
+// (non-deterministic) baseline it replaces — the paper's Section III
+// motivation quantified. Reports, per code and physical error rate:
+// acceptance probability and expected attempts of the post-selected
+// scheme, and the logical error rates of both schemes.
+#include <cstdio>
+
+#include "core/executor.hpp"
+#include "core/nondet.hpp"
+#include "core/protocol.hpp"
+#include "core/samplers.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+using namespace ftsp;
+constexpr std::size_t kShots = 20000;
+}  // namespace
+
+int main() {
+  std::printf("Deterministic vs non-deterministic (repeat-until-success) "
+              "state preparation\n\n");
+  std::printf("%-14s %-8s %-12s %-10s %-12s %-12s\n", "code", "p",
+              "acceptance", "attempts", "pL(nondet)", "pL(det)");
+
+  for (const char* name : {"Steane", "Shor", "Tetrahedral"}) {
+    const auto code = qec::library_code_by_name(name);
+    const auto protocol =
+        core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+    const core::Executor executor(protocol);
+    const decoder::PerfectDecoder decoder(code);
+
+    for (const double p : {0.001, 0.005, 0.02, 0.05}) {
+      const auto nondet =
+          core::sample_nondet(protocol, decoder, p, kShots, 0xABCD);
+      const auto batch = core::sample_protocol_batch(
+          executor, decoder, p, kShots, 0xBCDE);
+      const auto det = core::estimate_logical_rate({batch}, p);
+      std::printf("%-14s %-8.3g %-12.4f %-10.2f %-12.3e %-12.3e\n", name,
+                  p, nondet.acceptance_rate, nondet.expected_attempts,
+                  nondet.logical_error_rate, det.mean);
+    }
+  }
+  std::printf("\nThe deterministic scheme always uses exactly 1 attempt; "
+              "the non-deterministic baseline pays 1/acceptance attempts "
+              "for a comparable logical error rate.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Regenerates Fig. 4 of the paper: logical error rate p_L vs physical
+// error rate p for the deterministic FT |0>_L preparation of all nine
+// codes under E1_1 circuit-level depolarizing noise.
+//
+// Like the paper we sample at a high error rate (8000 shots at q = 0.1)
+// and extrapolate downward — here with a second stratum at q = 0.02 and
+// multiple-importance re-weighting instead of Qsample's dynamic subset
+// sampling (see DESIGN.md). The "Linear" reference p_L = p corresponds to
+// an unencoded qubit. Expected shape: every curve scales as O(p^2).
+#include <cstdio>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/protocol.hpp"
+#include "core/samplers.hpp"
+#include "decoder/lookup_decoder.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+
+using namespace ftsp;
+
+constexpr std::size_t kShotsPerStratum = 8000;
+
+const double kGrid[] = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1};
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 reproduction: logical error rate of deterministic "
+              "FT |0>_L preparation (E1_1 noise)\n");
+  std::printf("strata: %zu shots at q=0.1 + %zu shots at q=0.02, MIS "
+              "re-weighting\n\n",
+              kShotsPerStratum, kShotsPerStratum);
+
+  std::printf("%-14s", "p");
+  for (double p : kGrid) {
+    std::printf("  %9.1e", p);
+  }
+  std::printf("\n%-14s", "Linear");
+  for (double p : kGrid) {
+    std::printf("  %9.3e", p);
+  }
+  std::printf("\n");
+
+  for (const auto& code : qec::all_library_codes()) {
+    core::Protocol protocol;
+    try {
+      protocol = core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+    } catch (const std::exception& e) {
+      std::printf("%-14s  synthesis failed: %s\n", code.name().c_str(),
+                  e.what());
+      continue;
+    }
+    const core::Executor executor(protocol);
+    const decoder::PerfectDecoder decoder(code);
+    const std::vector<core::TrajectoryBatch> batches = {
+        core::sample_protocol_batch(executor, decoder, 0.1,
+                                    kShotsPerStratum, 0xF16'4'0001ULL),
+        core::sample_protocol_batch(executor, decoder, 0.02,
+                                    kShotsPerStratum, 0xF16'4'0002ULL)};
+
+    std::printf("%-14s", code.name().c_str());
+    for (double p : kGrid) {
+      const auto est = core::estimate_logical_rate(batches, p);
+      std::printf("  %9.3e", est.mean);
+    }
+    std::printf("\n");
+
+    // Error bars (one standard error) on a second line for reference.
+    std::printf("%-14s", "  +-");
+    for (double p : kGrid) {
+      const auto est = core::estimate_logical_rate(batches, p);
+      std::printf("  %9.1e", est.std_error);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nExpected shape (paper): all curves ~ O(p^2), i.e. two "
+              "orders below Linear at p = 1e-2 and four below at 1e-4 "
+              "(up to sampling noise).\n");
+  return 0;
+}

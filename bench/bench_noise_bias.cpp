@@ -1,0 +1,51 @@
+// Ablation G: noise-bias sensitivity. The paper's E1_1 model weights all
+// location types equally; real hardware is usually dominated by two-qubit
+// gate or measurement errors. Sweeps the bias of one location kind while
+// keeping the total "error budget" fixed and reports the logical error
+// rate of the deterministic Steane protocol.
+#include <cstdio>
+
+#include "core/executor.hpp"
+#include "core/protocol.hpp"
+#include "core/samplers.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+using namespace ftsp;
+}
+
+int main() {
+  const auto code = qec::steane();
+  const auto protocol =
+      core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+  const core::Executor executor(protocol);
+  const decoder::PerfectDecoder decoder(code);
+
+  std::printf("Noise-bias sweep on the deterministic Steane protocol\n");
+  std::printf("(base rate p = 0.01 on all kinds; one kind scaled by the "
+              "bias factor, 30000 shots each)\n\n");
+  std::printf("%-10s %-16s %-16s %-16s\n", "bias", "2q-biased pL",
+              "meas-biased pL", "init-biased pL");
+
+  const double p = 0.01;
+  for (const double bias : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto two_q = sim::NoiseParams::biased(p, p * bias, p, p);
+    const auto meas = sim::NoiseParams::biased(p, p, p * bias, p);
+    const auto init = sim::NoiseParams::biased(p, p, p, p * bias);
+    double results[3];
+    int column = 0;
+    for (const auto& params : {two_q, meas, init}) {
+      const auto batch = core::sample_protocol_batch(
+          executor, decoder, params, 30000,
+          0xB1A5 + static_cast<std::uint64_t>(bias * 100) +
+              static_cast<std::uint64_t>(column));
+      results[column++] = core::estimate_logical_rate({batch}, params).mean;
+    }
+    std::printf("%-10.2f %-16.3e %-16.3e %-16.3e\n", bias, results[0],
+                results[1], results[2]);
+  }
+  std::printf("\nExpected shape: two-qubit bias dominates (CNOTs both "
+              "outnumber other locations and spread errors); measurement "
+              "bias is mildest (flips are caught and corrected).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation F: the three preparation strategies side by side —
+//   (a) one-round measurement-based preparation (the costly textbook
+//       route the paper's introduction contrasts with; O(p) logical),
+//   (b) non-deterministic verified preparation (repeat-until-success),
+//   (c) this paper's deterministic verified preparation (O(p^2), one
+//       attempt).
+// Reports resources (ancillas, CNOTs) and logical error rates.
+#include <cstdio>
+
+#include "core/executor.hpp"
+#include "core/measure_prep.hpp"
+#include "core/metrics.hpp"
+#include "core/nondet.hpp"
+#include "core/protocol.hpp"
+#include "core/samplers.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+using namespace ftsp;
+constexpr std::size_t kShots = 30000;
+}  // namespace
+
+int main() {
+  std::printf("Preparation strategy comparison (|0>_L, E1_1 noise)\n\n");
+  std::printf("%-12s %-8s %-24s %-12s %-10s\n", "code", "p", "scheme",
+              "pL", "attempts");
+
+  for (const char* name : {"Steane", "Tetrahedral"}) {
+    const auto code = qec::library_code_by_name(name);
+    const qec::StateContext state(code, qec::LogicalBasis::Zero);
+    const auto measure_prep = core::synthesize_measure_prep(state);
+    const auto protocol =
+        core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+    const core::Executor executor(protocol);
+    const decoder::PerfectDecoder decoder(code);
+    const auto metrics = core::compute_metrics(protocol);
+
+    for (const double p : {0.01, 0.003, 0.001}) {
+      const auto mb = core::sample_measure_prep(measure_prep, state,
+                                                decoder, p, kShots, 31);
+      std::printf("%-12s %-8.3g %-24s %-12.3e %-10s\n", name, p,
+                  "measurement-based(1rd)", mb.logical_error_rate, "1");
+
+      const auto nd = core::sample_nondet(protocol, decoder, p, kShots, 32);
+      std::printf("%-12s %-8.3g %-24s %-12.3e %-10.2f\n", name, p,
+                  "nondet(verified)", nd.logical_error_rate,
+                  nd.expected_attempts);
+
+      const auto batch =
+          core::sample_protocol_batch(executor, decoder, p, kShots, 33);
+      const auto det = core::estimate_logical_rate({batch}, p);
+      std::printf("%-12s %-8.3g %-24s %-12.3e %-10s\n", name, p,
+                  "deterministic(paper)", det.mean, "1");
+    }
+    std::printf("  resources: measurement-based %zu anc / %zu CNOTs; "
+                "deterministic verification %zu anc / %zu CNOTs "
+                "(+%zu prep CNOTs)\n\n",
+                measure_prep.gadgets.size(),
+                [&] {
+                  std::size_t w = 0;
+                  for (const auto& g : measure_prep.gadgets) {
+                    w += g.support.popcount();
+                  }
+                  return w;
+                }(),
+                metrics.total_verif_ancillas, metrics.total_verif_cnots,
+                metrics.prep_cnots);
+  }
+  std::printf("Expected shape: measurement-based ~ O(p), both verified "
+              "schemes ~ O(p^2); the deterministic one without retries.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation C: sampler quality. Compares naive Monte Carlo at the target p
+// against the importance-sampled batches (the stand-in for the paper's
+// Dynamic Subset Sampling) on relative standard error at small p — the
+// regime where naive MC needs ~1/p_L shots to see a single failure.
+#include <cstdio>
+
+#include "core/executor.hpp"
+#include "core/protocol.hpp"
+#include "core/samplers.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+using namespace ftsp;
+}
+
+int main() {
+  const auto code = qec::steane();
+  const auto protocol =
+      core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+  const core::Executor executor(protocol);
+  const decoder::PerfectDecoder decoder(code);
+
+  std::printf("Sampler comparison on the Steane protocol (20000 shots "
+              "each)\n\n");
+  std::printf("%-10s %-14s %-12s %-14s %-12s\n", "p", "naive pL",
+              "naive rel.SE", "IS pL", "IS rel.SE");
+
+  const auto is_batches = std::vector<core::TrajectoryBatch>{
+      core::sample_protocol_batch(executor, decoder, 0.1, 10000, 1),
+      core::sample_protocol_batch(executor, decoder, 0.02, 10000, 2)};
+
+  for (const double p : {0.03, 0.01, 0.003, 0.001}) {
+    const auto naive_batch =
+        core::sample_protocol_batch(executor, decoder, p, 20000, 3);
+    const auto naive = core::estimate_logical_rate({naive_batch}, p);
+    const auto is = core::estimate_logical_rate(is_batches, p);
+    const auto rel = [](const core::Estimate& e) {
+      return e.mean > 0 ? e.std_error / e.mean : 0.0;
+    };
+    std::printf("%-10.3g %-14.3e %-12.3f %-14.3e %-12.3f\n", p,
+                naive.mean, rel(naive), is.mean, rel(is));
+  }
+  std::printf("\nNaive MC degenerates (zero observed failures -> pL "
+              "estimate 0) below p ~ 1e-3; the re-weighted strata keep a "
+              "finite relative error from the same total shot budget.\n");
+  return 0;
+}

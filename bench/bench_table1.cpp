@@ -1,0 +1,115 @@
+// Regenerates Table I of the paper: circuit metrics of the synthesized
+// deterministic fault-tolerant |0>_L preparation protocols for all nine
+// CSS codes, for heuristic/optimal preparation and SAT-optimal/global
+// verification+correction synthesis.
+//
+// Output: one row per (code, prep method, verification method) with the
+// per-layer verification (a_m, a_f, w_m, w_f) and per-branch correction
+// ([measurements], [CNOTs]) numbers plus the total/average columns.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/ft_check.hpp"
+#include "core/global_opt.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+
+using namespace ftsp;
+using core::FlagPolicy;
+using core::PrepSynthOptions;
+
+struct RowSpec {
+  const char* code;
+  PrepSynthOptions::Method prep;
+  bool global;  // Paper's "Global" column vs plain "Opt".
+};
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void run_row(const RowSpec& spec) {
+  const auto code = qec::library_code_by_name(spec.code);
+  const char* prep_name =
+      spec.prep == PrepSynthOptions::Method::Optimal ? "Opt" : "Heu";
+  const char* verif_name = spec.global ? "Global" : "Opt";
+  const auto start = std::chrono::steady_clock::now();
+
+  core::ProtocolMetrics metrics;
+  bool ft_ok = false;
+  try {
+    if (spec.global) {
+      core::GlobalOptOptions options;
+      options.synthesis.prep.method = spec.prep;
+      options.validate_candidates = false;  // Checked below instead.
+      const auto result =
+          core::globally_optimize(code, qec::LogicalBasis::Zero, options);
+      metrics = result.best_metrics;
+      ft_ok = core::check_fault_tolerance(result.best).ok;
+    } else {
+      core::SynthesisOptions options;
+      options.prep.method = spec.prep;
+      const auto protocol =
+          core::synthesize_protocol(code, qec::LogicalBasis::Zero, options);
+      metrics = core::compute_metrics(protocol);
+      ft_ok = core::check_fault_tolerance(protocol).ok;
+    }
+  } catch (const std::exception& e) {
+    std::printf("%-22s  FAILED: %s\n",
+                (std::string(spec.code) + "/" + prep_name + "/" +
+                 verif_name)
+                    .c_str(),
+                e.what());
+    return;
+  }
+
+  const std::string label =
+      std::string(spec.code) + "/" + prep_name + "/" + verif_name;
+  std::printf("%s  %s  [%.1fs]\n",
+              core::format_metrics_row(label, metrics).c_str(),
+              ft_ok ? "FT:ok" : "FT:VIOLATED",
+              seconds_since(start));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I reproduction: deterministic FT |0>_L preparation\n");
+  std::printf("(per layer: a_m a_f w_m w_f, correction branches "
+              "[measurements] [CNOTs])\n\n");
+  std::printf("%s\n", core::metrics_row_header().c_str());
+
+  const RowSpec rows[] = {
+      {"Steane", PrepSynthOptions::Method::Optimal, false},
+      {"Steane", PrepSynthOptions::Method::Heuristic, true},
+      {"Shor", PrepSynthOptions::Method::Heuristic, false},
+      {"Shor", PrepSynthOptions::Method::Heuristic, true},
+      {"Shor", PrepSynthOptions::Method::Optimal, false},
+      {"Surface_3", PrepSynthOptions::Method::Optimal, false},
+      {"Surface_3", PrepSynthOptions::Method::Heuristic, true},
+      {"[[11,1,3]]", PrepSynthOptions::Method::Heuristic, false},
+      {"[[11,1,3]]", PrepSynthOptions::Method::Heuristic, true},
+      {"Tetrahedral", PrepSynthOptions::Method::Heuristic, false},
+      {"Tetrahedral", PrepSynthOptions::Method::Heuristic, true},
+      {"Hamming", PrepSynthOptions::Method::Heuristic, false},
+      {"Hamming", PrepSynthOptions::Method::Heuristic, true},
+      {"Carbon", PrepSynthOptions::Method::Heuristic, false},
+      {"[[16,2,4]]", PrepSynthOptions::Method::Heuristic, false},
+      {"Tesseract", PrepSynthOptions::Method::Heuristic, false},
+  };
+  for (const auto& row : rows) {
+    run_row(row);
+  }
+  std::printf(
+      "\nAll rows synthesized with lexicographic (ancilla, CNOT) "
+      "optimality per query; 'Global' explores all optimal verification "
+      "sets and both flag policies.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// SAT-based CSS code discovery: how the [[11,1,3]], [[12,2,4]] and
+// [[16,2,4]] stand-in instances embedded in the code library were found,
+// including the (reproducible) unsatisfiability proof that no self-dual
+// [[12,2,4]] CSS code exists.
+//
+// Build & run:  ./build/examples/code_search
+#include <cstdio>
+
+#include "qec/code_search.hpp"
+#include "qec/css_code.hpp"
+
+using namespace ftsp;
+
+static void print_code(const char* label, const qec::CssCode& code) {
+  std::printf("%s: %s\n  Hx:\n", label, code.description().c_str());
+  for (std::size_t r = 0; r < code.hx().rows(); ++r) {
+    std::printf("    %s\n", code.hx().row(r).to_string().c_str());
+  }
+  std::printf("  Hz:\n");
+  for (std::size_t r = 0; r < code.hz().rows(); ++r) {
+    std::printf("    %s\n", code.hz().row(r).to_string().c_str());
+  }
+}
+
+int main() {
+  // [[11,1,3]]: self-dual, with a pinned weight-3 logical so the distance
+  // is exactly 3.
+  {
+    qec::SelfDualSearchOptions opt;
+    opt.n = 11;
+    opt.rows = 5;
+    opt.min_detect_weight = 3;
+    f2::BitVec logical(11);
+    logical.set(8);
+    logical.set(9);
+    logical.set(10);
+    opt.forced_logical = logical;
+    if (const auto h = qec::find_self_dual_check_matrix(opt)) {
+      print_code("[[11,1,3]] self-dual", qec::CssCode("found", *h, *h));
+    }
+  }
+
+  // [[12,2,4]]: the self-dual formula is UNSAT — a small nonexistence
+  // proof by our own CDCL solver — so the search needs two sides.
+  {
+    qec::SelfDualSearchOptions opt;
+    opt.n = 12;
+    opt.rows = 5;
+    opt.min_detect_weight = 4;
+    opt.allow_degenerate = true;
+    std::printf("\nself-dual [[12,2,4]]: %s\n",
+                qec::find_self_dual_check_matrix(opt).has_value()
+                    ? "found (unexpected!)"
+                    : "UNSAT (no such code exists)");
+    qec::CssSearchOptions two;
+    two.n = 12;
+    two.rx = 5;
+    two.rz = 5;
+    two.min_distance = 4;
+    if (const auto r = qec::find_css_check_matrices(two)) {
+      print_code("[[12,2,4]] two-sided",
+                 qec::CssCode("found", r->hx, r->hz));
+    }
+  }
+
+  // [[16,2,4]]: self-dual works directly.
+  {
+    qec::SelfDualSearchOptions opt;
+    opt.n = 16;
+    opt.rows = 7;
+    opt.min_detect_weight = 4;
+    if (const auto h = qec::find_self_dual_check_matrix(opt)) {
+      print_code("\n[[16,2,4]] self-dual", qec::CssCode("found", *h, *h));
+    }
+  }
+
+  // Randomized search: useful for quick low-distance instances.
+  if (const auto code = qec::random_css_search(8, 2, 3, 2, 1234, 20000)) {
+    std::printf("\nrandom search bonus: %s\n",
+                code->description().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Using the library with your own CSS code: define check matrices, let
+// the toolchain synthesize and validate the deterministic FT preparation.
+// Demonstrates exactly the "codes not considered in this work" use case
+// the paper's conclusion advertises.
+//
+// Build & run:  ./build/examples/custom_code
+#include <cstdio>
+
+#include "core/ft_check.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "f2/bit_matrix.hpp"
+#include "qec/css_code.hpp"
+
+using namespace ftsp;
+
+int main() {
+  // A distance-3 CSS code you will not find in the built-in library: the
+  // (self-dual) cyclic representation of the Steane code with a permuted
+  // qubit layout, plus an explicit two-sided [[8,1,2]]-style toy example
+  // below showing the validation errors you get for bad inputs.
+  const auto h = f2::BitMatrix::from_strings({
+      "1110100",
+      "0111010",
+      "0011101",
+  });
+  const qec::CssCode code("cyclic-steane", h, h);
+  std::printf("Custom code: %s (dx=%zu, dz=%zu)\n",
+              code.description().c_str(), code.distance_x(),
+              code.distance_z());
+
+  // Full synthesis pipeline on the custom code.
+  const auto protocol =
+      core::synthesize_protocol(code, qec::LogicalBasis::Zero);
+  const auto ft = core::check_fault_tolerance(protocol);
+  const auto metrics = core::compute_metrics(protocol);
+  std::printf("\n%s\n%s\n", core::metrics_row_header().c_str(),
+              core::format_metrics_row(code.name(), metrics).c_str());
+  std::printf("fault tolerance: %s (%zu faults)\n",
+              ft.ok ? "OK" : "VIOLATED", ft.faults_checked);
+
+  // The constructor validates inputs; malformed codes fail loudly.
+  try {
+    const auto bad_hx = f2::BitMatrix::from_strings({"1100"});
+    const auto bad_hz = f2::BitMatrix::from_strings({"1000"});
+    qec::CssCode bad("oops", bad_hx, bad_hz);
+  } catch (const std::invalid_argument& e) {
+    std::printf("\nExpected rejection of a non-CSS input: %s\n", e.what());
+  }
+  return ft.ok ? 0 : 1;
+}

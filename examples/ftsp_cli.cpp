@@ -1,0 +1,172 @@
+// Command-line front end: synthesize, check, simulate, export.
+//
+//   ftsp_cli synth   <code> [--basis zero|plus] [--defer-flags]
+//                    [--save FILE]
+//   ftsp_cli check   <code|@FILE>
+//   ftsp_cli report  <code|@FILE>
+//   ftsp_cli qasm    <code|@FILE>
+//   ftsp_cli sim     <code|@FILE> [--p RATE] [--shots N]
+//   ftsp_cli table   <code>           (Table-I style metrics row)
+//   ftsp_cli codes                     (list the built-in library)
+//
+// <code> is a library name (e.g. Steane) or a path to a CSS code file in
+// the code_io format; @FILE loads a previously saved protocol.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/executor.hpp"
+#include "core/ft_check.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "core/qasm_export.hpp"
+#include "core/report.hpp"
+#include "core/samplers.hpp"
+#include "core/serialize.hpp"
+#include "qec/code_io.hpp"
+#include "qec/code_library.hpp"
+
+namespace {
+
+using namespace ftsp;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+qec::CssCode resolve_code(const std::string& spec) {
+  try {
+    return qec::library_code_by_name(spec);
+  } catch (const std::invalid_argument&) {
+    return qec::parse_css_code(read_file(spec));
+  }
+}
+
+core::Protocol resolve_protocol(const std::string& spec,
+                                const core::SynthesisOptions& options) {
+  if (!spec.empty() && spec[0] == '@') {
+    return core::load_protocol(read_file(spec.substr(1)));
+  }
+  return core::synthesize_protocol(resolve_code(spec),
+                                   qec::LogicalBasis::Zero, options);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ftsp_cli synth|check|report|qasm|sim|table <code> "
+               "[options], or ftsp_cli codes\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "codes") {
+      for (const auto& code : qec::all_library_codes()) {
+        std::printf("%s\n", code.description().c_str());
+      }
+      return 0;
+    }
+    if (argc < 3) {
+      return usage();
+    }
+    const std::string spec = argv[2];
+
+    core::SynthesisOptions options;
+    std::string save_path;
+    double p = 0.01;
+    std::size_t shots = 20000;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--defer-flags") == 0) {
+        options.flag_policy = core::FlagPolicy::DeferToNextLayer;
+      } else if (std::strcmp(argv[i], "--basis") == 0 && i + 1 < argc) {
+        ++i;  // zero|plus; applied below via resolve only for synth.
+      } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+        save_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--p") == 0 && i + 1 < argc) {
+        p = std::stod(argv[++i]);
+      } else if (std::strcmp(argv[i], "--shots") == 0 && i + 1 < argc) {
+        shots = static_cast<std::size_t>(std::stoul(argv[++i]));
+      }
+    }
+
+    if (command == "synth") {
+      qec::LogicalBasis basis = qec::LogicalBasis::Zero;
+      for (int i = 3; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--basis") == 0 &&
+            std::string(argv[i + 1]) == "plus") {
+          basis = qec::LogicalBasis::Plus;
+        }
+      }
+      const auto protocol =
+          core::synthesize_protocol(resolve_code(spec), basis, options);
+      const auto ft = core::check_fault_tolerance(protocol);
+      std::printf("%s\n",
+                  core::format_metrics_row(
+                      spec, core::compute_metrics(protocol))
+                      .c_str());
+      std::printf("fault tolerance: %s (%zu faults)\n",
+                  ft.ok ? "OK" : "VIOLATED", ft.faults_checked);
+      if (!save_path.empty()) {
+        std::ofstream out(save_path);
+        out << core::save_protocol(protocol);
+        std::printf("saved to %s\n", save_path.c_str());
+      }
+      return ft.ok ? 0 : 1;
+    }
+
+    const auto protocol = resolve_protocol(spec, options);
+    if (command == "check") {
+      const auto ft = core::check_fault_tolerance(protocol);
+      std::printf("%s: %zu faults checked, %s\n", spec.c_str(),
+                  ft.faults_checked, ft.ok ? "OK" : "VIOLATED");
+      for (const auto& violation : ft.violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+      return ft.ok ? 0 : 1;
+    }
+    if (command == "report") {
+      std::printf("%s", core::describe_protocol(protocol).c_str());
+      return 0;
+    }
+    if (command == "qasm") {
+      std::printf("%s", core::protocol_to_qasm(protocol).c_str());
+      return 0;
+    }
+    if (command == "table") {
+      std::printf("%s\n%s\n", core::metrics_row_header().c_str(),
+                  core::format_metrics_row(
+                      spec, core::compute_metrics(protocol))
+                      .c_str());
+      return 0;
+    }
+    if (command == "sim") {
+      const core::Executor executor(protocol);
+      const decoder::PerfectDecoder decoder(*protocol.code);
+      const auto batch =
+          core::sample_protocol_batch(executor, decoder, p, shots, 1);
+      const auto estimate = core::estimate_logical_rate({batch}, p);
+      std::printf("%s @ p=%g: pL = %.4e +- %.1e (%zu shots)\n",
+                  spec.c_str(), p, estimate.mean, estimate.std_error,
+                  shots);
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,172 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftsp::circuit {
+
+void Circuit::check_qubit(std::size_t q) const {
+  if (q >= num_qubits_) {
+    throw std::out_of_range("Circuit: qubit index out of range");
+  }
+}
+
+void Circuit::cnot(std::size_t control, std::size_t target) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) {
+    throw std::invalid_argument("Circuit::cnot: control equals target");
+  }
+  gates_.push_back({GateKind::Cnot, control, target, -1});
+}
+
+void Circuit::h(std::size_t q) {
+  check_qubit(q);
+  gates_.push_back({GateKind::H, q, 0, -1});
+}
+
+void Circuit::prep_z(std::size_t q) {
+  check_qubit(q);
+  gates_.push_back({GateKind::PrepZ, q, 0, -1});
+}
+
+void Circuit::prep_x(std::size_t q) {
+  check_qubit(q);
+  gates_.push_back({GateKind::PrepX, q, 0, -1});
+}
+
+int Circuit::measure_z(std::size_t q) {
+  check_qubit(q);
+  const int bit = static_cast<int>(num_cbits_++);
+  gates_.push_back({GateKind::MeasZ, q, 0, bit});
+  return bit;
+}
+
+int Circuit::measure_x(std::size_t q) {
+  check_qubit(q);
+  const int bit = static_cast<int>(num_cbits_++);
+  gates_.push_back({GateKind::MeasX, q, 0, bit});
+  return bit;
+}
+
+int Circuit::append(const Circuit& other) {
+  if (other.num_qubits() > num_qubits_) {
+    throw std::invalid_argument("Circuit::append: qubit count mismatch");
+  }
+  const int offset = static_cast<int>(num_cbits_);
+  for (Gate g : other.gates()) {
+    if (g.cbit >= 0) {
+      g.cbit += offset;
+    }
+    gates_.push_back(g);
+  }
+  num_cbits_ += other.num_cbits_;
+  return offset;
+}
+
+std::size_t Circuit::cnot_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(), [](const Gate& g) {
+        return g.kind == GateKind::Cnot;
+      }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> ready(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Gate& g : gates_) {
+    std::size_t level = ready[g.q0] + 1;
+    if (g.is_two_qubit()) {
+      level = std::max(level, ready[g.q1] + 1);
+      ready[g.q1] = level;
+    }
+    ready[g.q0] = level;
+    depth = std::max(depth, level);
+  }
+  return depth;
+}
+
+Circuit Circuit::from_text(const std::string& text,
+                           std::size_t num_qubits) {
+  Circuit circuit(num_qubits);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op)) {
+      continue;  // Blank line.
+    }
+    std::size_t q0 = 0;
+    if (!(tokens >> q0)) {
+      throw std::invalid_argument("Circuit::from_text: missing qubit in '" +
+                                  line + "'");
+    }
+    while (q0 >= circuit.num_qubits()) {
+      circuit.add_qubit();
+    }
+    if (op == "CX") {
+      std::size_t q1 = 0;
+      if (!(tokens >> q1)) {
+        throw std::invalid_argument(
+            "Circuit::from_text: missing CX target in '" + line + "'");
+      }
+      while (q1 >= circuit.num_qubits()) {
+        circuit.add_qubit();
+      }
+      circuit.cnot(q0, q1);
+    } else if (op == "H") {
+      circuit.h(q0);
+    } else if (op == "RZ") {
+      circuit.prep_z(q0);
+    } else if (op == "RX") {
+      circuit.prep_x(q0);
+    } else if (op == "MZ" || op == "MX") {
+      std::string arrow, creg;
+      tokens >> arrow >> creg;
+      const int bit =
+          op == "MZ" ? circuit.measure_z(q0) : circuit.measure_x(q0);
+      if (!creg.empty() && creg != "c" + std::to_string(bit)) {
+        throw std::invalid_argument(
+            "Circuit::from_text: classical bits out of order in '" + line +
+            "'");
+      }
+    } else {
+      throw std::invalid_argument("Circuit::from_text: unknown op '" + op +
+                                  "'");
+    }
+  }
+  return circuit;
+}
+
+std::string Circuit::to_text() const {
+  std::ostringstream out;
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::Cnot:
+        out << "CX " << g.q0 << ' ' << g.q1;
+        break;
+      case GateKind::H:
+        out << "H " << g.q0;
+        break;
+      case GateKind::PrepZ:
+        out << "RZ " << g.q0;
+        break;
+      case GateKind::PrepX:
+        out << "RX " << g.q0;
+        break;
+      case GateKind::MeasZ:
+        out << "MZ " << g.q0 << " -> c" << g.cbit;
+        break;
+      case GateKind::MeasX:
+        out << "MX " << g.q0 << " -> c" << g.cbit;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftsp::circuit

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftsp::circuit {
+
+/// Gate alphabet. The library synthesizes Clifford preparation circuits, so
+/// only the gates actually emitted are included: CNOT, Hadamard, qubit
+/// initialization in the Z or X basis, and destructive measurements in the
+/// Z or X basis. Pauli recoveries are applied at the protocol level (they
+/// are classically conditioned), not as circuit gates.
+enum class GateKind {
+  Cnot,   ///< q0 = control, q1 = target.
+  H,      ///< q0.
+  PrepZ,  ///< Initialize q0 to |0>.
+  PrepX,  ///< Initialize q0 to |+>.
+  MeasZ,  ///< Measure q0 in the Z basis into classical bit `cbit`.
+  MeasX,  ///< Measure q0 in the X basis into classical bit `cbit`.
+};
+
+struct Gate {
+  GateKind kind;
+  std::size_t q0 = 0;
+  std::size_t q1 = 0;  ///< Only used by Cnot.
+  int cbit = -1;       ///< Only used by MeasZ/MeasX.
+
+  bool is_measurement() const {
+    return kind == GateKind::MeasZ || kind == GateKind::MeasX;
+  }
+  bool is_two_qubit() const { return kind == GateKind::Cnot; }
+};
+
+/// A straight-line Clifford circuit over `num_qubits()` qubits and
+/// `num_cbits()` classical measurement bits.
+///
+/// Qubits 0..n-1 are conventionally the data qubits of the code under
+/// preparation; ancilla and flag qubits are appended behind them via
+/// `add_qubit()` (see `gadgets.hpp`).
+class Circuit {
+ public:
+  explicit Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t num_cbits() const { return num_cbits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  bool empty() const { return gates_.empty(); }
+
+  /// Appends a fresh qubit (returns its index).
+  std::size_t add_qubit() { return num_qubits_++; }
+
+  void cnot(std::size_t control, std::size_t target);
+  void h(std::size_t q);
+  void prep_z(std::size_t q);
+  void prep_x(std::size_t q);
+  /// Returns the classical bit index receiving the outcome.
+  int measure_z(std::size_t q);
+  int measure_x(std::size_t q);
+
+  /// Appends all gates of `other`, which must be over the same number of
+  /// qubits; classical bits are renumbered behind ours. Returns the
+  /// classical-bit offset applied.
+  int append(const Circuit& other);
+
+  std::size_t cnot_count() const;
+  std::size_t gate_count() const { return gates_.size(); }
+
+  /// ASAP depth: length of the longest chain of gates sharing qubits.
+  std::size_t depth() const;
+
+  /// Human-readable listing, one gate per line (e.g. "CX 3 5",
+  /// "MZ 4 -> c0").
+  std::string to_text() const;
+
+  /// Parses the `to_text()` format back into a circuit over `num_qubits`
+  /// qubits (blank lines ignored). Classical bits must appear in
+  /// allocation order; throws std::invalid_argument on malformed input.
+  static Circuit from_text(const std::string& text,
+                           std::size_t num_qubits);
+
+ private:
+  std::size_t num_qubits_;
+  std::size_t num_cbits_ = 0;
+  std::vector<Gate> gates_;
+
+  void check_qubit(std::size_t q) const;
+};
+
+}  // namespace ftsp::circuit

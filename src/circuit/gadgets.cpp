@@ -1,0 +1,115 @@
+#include "circuit/gadgets.hpp"
+
+#include <stdexcept>
+
+namespace ftsp::circuit {
+
+using qec::PauliType;
+
+GadgetLayout append_stabilizer_measurement(Circuit& circuit,
+                                           const f2::BitVec& support,
+                                           PauliType type, bool flagged,
+                                           std::vector<std::size_t> order) {
+  GadgetLayout layout;
+  layout.stabilizer_type = type;
+  layout.support = support;
+  layout.flagged = flagged;
+  if (order.empty()) {
+    for (std::size_t q : support.ones()) {
+      order.push_back(q);
+    }
+  } else {
+    f2::BitVec check(support.size());
+    for (std::size_t q : order) {
+      check.set(q);
+    }
+    if (!(check == support)) {
+      throw std::invalid_argument(
+          "append_stabilizer_measurement: order does not match support");
+    }
+  }
+  layout.order = order;
+  const std::size_t w = order.size();
+  if (w == 0) {
+    throw std::invalid_argument(
+        "append_stabilizer_measurement: empty stabilizer");
+  }
+  if (flagged && w < 3) {
+    throw std::invalid_argument(
+        "append_stabilizer_measurement: flagging needs weight >= 3");
+  }
+
+  layout.ancilla = circuit.add_qubit();
+  if (flagged) {
+    layout.flag_qubit = circuit.add_qubit();
+  }
+
+  const auto data_cnot = [&](std::size_t data) {
+    if (type == PauliType::Z) {
+      circuit.cnot(data, layout.ancilla);  // Data controls, ancilla target.
+    } else {
+      circuit.cnot(layout.ancilla, data);  // Ancilla controls, data target.
+    }
+  };
+  const auto flag_cnot = [&] {
+    if (type == PauliType::Z) {
+      circuit.cnot(layout.flag_qubit, layout.ancilla);
+    } else {
+      circuit.cnot(layout.ancilla, layout.flag_qubit);
+    }
+  };
+
+  if (type == PauliType::Z) {
+    circuit.prep_z(layout.ancilla);
+    if (flagged) {
+      circuit.prep_x(layout.flag_qubit);
+    }
+  } else {
+    circuit.prep_x(layout.ancilla);
+    if (flagged) {
+      circuit.prep_z(layout.flag_qubit);
+    }
+  }
+
+  for (std::size_t i = 0; i < w; ++i) {
+    data_cnot(order[i]);
+    // Flag window: after the first and before the last data CNOT.
+    if (flagged && (i == 0 || i == w - 2)) {
+      flag_cnot();
+    }
+  }
+
+  if (type == PauliType::Z) {
+    layout.outcome_bit = circuit.measure_z(layout.ancilla);
+    if (flagged) {
+      layout.flag_bit = circuit.measure_x(layout.flag_qubit);
+    }
+  } else {
+    layout.outcome_bit = circuit.measure_x(layout.ancilla);
+    if (flagged) {
+      layout.flag_bit = circuit.measure_z(layout.flag_qubit);
+    }
+  }
+  return layout;
+}
+
+std::vector<HookError> hook_errors(const GadgetLayout& layout,
+                                   std::size_t num_data) {
+  std::vector<HookError> hooks;
+  const std::size_t w = layout.order.size();
+  for (std::size_t cut = 1; cut < w; ++cut) {
+    HookError hook;
+    hook.cut = cut;
+    hook.data_error = f2::BitVec(num_data);
+    for (std::size_t i = cut; i < w; ++i) {
+      hook.data_error.set(layout.order[i]);
+    }
+    // The flag CNOTs sit after data CNOT 1 and after data CNOT w-1, so a
+    // fault at cut j crosses exactly one flag coupling iff 1 <= j <= w-2.
+    hook.caught_by_flag = layout.flagged && cut <= w - 2;
+    hooks.push_back(std::move(hook));
+  }
+  return hooks;
+}
+
+}  // namespace ftsp::circuit

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "f2/bit_vec.hpp"
+#include "qec/pauli.hpp"
+
+namespace ftsp::circuit {
+
+/// Bookkeeping for one ancilla-based stabilizer measurement appended to a
+/// circuit, optionally flag-protected against hook errors.
+///
+/// A Z-type stabilizer is measured with an ancilla prepared in |0> that is
+/// the *target* of one CNOT per support qubit and is read out in the Z
+/// basis; an X-type stabilizer mirrors this (|+> ancilla as control, X
+/// readout). The flag qubit (Chamberland-Beverland style) is coupled to
+/// the ancilla after the first and before the last data CNOT; any single
+/// ancilla fault that could propagate onto two or more data qubits also
+/// flips the flag readout.
+struct GadgetLayout {
+  qec::PauliType stabilizer_type = qec::PauliType::Z;
+  f2::BitVec support;               ///< Data-qubit support of the stabilizer.
+  std::vector<std::size_t> order;   ///< Data qubits in CNOT time order.
+  bool flagged = false;
+  std::size_t ancilla = 0;
+  std::size_t flag_qubit = 0;       ///< Valid only if `flagged`.
+  int outcome_bit = -1;
+  int flag_bit = -1;                ///< Valid only if `flagged`.
+};
+
+/// Appends the measurement of `support` (interpreted as a stabilizer of
+/// type `type`) to `circuit` with the given CNOT order; ascending order if
+/// `order` is empty. Flagging requires weight >= 3 (below that no
+/// dangerous hook exists) and throws otherwise.
+GadgetLayout append_stabilizer_measurement(
+    Circuit& circuit, const f2::BitVec& support, qec::PauliType type,
+    bool flagged, std::vector<std::size_t> order = {});
+
+/// A hook error of a measurement gadget: the data-qubit error caused by a
+/// single fault on the measurement ancilla between two data CNOTs.
+struct HookError {
+  std::size_t cut = 0;      ///< Fault location: after `cut` data CNOTs.
+  f2::BitVec data_error;    ///< Suffix support; type == stabilizer_type.
+  bool caught_by_flag = false;
+};
+
+/// All hook errors of a gadget (cuts 1 .. w-1), with `data_error` sized to
+/// `num_data` qubits. Whether each is caught assumes the standard flag
+/// CNOT placement used by `append_stabilizer_measurement`.
+std::vector<HookError> hook_errors(const GadgetLayout& layout,
+                                   std::size_t num_data);
+
+}  // namespace ftsp::circuit

@@ -1,0 +1,263 @@
+#include "core/correction.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/stabilizer_select.hpp"
+#include "sat/cnf_builder.hpp"
+#include "sat/solver.hpp"
+
+namespace ftsp::core {
+
+using f2::BitVec;
+using qec::PauliType;
+using sat::CnfBuilder;
+using sat::Lit;
+using sat::Solver;
+
+std::size_t CorrectionPlan::total_weight() const {
+  std::size_t w = 0;
+  for (const auto& s : measurements) {
+    w += s.popcount();
+  }
+  return w;
+}
+
+namespace {
+
+/// Deduplicates errors modulo the same-type state stabilizers (equivalent
+/// errors have identical syndromes under any candidate measurement and
+/// identical recovery constraints).
+std::vector<BitVec> dedupe_by_coset(const qec::StateContext& state,
+                                    PauliType type,
+                                    const std::vector<BitVec>& errors) {
+  std::vector<BitVec> unique;
+  std::unordered_set<std::string> seen;
+  for (const BitVec& e : errors) {
+    const std::string key = state.coset_key(type, e).to_string();
+    if (seen.insert(key).second) {
+      unique.push_back(e);
+    }
+  }
+  return unique;
+}
+
+/// The WLOG recovery candidate pool (see header).
+std::vector<BitVec> recovery_candidates(const std::vector<BitVec>& errors,
+                                        std::size_t n) {
+  std::vector<BitVec> candidates;
+  std::unordered_set<std::string> seen;
+  const auto add = [&](const BitVec& c) {
+    if (seen.insert(c.to_string()).second) {
+      candidates.push_back(c);
+    }
+  };
+  std::vector<BitVec> bases = errors;
+  bases.emplace_back(n);  // The zero base: weight<=1 recoveries.
+  for (const BitVec& base : bases) {
+    add(base);
+    for (std::size_t q = 0; q < n; ++q) {
+      BitVec c = base;
+      c.flip(q);
+      add(c);
+    }
+  }
+  // Prefer light recoveries when several are valid.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const BitVec& a, const BitVec& b) {
+              const auto wa = a.popcount();
+              const auto wb = b.popcount();
+              if (wa != wb) {
+                return wa < wb;
+              }
+              return a.lex_less(b);
+            });
+  return candidates;
+}
+
+struct Instance {
+  std::vector<BitVec> errors;           // Deduped class errors.
+  std::vector<BitVec> candidates;       // Recovery pool, weight-sorted.
+  std::vector<std::vector<bool>> ok;    // ok[j][c]: wt_S(e_j + c) <= 1.
+};
+
+Instance build_instance(const qec::StateContext& state, PauliType type,
+                        const std::vector<BitVec>& class_errors) {
+  Instance inst;
+  inst.errors = dedupe_by_coset(state, type, class_errors);
+  inst.candidates = recovery_candidates(inst.errors, state.num_qubits());
+  inst.ok.resize(inst.errors.size());
+  for (std::size_t j = 0; j < inst.errors.size(); ++j) {
+    inst.ok[j].resize(inst.candidates.size());
+    for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+      inst.ok[j][c] =
+          state.reduced_weight(type, inst.errors[j] ^ inst.candidates[c]) <=
+          1;
+    }
+  }
+  return inst;
+}
+
+/// Common recovery for a subset of errors: lightest candidate valid for
+/// all, or nullopt.
+std::optional<BitVec> common_recovery(const Instance& inst,
+                                      const std::vector<std::size_t>& members) {
+  for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+    bool valid = true;
+    for (std::size_t j : members) {
+      if (!inst.ok[j][c]) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      return inst.candidates[c];
+    }
+  }
+  return std::nullopt;
+}
+
+/// Builds the recovery map for fixed measurements by grouping errors on
+/// their concrete extended syndromes.
+std::optional<CorrectionPlan> finalize(const qec::StateContext& state,
+                                       PauliType type, const Instance& inst,
+                                       std::vector<BitVec> measurements) {
+  (void)state;
+  (void)type;
+  CorrectionPlan plan;
+  plan.measurements = std::move(measurements);
+  std::map<BitVec, std::vector<std::size_t>, f2::BitVecLexLess> classes;
+  for (std::size_t j = 0; j < inst.errors.size(); ++j) {
+    BitVec pattern(plan.measurements.size());
+    for (std::size_t i = 0; i < plan.measurements.size(); ++i) {
+      if (plan.measurements[i].dot(inst.errors[j])) {
+        pattern.set(i);
+      }
+    }
+    classes[pattern].push_back(j);
+  }
+  for (const auto& [pattern, members] : classes) {
+    const auto recovery = common_recovery(inst, members);
+    if (!recovery.has_value()) {
+      return std::nullopt;  // Measurements do not separate the class.
+    }
+    plan.recoveries.emplace(pattern, *recovery);
+  }
+  return plan;
+}
+
+/// One decision query: u measurements of total weight <= v.
+std::optional<CorrectionPlan> query(const qec::StateContext& state,
+                                    PauliType type, const Instance& inst,
+                                    std::size_t u, std::size_t v,
+                                    std::uint64_t budget) {
+  const auto& generators = state.detector_generators(type);
+  Solver solver;
+  solver.set_conflict_budget(budget);
+  CnfBuilder cnf(solver);
+  StabilizerSelection selection(cnf, generators, u);
+  selection.require_nonzero();
+  if (u > 1) {
+    selection.break_symmetry();
+  }
+
+  // Syndrome literals per (error, measurement).
+  std::vector<std::vector<Lit>> sigma(inst.errors.size(),
+                                      std::vector<Lit>(u));
+  for (std::size_t j = 0; j < inst.errors.size(); ++j) {
+    for (std::size_t i = 0; i < u; ++i) {
+      sigma[j][i] = selection.syndrome_bit(i, inst.errors[j]);
+    }
+  }
+
+  // Per extended pattern pi: a selected recovery (at least one candidate;
+  // selecting several is harmless, all must then be valid). For every
+  // error j and invalid candidate c: if j's syndrome matches pi, c must
+  // not be selected for pi.
+  const std::size_t num_patterns = std::size_t{1} << u;
+  for (std::size_t pi = 0; pi < num_patterns; ++pi) {
+    std::vector<Lit> chosen(inst.candidates.size());
+    for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+      chosen[c] = cnf.fresh();
+    }
+    cnf.add_at_least_one(chosen);
+    for (std::size_t j = 0; j < inst.errors.size(); ++j) {
+      for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+        if (inst.ok[j][c]) {
+          continue;
+        }
+        // not(match(j, pi)) or not chosen[c]
+        std::vector<Lit> clause;
+        clause.reserve(u + 1);
+        clause.push_back(~chosen[c]);
+        for (std::size_t i = 0; i < u; ++i) {
+          const bool bit = ((pi >> i) & 1U) != 0;
+          clause.push_back(bit ? ~sigma[j][i] : sigma[j][i]);
+        }
+        solver.add_clause(clause);
+      }
+    }
+  }
+
+  selection.bound_total_weight(v);
+
+  if (!solver.solve()) {
+    return std::nullopt;
+  }
+  std::vector<BitVec> measurements;
+  for (std::size_t i = 0; i < u; ++i) {
+    measurements.push_back(selection.extract(solver, i));
+  }
+  // Recompute recoveries deterministically (also re-validates the model).
+  return finalize(state, type, inst, std::move(measurements));
+}
+
+}  // namespace
+
+std::optional<CorrectionPlan> synthesize_correction(
+    const qec::StateContext& state, PauliType error_type,
+    const std::vector<BitVec>& class_errors,
+    const CorrectionSynthOptions& options) {
+  const Instance inst = build_instance(state, error_type, class_errors);
+
+  // u = 0: a single unconditional recovery for the whole class.
+  {
+    std::vector<std::size_t> all(inst.errors.size());
+    for (std::size_t j = 0; j < all.size(); ++j) {
+      all[j] = j;
+    }
+    if (const auto recovery = common_recovery(inst, all)) {
+      CorrectionPlan plan;
+      plan.recoveries.emplace(BitVec(0), *recovery);
+      return plan;
+    }
+  }
+
+  const std::size_t n = state.num_qubits();
+  for (std::size_t u = 1; u <= options.max_measurements; ++u) {
+    auto feasible =
+        query(state, error_type, inst, u, u * n, options.conflict_budget);
+    if (!feasible.has_value()) {
+      continue;
+    }
+    // Binary search the minimal total weight for this u.
+    std::size_t lo = u;
+    std::size_t hi = feasible->total_weight();
+    CorrectionPlan best = std::move(*feasible);
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      auto plan =
+          query(state, error_type, inst, u, mid, options.conflict_budget);
+      if (plan.has_value()) {
+        hi = plan->total_weight() < mid ? plan->total_weight() : mid;
+        best = std::move(*plan);
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftsp::core

@@ -1,0 +1,27 @@
+#include "core/executor.hpp"
+
+namespace ftsp::core {
+
+Executor::Executor(const Protocol& protocol) : protocol_(&protocol) {
+  const auto cache = [this](const circuit::Circuit& c) {
+    sites_.emplace(&c, sim::enumerate_fault_sites(c));
+  };
+  cache(protocol.prep);
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    cache((*layer)->verif);
+    for (const auto& [key, branch] : (*layer)->branches) {
+      (void)key;
+      cache(branch.circ);
+    }
+  }
+}
+
+const std::vector<sim::FaultSite>& Executor::sites_for(
+    const circuit::Circuit& c) const {
+  return sites_.at(&c);
+}
+
+}  // namespace ftsp::core

@@ -1,0 +1,74 @@
+#include "core/ft_check.hpp"
+
+#include <sstream>
+
+#include "core/executor.hpp"
+#include "sim/faults.hpp"
+
+namespace ftsp::core {
+
+using qec::PauliType;
+
+FtCheckResult check_fault_tolerance(const Protocol& protocol,
+                                    std::size_t max_violations) {
+  FtCheckResult result;
+  const Executor executor(protocol);
+  const qec::StateContext& state = *protocol.state;
+
+  const auto record = [&](const std::string& what) {
+    result.ok = false;
+    if (result.violations.size() < max_violations) {
+      result.violations.push_back(what);
+    }
+  };
+
+  // Fault-free run: nothing triggers, no residual.
+  {
+    const auto clean = executor.run([](const SiteRef&) { return -1; });
+    if (clean.any_trigger || !clean.data_error.is_identity()) {
+      record("fault-free run triggered a verification or left an error");
+    }
+  }
+
+  // Always-executed segments.
+  std::vector<const circuit::Circuit*> segments = {&protocol.prep};
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (layer->has_value()) {
+      segments.push_back(&(*layer)->verif);
+    }
+  }
+
+  for (const circuit::Circuit* segment : segments) {
+    const auto sites = sim::enumerate_fault_sites(*segment);
+    for (const auto& site : sites) {
+      for (std::size_t op = 0; op < site.ops.size(); ++op) {
+        bool injected = false;
+        const auto run = executor.run([&](const SiteRef& ref) -> int {
+          if (!injected && ref.segment == segment &&
+              ref.gate_index == site.gate_index) {
+            injected = true;
+            return static_cast<int>(op);
+          }
+          return -1;
+        });
+        ++result.faults_checked;
+        const std::size_t wx =
+            state.reduced_weight(PauliType::X, run.data_error.x);
+        const std::size_t wz =
+            state.reduced_weight(PauliType::Z, run.data_error.z);
+        if (wx > 1 || wz > 1) {
+          std::ostringstream what;
+          what << "fault at gate " << site.gate_index << " op " << op
+               << " of segment with " << segment->gate_count()
+               << " gates leaves residual X:" << run.data_error.x.to_string()
+               << " (wt_S " << wx << ") Z:" << run.data_error.z.to_string()
+               << " (wt_S " << wz << ")";
+          record(what.str());
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ftsp::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ftsp::core {
+
+/// Result of the exhaustive single-fault fault-tolerance check.
+struct FtCheckResult {
+  bool ok = true;
+  std::size_t faults_checked = 0;
+  std::vector<std::string> violations;  ///< Truncated human-readable list.
+};
+
+/// Verifies Definition 1 with t = 1 exhaustively: injects every fault
+/// operator at every location of every always-executed segment (the
+/// preparation and both verification circuits — conditional branches are
+/// unreachable under a single fault) and checks that the protocol leaves a
+/// residual whose X and Z parts both have state-reduced weight <= 1.
+/// Also checks that the fault-free run triggers nothing and leaves no
+/// error.
+FtCheckResult check_fault_tolerance(const Protocol& protocol,
+                                    std::size_t max_violations = 16);
+
+}  // namespace ftsp::core

@@ -1,0 +1,155 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ftsp::core {
+
+namespace {
+
+LayerMetricsReport layer_metrics(const CompiledLayer& layer) {
+  LayerMetricsReport report;
+  for (const auto& gadget : layer.gadgets) {
+    ++report.verif_measurements;
+    report.verif_cnots += gadget.support.popcount();
+    if (gadget.flagged) {
+      ++report.verif_flags;
+      report.flag_cnots += 2;
+    }
+  }
+  for (const auto& [key, branch] : layer.branches) {
+    (void)key;
+    const std::size_t meas = branch.plan.measurements.size();
+    const std::size_t cnots = branch.plan.total_weight();
+    if (branch.is_hook_branch) {
+      report.hook_measurements.push_back(meas);
+      report.hook_cnots.push_back(cnots);
+    } else {
+      report.corr_measurements.push_back(meas);
+      report.corr_cnots.push_back(cnots);
+    }
+  }
+  return report;
+}
+
+std::string bracket_list(const std::vector<std::size_t>& values) {
+  if (values.empty()) {
+    return "-";
+  }
+  std::string s = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) {
+      s += ',';
+    }
+    s += std::to_string(values[i]);
+  }
+  s += ']';
+  return s;
+}
+
+}  // namespace
+
+ProtocolMetrics compute_metrics(const Protocol& protocol) {
+  ProtocolMetrics metrics;
+  metrics.prep_cnots = protocol.prep.cnot_count();
+
+  metrics.peak_qubits = protocol.num_data_qubits();
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    metrics.peak_qubits =
+        std::max(metrics.peak_qubits, (*layer)->verif.num_qubits());
+    for (const auto& [key, branch] : (*layer)->branches) {
+      (void)key;
+      metrics.peak_qubits =
+          std::max(metrics.peak_qubits, branch.circ.num_qubits());
+    }
+  }
+
+  std::size_t branch_anc_sum = 0;
+  std::size_t branch_cnot_sum = 0;
+  const auto absorb = [&](const CompiledLayer& layer,
+                          std::optional<LayerMetricsReport>& slot) {
+    LayerMetricsReport report = layer_metrics(layer);
+    metrics.total_verif_ancillas +=
+        report.verif_measurements + report.verif_flags;
+    metrics.total_verif_cnots += report.verif_cnots + report.flag_cnots;
+    for (const auto& list : {report.corr_measurements,
+                             report.hook_measurements}) {
+      for (std::size_t v : list) {
+        branch_anc_sum += v;
+        ++metrics.branch_count;
+      }
+    }
+    for (const auto& list : {report.corr_cnots, report.hook_cnots}) {
+      for (std::size_t v : list) {
+        branch_cnot_sum += v;
+      }
+    }
+    slot = std::move(report);
+  };
+  if (protocol.layer1.has_value()) {
+    absorb(*protocol.layer1, metrics.layer1);
+  }
+  if (protocol.layer2.has_value()) {
+    absorb(*protocol.layer2, metrics.layer2);
+  }
+  if (metrics.branch_count > 0) {
+    metrics.avg_corr_ancillas =
+        static_cast<double>(branch_anc_sum) /
+        static_cast<double>(metrics.branch_count);
+    metrics.avg_corr_cnots = static_cast<double>(branch_cnot_sum) /
+                             static_cast<double>(metrics.branch_count);
+  }
+  return metrics;
+}
+
+std::string metrics_row_header() {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << "code" << std::setw(6) << "prep"
+      << "| " << std::setw(4) << "am" << std::setw(4) << "af" << std::setw(4)
+      << "wm" << std::setw(4) << "wf" << std::setw(12) << "corr_m"
+      << std::setw(12) << "corr_w"
+      << "| " << std::setw(4) << "am" << std::setw(4) << "af" << std::setw(4)
+      << "wm" << std::setw(4) << "wf" << std::setw(12) << "corr_m"
+      << std::setw(12) << "corr_w"
+      << "| " << std::setw(5) << "SANC" << std::setw(6) << "SCNOT"
+      << std::setw(7) << "avgANC" << std::setw(8) << "avgCNOT";
+  return out.str();
+}
+
+std::string format_metrics_row(const std::string& label,
+                               const ProtocolMetrics& m) {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << label << std::setw(6) << m.prep_cnots;
+  const auto layer = [&](const std::optional<LayerMetricsReport>& report) {
+    out << "| ";
+    if (!report.has_value()) {
+      out << std::setw(4) << "-" << std::setw(4) << "-" << std::setw(4)
+          << "-" << std::setw(4) << "-" << std::setw(12) << "-"
+          << std::setw(12) << "-";
+      return;
+    }
+    std::vector<std::size_t> meas = report->corr_measurements;
+    meas.insert(meas.end(), report->hook_measurements.begin(),
+                report->hook_measurements.end());
+    std::vector<std::size_t> cnots = report->corr_cnots;
+    cnots.insert(cnots.end(), report->hook_cnots.begin(),
+                 report->hook_cnots.end());
+    out << std::setw(4) << report->verif_measurements << std::setw(4)
+        << report->verif_flags << std::setw(4) << report->verif_cnots
+        << std::setw(4) << report->flag_cnots << std::setw(12)
+        << bracket_list(meas) << std::setw(12) << bracket_list(cnots);
+  };
+  layer(m.layer1);
+  layer(m.layer2);
+  out << "| " << std::setw(5) << m.total_verif_ancillas << std::setw(6)
+      << m.total_verif_cnots << std::setw(7) << std::setprecision(3)
+      << m.avg_corr_ancillas << std::setw(8) << std::setprecision(3)
+      << m.avg_corr_cnots;
+  return out.str();
+}
+
+}  // namespace ftsp::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ftsp::core {
+
+/// Table-I-style metrics of one verification + correction layer.
+struct LayerMetricsReport {
+  std::size_t verif_measurements = 0;  ///< a_m: syndrome ancillas.
+  std::size_t verif_flags = 0;         ///< a_f: flag ancillas.
+  std::size_t verif_cnots = 0;         ///< w_m: summed stabilizer weights.
+  std::size_t flag_cnots = 0;          ///< w_f: 2 CNOTs per flag.
+
+  /// Per regular (syndrome-triggered) branch, in outcome-key order:
+  /// number of additional measurements and their summed CNOT weight.
+  std::vector<std::size_t> corr_measurements;
+  std::vector<std::size_t> corr_cnots;
+  /// Same for flag-triggered (hook) branches.
+  std::vector<std::size_t> hook_measurements;
+  std::vector<std::size_t> hook_cnots;
+};
+
+/// Full protocol metrics: per layer plus the totals / per-run averages
+/// reported in the last columns of Table I.
+struct ProtocolMetrics {
+  std::optional<LayerMetricsReport> layer1;
+  std::optional<LayerMetricsReport> layer2;
+
+  std::size_t total_verif_ancillas = 0;  ///< Sigma ANC (both layers, m+f).
+  std::size_t total_verif_cnots = 0;     ///< Sigma CNOT.
+  double avg_corr_ancillas = 0.0;        ///< Avg over all branches.
+  double avg_corr_cnots = 0.0;
+
+  std::size_t prep_cnots = 0;
+  std::size_t branch_count = 0;
+
+  /// Data qubits plus the largest ancilla block any single segment needs
+  /// simultaneously (ancillas are measured and can be reused between
+  /// segments): the hardware qubit footprint of the protocol.
+  std::size_t peak_qubits = 0;
+};
+
+ProtocolMetrics compute_metrics(const Protocol& protocol);
+
+/// One formatted Table-I-like row (code name, per-layer a/w numbers,
+/// totals); used by bench_table1 and the examples.
+std::string format_metrics_row(const std::string& label,
+                               const ProtocolMetrics& m);
+
+/// Header line matching `format_metrics_row`.
+std::string metrics_row_header();
+
+}  // namespace ftsp::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "qec/state_context.hpp"
+
+namespace ftsp::core {
+
+/// Options for logical basis-state preparation synthesis.
+struct PrepSynthOptions {
+  enum class Method {
+    Heuristic,  ///< Gauss-elimination construction with column-order search.
+    Optimal,    ///< SAT-based CNOT-count-minimal synthesis.
+  };
+  Method method = Method::Heuristic;
+
+  /// Heuristic: number of seeded random column orders tried in addition to
+  /// the deterministic ones.
+  std::size_t shuffle_tries = 64;
+  std::uint64_t seed = 0xf7e9u;
+
+  /// Optimal: per-query conflict budget (0 = unlimited) and the CNOT count
+  /// at which the search gives up and falls back to the heuristic result.
+  std::uint64_t sat_conflict_budget = 400000;
+  std::size_t max_cnots = 24;
+};
+
+/// Synthesizes a unitary (generally non-fault-tolerant) preparation circuit
+/// for the logical basis state described by `state`: each qubit is
+/// initialized in |0> or |+> and a CNOT network creates the encoded state.
+///
+/// The circuit realizes the X-side state stabilizer span: CNOTs map
+/// X_c -> X_c X_t, so the initial single-qubit X stabilizers of the |+>
+/// qubits must be driven to a generating set of the span; the Z side then
+/// follows automatically (it is the orthogonal complement for CSS-type
+/// stabilizer states). Correctness is verified in the tests with the full
+/// tableau simulator.
+circuit::Circuit synthesize_prep(const qec::StateContext& state,
+                                 const PrepSynthOptions& options = {});
+
+/// SAT-optimal preparation: returns nullopt if no circuit with at most
+/// `options.max_cnots` CNOTs was found within budget.
+std::optional<circuit::Circuit> synthesize_prep_optimal(
+    const qec::StateContext& state, const PrepSynthOptions& options = {});
+
+}  // namespace ftsp::core

@@ -1,0 +1,291 @@
+#include "core/qasm_export.hpp"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ftsp::core {
+
+namespace {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+/// Emits one gate with qubit indices remapped through `qubit_of` and
+/// measurement targets resolved through `creg_of` (register name, bit).
+template <typename QubitMap, typename CregMap>
+void emit_gate(std::ostringstream& out, const std::string& indent,
+               const Gate& g, QubitMap&& qubit_of, CregMap&& creg_of) {
+  switch (g.kind) {
+    case GateKind::Cnot:
+      out << indent << "cx q[" << qubit_of(g.q0) << "], q["
+          << qubit_of(g.q1) << "];\n";
+      break;
+    case GateKind::H:
+      out << indent << "h q[" << qubit_of(g.q0) << "];\n";
+      break;
+    case GateKind::PrepZ:
+      out << indent << "reset q[" << qubit_of(g.q0) << "];\n";
+      break;
+    case GateKind::PrepX:
+      out << indent << "reset q[" << qubit_of(g.q0) << "];\n";
+      out << indent << "h q[" << qubit_of(g.q0) << "];\n";
+      break;
+    case GateKind::MeasX:
+      out << indent << "h q[" << qubit_of(g.q0) << "];\n";
+      [[fallthrough]];
+    case GateKind::MeasZ: {
+      const auto [reg, bit] = creg_of(g.cbit);
+      out << indent << reg << '[' << bit << "] = measure q["
+          << qubit_of(g.q0) << "];\n";
+      break;
+    }
+  }
+}
+
+/// Value of the sub-pattern of `key` restricted to the given bit
+/// positions, interpreted LSB-first.
+unsigned long sub_pattern(const f2::BitVec& key,
+                          const std::vector<int>& positions) {
+  unsigned long value = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (key.get(static_cast<std::size_t>(positions[i]))) {
+      value |= 1UL << i;
+    }
+  }
+  return value;
+}
+
+unsigned long pattern_value(const f2::BitVec& pattern) {
+  unsigned long value = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern.get(i)) {
+      value |= 1UL << i;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string circuit_to_qasm(const circuit::Circuit& circuit,
+                            const std::string& qreg_name) {
+  std::ostringstream out;
+  out << "OPENQASM 3.0;\n";
+  out << "include \"stdgates.inc\";\n";
+  out << "qubit[" << circuit.num_qubits() << "] " << qreg_name << ";\n";
+  if (circuit.num_cbits() > 0) {
+    out << "bit[" << circuit.num_cbits() << "] c;\n";
+  }
+  for (const Gate& g : circuit.gates()) {
+    // Local emission: identity maps (rename the register inline).
+    std::ostringstream line;
+    emit_gate(
+        line, "", g, [](std::size_t q) { return q; },
+        [](int cbit) { return std::make_pair(std::string("c"), cbit); });
+    std::string text = line.str();
+    if (qreg_name != "q") {
+      std::string::size_type pos = 0;
+      while ((pos = text.find("q[", pos)) != std::string::npos) {
+        text.replace(pos, 1, qreg_name);
+        pos += qreg_name.size() + 1;
+      }
+    }
+    out << text;
+  }
+  return out.str();
+}
+
+std::string protocol_to_qasm(const Protocol& protocol) {
+  const std::size_t n = protocol.num_data_qubits();
+
+  // Global qubit layout: data block first, then each segment's ancillas.
+  std::size_t next_qubit = n;
+  const auto allocate = [&](const circuit::Circuit& c) {
+    const std::size_t offset = next_qubit;
+    next_qubit += c.num_qubits() - n;
+    return offset;
+  };
+
+  struct LayerEmission {
+    const CompiledLayer* layer;
+    std::size_t ancilla_offset;
+    std::vector<int> outcome_positions;  // cbit -> syndrome register slot
+    std::vector<int> flag_positions;     // cbit -> flag register slot
+    std::string v_name;
+    std::string f_name;
+  };
+  std::vector<LayerEmission> layers;
+  int layer_index = 0;
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    ++layer_index;
+    if (!layer->has_value()) {
+      continue;
+    }
+    LayerEmission emission;
+    emission.layer = &**layer;
+    emission.ancilla_offset = allocate(emission.layer->verif);
+    emission.v_name = "v" + std::to_string(layer_index);
+    emission.f_name = "f" + std::to_string(layer_index);
+    int v_slot = 0;
+    int f_slot = 0;
+    emission.outcome_positions.assign(emission.layer->verif.num_cbits(),
+                                      -1);
+    emission.flag_positions.assign(emission.layer->verif.num_cbits(), -1);
+    for (const auto& gadget : emission.layer->gadgets) {
+      emission.outcome_positions[static_cast<std::size_t>(
+          gadget.outcome_bit)] = v_slot++;
+      if (gadget.flagged) {
+        emission.flag_positions[static_cast<std::size_t>(
+            gadget.flag_bit)] = f_slot++;
+      }
+    }
+    layers.push_back(std::move(emission));
+  }
+
+  // Pre-allocate branch ancillas and classical registers.
+  std::ostringstream decls;
+  std::map<const CompiledBranch*, std::pair<std::size_t, std::string>>
+      branch_info;  // offset + extended-register name
+  for (const auto& emission : layers) {
+    int branch_id = 0;
+    for (const auto& [key, branch] : emission.layer->branches) {
+      (void)key;
+      const std::size_t offset = allocate(branch.circ);
+      std::string ereg;
+      if (!branch.plan.measurements.empty()) {
+        ereg = "e" + emission.v_name.substr(1) + "_" +
+               std::to_string(branch_id);
+        decls << "bit[" << branch.plan.measurements.size() << "] " << ereg
+              << ";\n";
+      }
+      branch_info.emplace(&branch, std::make_pair(offset, ereg));
+      ++branch_id;
+    }
+  }
+
+  std::ostringstream body;
+  // Preparation over the data block (no remapping needed).
+  for (const Gate& g : protocol.prep.gates()) {
+    emit_gate(
+        body, "", g, [](std::size_t q) { return q; },
+        [](int) { return std::make_pair(std::string("c"), 0); });
+  }
+
+  std::string indent;
+  for (const auto& emission : layers) {
+    const CompiledLayer& layer = *emission.layer;
+    const auto qubit_of = [&](std::size_t q) {
+      return q < n ? q : emission.ancilla_offset + (q - n);
+    };
+    const auto creg_of = [&](int cbit) {
+      const auto b = static_cast<std::size_t>(cbit);
+      if (emission.flag_positions[b] >= 0) {
+        return std::make_pair(emission.f_name, emission.flag_positions[b]);
+      }
+      return std::make_pair(emission.v_name, emission.outcome_positions[b]);
+    };
+    body << indent << "// layer verification ("
+         << name(layer.error_type) << " errors)\n";
+    for (const Gate& g : layer.verif.gates()) {
+      emit_gate(body, indent, g, qubit_of, creg_of);
+    }
+
+    // Branches: if (v == kv) [ if (f == kf) ] { measurements; recoveries }.
+    for (const auto& [key, branch] : layer.branches) {
+      // Position lists in slot order (slot i of the register is cbit
+      // slot_to_cbit[i] of the verification circuit).
+      std::vector<int> slot_to_cbit_v;
+      std::vector<int> slot_to_cbit_f;
+      for (std::size_t b = 0; b < emission.outcome_positions.size(); ++b) {
+        if (emission.outcome_positions[b] >= 0) {
+          slot_to_cbit_v.push_back(static_cast<int>(b));
+        }
+        if (emission.flag_positions[b] >= 0) {
+          slot_to_cbit_f.push_back(static_cast<int>(b));
+        }
+      }
+      const unsigned long value_v = sub_pattern(key, slot_to_cbit_v);
+      const unsigned long value_f = sub_pattern(key, slot_to_cbit_f);
+
+      body << indent << "if (" << emission.v_name << " == " << value_v
+           << ") {\n";
+      std::string inner = indent + "  ";
+      const bool has_flags = !slot_to_cbit_f.empty();
+      if (has_flags) {
+        body << inner << "if (" << emission.f_name << " == " << value_f
+             << ") {\n";
+        inner += "  ";
+      }
+
+      const auto& [offset, ereg] = branch_info.at(&branch);
+      const auto branch_qubit_of = [&, offset = offset](std::size_t q) {
+        return q < n ? q : offset + (q - n);
+      };
+      const auto branch_creg_of = [&, ereg = ereg](int cbit) {
+        return std::make_pair(ereg, cbit);
+      };
+      for (const Gate& g : branch.circ.gates()) {
+        emit_gate(body, inner, g, branch_qubit_of, branch_creg_of);
+      }
+      for (const auto& [pattern, recovery] : branch.plan.recoveries) {
+        std::string rec_indent = inner;
+        const bool conditional = !branch.plan.measurements.empty();
+        if (conditional) {
+          body << inner << "if (" << ereg << " == "
+               << pattern_value(pattern) << ") {\n";
+          rec_indent += "  ";
+        }
+        for (std::size_t qubit : recovery.ones()) {
+          body << rec_indent
+               << (branch.corrected_type == qec::PauliType::X ? "x" : "z")
+               << " q[" << qubit << "];\n";
+        }
+        if (conditional) {
+          body << inner << "}\n";
+        }
+      }
+
+      if (has_flags) {
+        body << indent << "  }\n";
+      }
+      body << indent << "}\n";
+    }
+
+    // Fig. 3(e): anything after this layer only runs if no flag fired.
+    if (layer.flag_mask.any()) {
+      body << indent << "if (" << emission.f_name << " == 0) {\n";
+      indent += "  ";
+    }
+  }
+  // Close the termination scopes.
+  while (!indent.empty()) {
+    indent.resize(indent.size() - 2);
+    body << indent << "}\n";
+  }
+
+  std::ostringstream out;
+  out << "OPENQASM 3.0;\n";
+  out << "include \"stdgates.inc\";\n";
+  out << "// " << protocol.code->description() << ", deterministic FT "
+      << name(protocol.basis) << " preparation\n";
+  out << "qubit[" << next_qubit << "] q;\n";
+  for (const auto& emission : layers) {
+    std::size_t v_count = 0;
+    std::size_t f_count = 0;
+    for (const auto& gadget : emission.layer->gadgets) {
+      ++v_count;
+      f_count += gadget.flagged ? 1 : 0;
+    }
+    out << "bit[" << v_count << "] " << emission.v_name << ";\n";
+    if (f_count > 0) {
+      out << "bit[" << f_count << "] " << emission.f_name << ";\n";
+    }
+  }
+  out << decls.str();
+  out << body.str();
+  return out.str();
+}
+
+}  // namespace ftsp::core

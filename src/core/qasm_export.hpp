@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "core/protocol.hpp"
+
+namespace ftsp::core {
+
+/// Renders a plain circuit as OpenQASM 3 (resets, h, cx, measure).
+std::string circuit_to_qasm(const circuit::Circuit& circuit,
+                            const std::string& qreg_name = "q");
+
+/// Renders the *entire* deterministic protocol as one OpenQASM 3 program:
+/// preparation, per-layer verification measurements into classical
+/// registers, conditional correction branches as `if` blocks comparing
+/// those registers (with nested `if`s for the extended syndromes and the
+/// recovery Paulis), and the Fig. 3(e) early termination as an enclosing
+/// `if (flags == 0)` around the second layer.
+///
+/// The output is the hand-off artifact for running the synthesized
+/// protocol on hardware or through other toolchains; qubits are laid out
+/// as one register with the data block first and every ancilla/flag of
+/// every gadget appended (no reuse).
+std::string protocol_to_qasm(const Protocol& protocol);
+
+}  // namespace ftsp::core

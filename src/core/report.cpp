@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "circuit/gadgets.hpp"
+
+namespace ftsp::core {
+
+namespace {
+
+void describe_support(std::ostringstream& out, const f2::BitVec& support,
+                      qec::PauliType type) {
+  for (std::size_t q : support.ones()) {
+    out << name(type) << q << ' ';
+  }
+}
+
+void describe_layer(std::ostringstream& out, const Protocol& protocol,
+                    const CompiledLayer& layer, int index) {
+  out << "Layer " << index << ": verifies " << name(layer.error_type)
+      << " errors with " << layer.gadgets.size() << " measurement(s)\n";
+  for (std::size_t g = 0; g < layer.gadgets.size(); ++g) {
+    const auto& gadget = layer.gadgets[g];
+    out << "  measure ";
+    describe_support(out, gadget.support, gadget.stabilizer_type);
+    out << "(order";
+    for (std::size_t q : gadget.order) {
+      out << ' ' << q;
+    }
+    out << ")";
+    if (gadget.flagged) {
+      out << " [flagged]";
+    } else {
+      const auto hooks =
+          circuit::hook_errors(gadget, protocol.num_data_qubits());
+      bool any_dangerous = false;
+      for (const auto& hook : hooks) {
+        any_dangerous =
+            any_dangerous ||
+            protocol.state->is_dangerous(gadget.stabilizer_type,
+                                         hook.data_error);
+      }
+      out << (any_dangerous ? " [UNFLAGGED WITH DANGEROUS HOOKS]"
+                            : " [hooks harmless]");
+    }
+    out << '\n';
+  }
+  out << "  branches: " << layer.branches.size() << '\n';
+  for (const auto& [key, branch] : layer.branches) {
+    out << "    outcome " << key.to_string()
+        << (branch.is_hook_branch ? " (hook, terminates)" : "") << ": ";
+    if (branch.plan.measurements.empty()) {
+      out << "no extra measurements";
+    } else {
+      out << branch.plan.measurements.size() << " extra measurement(s): ";
+      for (const auto& m : branch.plan.measurements) {
+        describe_support(out, m, other(branch.corrected_type));
+        out << "| ";
+      }
+    }
+    out << '\n';
+    for (const auto& [pattern, recovery] : branch.plan.recoveries) {
+      out << "      pattern " << pattern.to_string() << " -> ";
+      if (recovery.none()) {
+        out << "identity";
+      } else {
+        describe_support(out, recovery, branch.corrected_type);
+      }
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+std::string describe_protocol(const Protocol& protocol) {
+  std::ostringstream out;
+  out << "Deterministic FT preparation of " << name(protocol.basis)
+      << " for " << protocol.code->description() << '\n';
+  out << "Preparation: " << protocol.prep.cnot_count() << " CNOTs, depth "
+      << protocol.prep.depth() << '\n';
+  out << protocol.prep.to_text();
+  int index = 1;
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (layer->has_value()) {
+      describe_layer(out, protocol, **layer, index);
+    }
+    ++index;
+  }
+  if (!protocol.layer1.has_value() && !protocol.layer2.has_value()) {
+    out << "No verification needed (no dangerous single-fault errors).\n";
+  }
+  return out.str();
+}
+
+}  // namespace ftsp::core

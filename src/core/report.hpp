@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace ftsp::core {
+
+/// Renders a complete human-readable report of a synthesized protocol:
+/// code parameters, the preparation circuit, each layer's verification
+/// measurements (with order, flags and hook analysis) and every
+/// correction branch with its recovery table. This is the "what did the
+/// synthesizer actually build" artifact for papers, debugging and code
+/// review of generated circuits.
+std::string describe_protocol(const Protocol& protocol);
+
+}  // namespace ftsp::core

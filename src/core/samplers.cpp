@@ -1,0 +1,138 @@
+#include "core/samplers.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace ftsp::core {
+
+namespace {
+
+/// log of the probability of the trajectory's fault pattern under rates
+/// `r` (the uniform op-choice factors cancel between distributions and
+/// are omitted). Returns -infinity when impossible.
+double log_density(const Trajectory& t, const sim::NoiseParams& r) {
+  double log_p = 0.0;
+  for (std::size_t k = 0; k < sim::kNumLocationKinds; ++k) {
+    const double rate = r.rates[k];
+    const double faults = t.faults[k];
+    const double clean = t.sites[k] - t.faults[k];
+    if (faults > 0) {
+      if (rate <= 0.0) {
+        return -std::numeric_limits<double>::infinity();
+      }
+      log_p += faults * std::log(rate);
+    }
+    if (clean > 0) {
+      if (rate >= 1.0) {
+        return -std::numeric_limits<double>::infinity();
+      }
+      log_p += clean * std::log1p(-rate);
+    }
+  }
+  return log_p;
+}
+
+}  // namespace
+
+TrajectoryBatch sample_protocol_batch(const Executor& executor,
+                                      const decoder::PerfectDecoder& decoder,
+                                      const sim::NoiseParams& q,
+                                      std::size_t shots,
+                                      std::uint64_t seed) {
+  for (double rate : q.rates) {
+    if (rate < 0.0 || rate >= 1.0) {
+      throw std::invalid_argument(
+          "sample_protocol_batch: rates must be in [0,1)");
+    }
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  TrajectoryBatch batch;
+  batch.q = q;
+  batch.trajectories.reserve(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    Trajectory t;
+    const auto result = executor.run([&](const SiteRef& ref) -> int {
+      const auto kind = static_cast<std::size_t>(sim::location_kind(
+          ref.segment->gates()[ref.gate_index].kind));
+      ++t.sites[kind];
+      if (unit(rng) >= q.rates[kind]) {
+        return -1;
+      }
+      ++t.faults[kind];
+      return static_cast<int>(rng() % ref.site->ops.size());
+    });
+    t.hook_terminated = result.hook_terminated;
+    const auto logical = decoder.decode(result.data_error);
+    t.x_fail = logical.x_flip;
+    t.z_fail = logical.z_flip;
+    batch.trajectories.push_back(t);
+  }
+  return batch;
+}
+
+TrajectoryBatch sample_protocol_batch(const Executor& executor,
+                                      const decoder::PerfectDecoder& decoder,
+                                      double q, std::size_t shots,
+                                      std::uint64_t seed) {
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("sample_protocol_batch: q must be in (0,1)");
+  }
+  return sample_protocol_batch(executor, decoder, sim::NoiseParams::e1_1(q),
+                               shots, seed);
+}
+
+Estimate estimate_logical_rate(const std::vector<TrajectoryBatch>& batches,
+                               const sim::NoiseParams& p,
+                               bool x_criterion) {
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    total += b.trajectories.size();
+  }
+  if (total == 0) {
+    return {};
+  }
+
+  // Balance-heuristic MIS weight; the uniform fault-operator choice is
+  // identical in the target and every sampling distribution, so it
+  // cancels and only the per-kind fault/clean counts matter.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& b : batches) {
+    for (const auto& t : b.trajectories) {
+      const bool fail = x_criterion ? t.x_fail : (t.x_fail || t.z_fail);
+      if (!fail) {
+        continue;  // Zero contribution; weights need not be evaluated.
+      }
+      const double log_target = log_density(t, p);
+      if (!std::isfinite(log_target)) {
+        continue;  // Impossible under the target: weight 0.
+      }
+      double mixture = 0.0;
+      for (const auto& bs : batches) {
+        const double share = static_cast<double>(bs.trajectories.size()) /
+                             static_cast<double>(total);
+        mixture += share * std::exp(log_density(t, bs.q) - log_target);
+      }
+      const double weight = 1.0 / mixture;
+      sum += weight;
+      sum_sq += weight * weight;
+    }
+  }
+  Estimate estimate;
+  const double n = static_cast<double>(total);
+  estimate.mean = sum / n;
+  const double variance = (sum_sq / n - estimate.mean * estimate.mean) / n;
+  estimate.std_error = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return estimate;
+}
+
+Estimate estimate_logical_rate(const std::vector<TrajectoryBatch>& batches,
+                               double p, bool x_criterion) {
+  return estimate_logical_rate(batches, sim::NoiseParams::e1_1(p),
+                               x_criterion);
+}
+
+}  // namespace ftsp::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "decoder/lookup_decoder.hpp"
+#include "sim/faults.hpp"
+
+namespace ftsp::core {
+
+/// Outcome of one simulated protocol run, reduced to what the estimators
+/// need: per location kind, how many fault locations were executed and
+/// how many actually faulted, plus whether the state failed logically
+/// after the perfect final EC round.
+struct Trajectory {
+  std::array<std::uint16_t, sim::kNumLocationKinds> sites{};
+  std::array<std::uint16_t, sim::kNumLocationKinds> faults{};
+  bool x_fail = false;  ///< Paper's criterion for |0>_L (bitstring).
+  bool z_fail = false;
+  bool hook_terminated = false;
+
+  std::uint32_t total_faults() const {
+    std::uint32_t total = 0;
+    for (auto f : faults) {
+      total += f;
+    }
+    return total;
+  }
+};
+
+/// A batch of trajectories sampled under per-kind fault probabilities
+/// `q`. The fault-operator choice (uniform over the location's ops) is
+/// shared between the sampling and target distributions, so re-weighting
+/// a trajectory to target rates `p` only involves the per-kind fault and
+/// clean-location counts.
+struct TrajectoryBatch {
+  sim::NoiseParams q;
+  std::vector<Trajectory> trajectories;
+};
+
+/// Samples `shots` protocol runs at the (typically elevated) fault rates
+/// `q`. This is the stand-in for the paper's Dynamic Subset Sampling: one
+/// batch serves a whole p-sweep via importance re-weighting.
+TrajectoryBatch sample_protocol_batch(const Executor& executor,
+                                      const decoder::PerfectDecoder& decoder,
+                                      const sim::NoiseParams& q,
+                                      std::size_t shots, std::uint64_t seed);
+
+/// Convenience overload for the uniform E1_1 model.
+TrajectoryBatch sample_protocol_batch(const Executor& executor,
+                                      const decoder::PerfectDecoder& decoder,
+                                      double q, std::size_t shots,
+                                      std::uint64_t seed);
+
+struct Estimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+};
+
+/// Multiple-importance-sampling estimate (balance heuristic) of the
+/// logical error rate at target rates `p` from one or more batches.
+/// With a single batch sampled at q == p this reduces to plain Monte
+/// Carlo. `x_criterion` selects the paper's destructive-Z-readout
+/// criterion (logical X flips); false counts either flip.
+Estimate estimate_logical_rate(const std::vector<TrajectoryBatch>& batches,
+                               const sim::NoiseParams& p,
+                               bool x_criterion = true);
+
+Estimate estimate_logical_rate(const std::vector<TrajectoryBatch>& batches,
+                               double p, bool x_criterion = true);
+
+}  // namespace ftsp::core

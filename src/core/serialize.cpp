@@ -1,0 +1,206 @@
+#include "core/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "qec/code_io.hpp"
+
+namespace ftsp::core {
+
+using f2::BitVec;
+using qec::PauliType;
+
+namespace {
+
+constexpr const char* kHeader = "ftsp-protocol v1";
+
+void write_layer(std::ostringstream& out, const CompiledLayer& layer,
+                 int index) {
+  out << "layer-begin " << index << '\n';
+  out << "type: " << name(layer.error_type) << '\n';
+  for (const auto& gadget : layer.gadgets) {
+    out << "gadget: flagged " << (gadget.flagged ? 1 : 0) << " order";
+    for (std::size_t q : gadget.order) {
+      out << ' ' << q;
+    }
+    out << '\n';
+  }
+  for (const auto& [key, branch] : layer.branches) {
+    out << "branch-begin " << key.to_string() << '\n';
+    out << "hook: " << (branch.is_hook_branch ? 1 : 0) << '\n';
+    out << "corrected: " << name(branch.corrected_type) << '\n';
+    for (const auto& m : branch.plan.measurements) {
+      out << "measurement: " << m.to_string() << '\n';
+    }
+    for (const auto& [pattern, recovery] : branch.plan.recoveries) {
+      out << "recovery: " << pattern.to_string() << " -> "
+          << recovery.to_string() << '\n';
+    }
+    out << "branch-end\n";
+  }
+  out << "layer-end\n";
+}
+
+PauliType parse_type(const std::string& token) {
+  if (token == "X") {
+    return PauliType::X;
+  }
+  if (token == "Z") {
+    return PauliType::Z;
+  }
+  throw std::invalid_argument("load_protocol: bad Pauli type " + token);
+}
+
+}  // namespace
+
+std::string save_protocol(const Protocol& protocol) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out << "basis: "
+      << (protocol.basis == qec::LogicalBasis::Zero ? "Zero" : "Plus")
+      << '\n';
+  out << "code-begin\n" << qec::write_css_code(*protocol.code)
+      << "code-end\n";
+  out << "prep-begin\n" << protocol.prep.to_text() << "prep-end\n";
+  if (protocol.layer1.has_value()) {
+    write_layer(out, *protocol.layer1, 1);
+  }
+  if (protocol.layer2.has_value()) {
+    write_layer(out, *protocol.layer2, 2);
+  }
+  return out.str();
+}
+
+Protocol load_protocol(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::invalid_argument("load_protocol: missing header");
+  }
+
+  Protocol protocol;
+  std::string basis_line;
+  if (!std::getline(in, basis_line) || basis_line.rfind("basis: ", 0) != 0) {
+    throw std::invalid_argument("load_protocol: missing basis");
+  }
+  protocol.basis = basis_line.substr(7) == "Zero"
+                       ? qec::LogicalBasis::Zero
+                       : qec::LogicalBasis::Plus;
+
+  // Code block.
+  if (!std::getline(in, line) || line != "code-begin") {
+    throw std::invalid_argument("load_protocol: missing code block");
+  }
+  std::ostringstream code_text;
+  while (std::getline(in, line) && line != "code-end") {
+    code_text << line << '\n';
+  }
+  protocol.code = std::make_shared<const qec::CssCode>(
+      qec::parse_css_code(code_text.str()));
+  protocol.state = std::make_shared<const qec::StateContext>(
+      *protocol.code, protocol.basis);
+  const std::size_t n = protocol.code->num_qubits();
+
+  // Preparation block.
+  if (!std::getline(in, line) || line != "prep-begin") {
+    throw std::invalid_argument("load_protocol: missing prep block");
+  }
+  std::ostringstream prep_text;
+  while (std::getline(in, line) && line != "prep-end") {
+    prep_text << line << '\n';
+  }
+  protocol.prep = circuit::Circuit::from_text(prep_text.str(), n);
+
+  // Layers.
+  while (std::getline(in, line)) {
+    if (line.rfind("layer-begin ", 0) != 0) {
+      if (line.empty()) {
+        continue;
+      }
+      throw std::invalid_argument("load_protocol: unexpected line " + line);
+    }
+    const int index = std::stoi(line.substr(12));
+    CompiledLayer layer;
+    layer.verif = circuit::Circuit(n);
+
+    if (!std::getline(in, line) || line.rfind("type: ", 0) != 0) {
+      throw std::invalid_argument("load_protocol: missing layer type");
+    }
+    layer.error_type = parse_type(line.substr(6));
+    const PauliType measured = other(layer.error_type);
+
+    while (std::getline(in, line) && line != "layer-end") {
+      if (line.rfind("gadget: flagged ", 0) == 0) {
+        std::istringstream tokens(line.substr(16));
+        int flagged = 0;
+        std::string order_word;
+        tokens >> flagged >> order_word;
+        std::vector<std::size_t> order;
+        std::size_t q = 0;
+        while (tokens >> q) {
+          order.push_back(q);
+        }
+        BitVec support(n);
+        for (std::size_t qq : order) {
+          support.set(qq);
+        }
+        layer.verification.stabilizers.push_back(support);
+        layer.gadgets.push_back(circuit::append_stabilizer_measurement(
+            layer.verif, support, measured, flagged != 0, order));
+      } else if (line.rfind("branch-begin ", 0) == 0) {
+        const BitVec key = BitVec::from_string(line.substr(13));
+        CompiledBranch branch;
+        while (std::getline(in, line) && line != "branch-end") {
+          if (line.rfind("hook: ", 0) == 0) {
+            branch.is_hook_branch = line.substr(6) == "1";
+          } else if (line.rfind("corrected: ", 0) == 0) {
+            branch.corrected_type = parse_type(line.substr(11));
+          } else if (line.rfind("measurement: ", 0) == 0) {
+            branch.plan.measurements.push_back(
+                BitVec::from_string(line.substr(13)));
+          } else if (line.rfind("recovery: ", 0) == 0) {
+            const std::string rest = line.substr(10);
+            const auto arrow = rest.find(" -> ");
+            if (arrow == std::string::npos) {
+              throw std::invalid_argument(
+                  "load_protocol: malformed recovery line");
+            }
+            branch.plan.recoveries.emplace(
+                BitVec::from_string(rest.substr(0, arrow)),
+                BitVec::from_string(rest.substr(arrow + 4)));
+          } else {
+            throw std::invalid_argument(
+                "load_protocol: unexpected branch line " + line);
+          }
+        }
+        branch.circ = circuit::Circuit(n);
+        for (const auto& m : branch.plan.measurements) {
+          circuit::append_stabilizer_measurement(
+              branch.circ, m, other(branch.corrected_type),
+              /*flagged=*/false);
+        }
+        layer.branches.emplace(key, std::move(branch));
+      } else if (!line.empty()) {
+        throw std::invalid_argument("load_protocol: unexpected layer line " +
+                                    line);
+      }
+    }
+
+    layer.flag_mask = BitVec(layer.verif.num_cbits());
+    for (const auto& gadget : layer.gadgets) {
+      if (gadget.flagged) {
+        layer.flag_mask.set(static_cast<std::size_t>(gadget.flag_bit));
+      }
+    }
+    if (index == 1) {
+      protocol.layer1 = std::move(layer);
+    } else if (index == 2) {
+      protocol.layer2 = std::move(layer);
+    } else {
+      throw std::invalid_argument("load_protocol: bad layer index");
+    }
+  }
+  return protocol;
+}
+
+}  // namespace ftsp::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace ftsp::core {
+
+/// Persists a synthesized protocol as a self-contained text document:
+/// code check matrices, basis, preparation circuit, and per layer the
+/// verification gadgets (support order + flag) and every correction
+/// branch (measurements, recovery table, hook marker). Layer and branch
+/// *circuits* are not stored — they are deterministic functions of the
+/// gadget descriptions and are rebuilt on load.
+///
+/// Use case: synthesis is SAT-powered and can take seconds to minutes for
+/// the larger codes; a saved protocol reloads in microseconds and is
+/// bit-for-bit equivalent under the executor (tested).
+std::string save_protocol(const Protocol& protocol);
+
+/// Parses a document produced by `save_protocol`. Throws
+/// std::invalid_argument on malformed input.
+Protocol load_protocol(const std::string& text);
+
+}  // namespace ftsp::core

@@ -1,0 +1,158 @@
+#include "core/verification.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/stabilizer_select.hpp"
+#include "sat/cnf_builder.hpp"
+#include "sat/solver.hpp"
+
+namespace ftsp::core {
+
+using f2::BitMatrix;
+using f2::BitVec;
+using sat::CnfBuilder;
+using sat::Solver;
+
+std::size_t VerificationSet::total_weight() const {
+  std::size_t w = 0;
+  for (const auto& s : stabilizers) {
+    w += s.popcount();
+  }
+  return w;
+}
+
+namespace {
+
+/// One decision query: is there a set of `u` stabilizers with total weight
+/// <= `v` detecting all errors? Returns the set if so.
+std::optional<VerificationSet> query(const BitMatrix& generators,
+                                     const std::vector<BitVec>& errors,
+                                     std::size_t u, std::size_t v,
+                                     std::uint64_t budget) {
+  Solver solver;
+  solver.set_conflict_budget(budget);
+  CnfBuilder cnf(solver);
+  StabilizerSelection selection(cnf, generators, u);
+  selection.require_nonzero();
+  if (u > 1) {
+    selection.break_symmetry();
+  }
+  for (const BitVec& e : errors) {
+    std::vector<sat::Lit> detecting;
+    detecting.reserve(u);
+    for (std::size_t i = 0; i < u; ++i) {
+      detecting.push_back(selection.syndrome_bit(i, e));
+    }
+    cnf.add_at_least_one(detecting);
+  }
+  selection.bound_total_weight(v);
+
+  if (!solver.solve()) {
+    return std::nullopt;
+  }
+  VerificationSet set;
+  for (std::size_t i = 0; i < u; ++i) {
+    set.stabilizers.push_back(selection.extract(solver, i));
+  }
+  return set;
+}
+
+/// Finds the optimal (u, v): smallest u admitting any solution, then
+/// smallest v for that u (binary search).
+std::optional<std::pair<std::size_t, std::size_t>> find_optimum(
+    const BitMatrix& generators, const std::vector<BitVec>& errors,
+    const VerificationSynthOptions& options) {
+  const std::size_t n = generators.cols();
+  for (std::size_t u = 1; u <= options.max_measurements; ++u) {
+    if (!query(generators, errors, u, u * n, options.conflict_budget)) {
+      continue;
+    }
+    std::size_t lo = u;        // Each stabilizer has weight >= 1.
+    std::size_t hi = u * n;    // Known satisfiable.
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (query(generators, errors, u, mid, options.conflict_budget)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return std::make_pair(u, lo);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<VerificationSet> synthesize_verification(
+    const BitMatrix& candidate_generators,
+    const std::vector<BitVec>& dangerous_errors,
+    const VerificationSynthOptions& options) {
+  if (dangerous_errors.empty()) {
+    return VerificationSet{};
+  }
+  const auto optimum =
+      find_optimum(candidate_generators, dangerous_errors, options);
+  if (!optimum.has_value()) {
+    return std::nullopt;
+  }
+  return query(candidate_generators, dangerous_errors, optimum->first,
+               optimum->second, options.conflict_budget);
+}
+
+std::vector<VerificationSet> enumerate_optimal_verifications(
+    const BitMatrix& candidate_generators,
+    const std::vector<BitVec>& dangerous_errors,
+    const VerificationSynthOptions& options) {
+  if (dangerous_errors.empty()) {
+    return {VerificationSet{}};
+  }
+  const auto optimum =
+      find_optimum(candidate_generators, dangerous_errors, options);
+  if (!optimum.has_value()) {
+    return {};
+  }
+  const auto [u, v] = *optimum;
+
+  // Re-encode once and enumerate models, blocking each found selection.
+  Solver solver;
+  solver.set_conflict_budget(options.conflict_budget);
+  CnfBuilder cnf(solver);
+  StabilizerSelection selection(cnf, candidate_generators, u);
+  selection.require_nonzero();
+  if (u > 1) {
+    selection.break_symmetry();
+  }
+  for (const BitVec& e : dangerous_errors) {
+    std::vector<sat::Lit> detecting;
+    for (std::size_t i = 0; i < u; ++i) {
+      detecting.push_back(selection.syndrome_bit(i, e));
+    }
+    cnf.add_at_least_one(detecting);
+  }
+  selection.bound_total_weight(v);
+
+  std::vector<VerificationSet> results;
+  std::set<std::vector<std::string>> seen;
+  while (results.size() < options.enumerate_limit && solver.okay() &&
+         solver.solve()) {
+    VerificationSet set;
+    for (std::size_t i = 0; i < u; ++i) {
+      set.stabilizers.push_back(selection.extract(solver, i));
+    }
+    // Canonicalize as an unordered multiset of supports.
+    std::vector<std::string> key;
+    for (const auto& s : set.stabilizers) {
+      key.push_back(s.to_string());
+    }
+    std::sort(key.begin(), key.end());
+    if (seen.insert(std::move(key)).second) {
+      results.push_back(std::move(set));
+    }
+    selection.block_model(solver);
+  }
+  return results;
+}
+
+}  // namespace ftsp::core

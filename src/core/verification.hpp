@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "f2/bit_matrix.hpp"
+#include "f2/bit_vec.hpp"
+
+namespace ftsp::core {
+
+/// A synthesized set of verification measurements: supports of stabilizers
+/// drawn from the span of the candidate generators (the opposite-type
+/// state stabilizers). Every dangerous error anticommutes with at least
+/// one of them.
+struct VerificationSet {
+  std::vector<f2::BitVec> stabilizers;
+
+  std::size_t count() const { return stabilizers.size(); }
+  std::size_t total_weight() const;
+};
+
+struct VerificationSynthOptions {
+  std::size_t max_measurements = 5;
+  std::uint64_t conflict_budget = 0;   ///< Per SAT query; 0 = unlimited.
+  std::size_t enumerate_limit = 128;   ///< Cap for all-optimal enumeration.
+};
+
+/// Synthesizes a verification measurement set that detects every error in
+/// `dangerous_errors` (each must anticommute with >= 1 selected
+/// stabilizer), minimizing first the number of measurements (ancillas),
+/// then the summed support weight (CNOTs) — the lexicographic (u, v)
+/// optimality of the paper. Returns nullopt only if no set within
+/// `max_measurements` exists (cannot happen for genuinely dangerous errors
+/// of a valid CSS state, see DESIGN.md).
+std::optional<VerificationSet> synthesize_verification(
+    const f2::BitMatrix& candidate_generators,
+    const std::vector<f2::BitVec>& dangerous_errors,
+    const VerificationSynthOptions& options = {});
+
+/// Enumerates *all* verification sets attaining the optimal (u, v) — the
+/// candidate pool explored by the paper's global optimization procedure.
+/// Sets are deduplicated as unordered collections of supports.
+std::vector<VerificationSet> enumerate_optimal_verifications(
+    const f2::BitMatrix& candidate_generators,
+    const std::vector<f2::BitVec>& dangerous_errors,
+    const VerificationSynthOptions& options = {});
+
+}  // namespace ftsp::core

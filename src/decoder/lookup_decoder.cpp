@@ -1,0 +1,68 @@
+#include "decoder/lookup_decoder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ftsp::decoder {
+
+using f2::BitVec;
+using qec::PauliType;
+
+std::size_t LookupDecoder::pack(const BitVec& syndrome) {
+  std::size_t packed = 0;
+  for (std::size_t i = 0; i < syndrome.size(); ++i) {
+    if (syndrome.get(i)) {
+      packed |= std::size_t{1} << i;
+    }
+  }
+  return packed;
+}
+
+LookupDecoder::LookupDecoder(const qec::CssCode& code, PauliType error_type)
+    : code_(&code), type_(error_type) {
+  const auto& checks = code.check_matrix(other(error_type));
+  syndrome_bits_ = checks.rows();
+  if (syndrome_bits_ > 20) {
+    throw std::length_error("LookupDecoder: syndrome space too large");
+  }
+  const std::size_t n = code.num_qubits();
+  const std::size_t count = std::size_t{1} << syndrome_bits_;
+  table_.assign(count, BitVec());
+  std::size_t filled = 0;
+  for (std::size_t w = 0; w <= n && filled < count; ++w) {
+    qec::for_each_weight(n, w, [&](const BitVec& e) {
+      const std::size_t s = pack(checks.multiply(e));
+      if (table_[s].empty()) {
+        table_[s] = e;
+        ++filled;
+      }
+      return filled < count;
+    });
+  }
+  assert(filled == count);
+}
+
+const BitVec& LookupDecoder::decode(const BitVec& syndrome) const {
+  if (syndrome.size() != syndrome_bits_) {
+    throw std::invalid_argument("LookupDecoder::decode: syndrome size");
+  }
+  return table_[pack(syndrome)];
+}
+
+BitVec LookupDecoder::residual(const BitVec& error) const {
+  const auto syndrome = code_->syndrome(type_, error);
+  return error ^ decode(syndrome);
+}
+
+LogicalOutcome PerfectDecoder::decode(const qec::Pauli& error) const {
+  LogicalOutcome outcome;
+  const BitVec rx = x_decoder_.residual(error.x);
+  const BitVec rz = z_decoder_.residual(error.z);
+  for (std::size_t i = 0; i < code_->num_logical(); ++i) {
+    outcome.x_flip = outcome.x_flip || rx.dot(code_->logical_z().row(i));
+    outcome.z_flip = outcome.z_flip || rz.dot(code_->logical_x().row(i));
+  }
+  return outcome;
+}
+
+}  // namespace ftsp::decoder

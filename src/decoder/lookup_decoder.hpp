@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "f2/bit_vec.hpp"
+#include "qec/css_code.hpp"
+#include "qec/pauli.hpp"
+
+namespace ftsp::decoder {
+
+/// Minimum-weight lookup-table decoder for one error type of a CSS code.
+///
+/// The table maps every possible syndrome (there are 2^r for an r-row
+/// opposite-type check matrix; all syndromes are reachable because check
+/// matrices have full row rank) to a minimum-weight error producing it,
+/// found by breadth-first enumeration over error weights. This implements
+/// the paper's "perfect round of error correction using lookup table
+/// decoding" exactly.
+class LookupDecoder {
+ public:
+  LookupDecoder(const qec::CssCode& code, qec::PauliType error_type);
+
+  qec::PauliType error_type() const { return type_; }
+  std::size_t syndrome_bits() const { return syndrome_bits_; }
+
+  /// Minimum-weight error consistent with `syndrome` (length = rows of the
+  /// opposite-type check matrix).
+  const f2::BitVec& decode(const f2::BitVec& syndrome) const;
+
+  /// Decodes the syndrome of `error` and returns the residual
+  /// `error + correction` (a stabilizer or logical of the code).
+  f2::BitVec residual(const f2::BitVec& error) const;
+
+ private:
+  const qec::CssCode* code_;
+  qec::PauliType type_;
+  std::size_t syndrome_bits_ = 0;
+  std::vector<f2::BitVec> table_;  // Indexed by packed syndrome.
+
+  static std::size_t pack(const f2::BitVec& syndrome);
+};
+
+/// Outcome of a perfect error-correction round followed by a logical
+/// measurement, as in the paper's Fig. 4 simulation.
+struct LogicalOutcome {
+  bool x_flip = false;  ///< Residual X error anticommutes with some Z_L.
+  bool z_flip = false;  ///< Residual Z error anticommutes with some X_L.
+};
+
+/// Decodes both error types of `error` with lookup tables and reports
+/// which logical operators the residuals flip. For a |0>_L preparation the
+/// destructive Z-basis readout of the paper registers exactly `x_flip`.
+class PerfectDecoder {
+ public:
+  explicit PerfectDecoder(const qec::CssCode& code)
+      : code_(&code),
+        x_decoder_(code, qec::PauliType::X),
+        z_decoder_(code, qec::PauliType::Z) {}
+
+  LogicalOutcome decode(const qec::Pauli& error) const;
+
+ private:
+  const qec::CssCode* code_;
+  LookupDecoder x_decoder_;
+  LookupDecoder z_decoder_;
+};
+
+}  // namespace ftsp::decoder

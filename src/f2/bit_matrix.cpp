@@ -1,0 +1,126 @@
+#include "f2/bit_matrix.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ftsp::f2 {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols) : cols_(cols) {
+  rows_.assign(rows, BitVec(cols));
+}
+
+BitMatrix BitMatrix::from_strings(std::initializer_list<std::string> rows) {
+  return from_strings(std::vector<std::string>(rows));
+}
+
+BitMatrix BitMatrix::from_strings(const std::vector<std::string>& rows) {
+  BitMatrix m;
+  for (const auto& s : rows) {
+    m.append_row(BitVec::from_string(s));
+  }
+  return m;
+}
+
+BitMatrix BitMatrix::identity(std::size_t n) {
+  BitMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i, i);
+  }
+  return m;
+}
+
+void BitMatrix::append_row(BitVec row) {
+  if (rows_.empty() && cols_ == 0) {
+    cols_ = row.size();
+  }
+  if (row.size() != cols_) {
+    throw std::invalid_argument("BitMatrix::append_row: width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void BitMatrix::append_rows(const BitMatrix& other) {
+  for (std::size_t r = 0; r < other.rows(); ++r) {
+    append_row(other.row(r));
+  }
+}
+
+BitVec BitMatrix::column(std::size_t c) const {
+  assert(c < cols_);
+  BitVec col(rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (rows_[r].get(c)) {
+      col.set(r);
+    }
+  }
+  return col;
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix t(cols_, rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c : rows_[r].ones()) {
+      t.set(c, r);
+    }
+  }
+  return t;
+}
+
+BitVec BitMatrix::multiply(const BitVec& v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("BitMatrix::multiply: size mismatch");
+  }
+  BitVec result(rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (rows_[r].dot(v)) {
+      result.set(r);
+    }
+  }
+  return result;
+}
+
+BitMatrix BitMatrix::multiply(const BitMatrix& other) const {
+  if (cols_ != other.rows()) {
+    throw std::invalid_argument("BitMatrix::multiply: shape mismatch");
+  }
+  BitMatrix result(rows(), other.cols());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t k : rows_[r].ones()) {
+      result.row(r) ^= other.row(k);
+    }
+  }
+  return result;
+}
+
+void BitMatrix::add_row_to(std::size_t src, std::size_t dst) {
+  assert(src < rows() && dst < rows());
+  rows_[dst] ^= rows_[src];
+}
+
+void BitMatrix::swap_rows(std::size_t a, std::size_t b) {
+  assert(a < rows() && b < rows());
+  std::swap(rows_[a], rows_[b]);
+}
+
+void BitMatrix::remove_zero_rows() {
+  std::vector<BitVec> kept;
+  kept.reserve(rows_.size());
+  for (auto& r : rows_) {
+    if (r.any()) {
+      kept.push_back(std::move(r));
+    }
+  }
+  rows_ = std::move(kept);
+}
+
+std::string BitMatrix::to_string() const {
+  std::string s;
+  for (const auto& r : rows_) {
+    s += r.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace ftsp::f2

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "f2/bit_vec.hpp"
+
+namespace ftsp::f2 {
+
+/// A dense matrix over F2 stored as a vector of `BitVec` rows.
+///
+/// Rows may be appended dynamically (all rows share the same width).
+/// `BitMatrix` is a regular value type; the elimination algorithms that
+/// operate on it live in `gauss.hpp`.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Creates an all-zero matrix.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  /// Builds a matrix from '0'/'1' row strings (see `BitVec::from_string`).
+  /// All rows must have equal length.
+  static BitMatrix from_strings(std::initializer_list<std::string> rows);
+  static BitMatrix from_strings(const std::vector<std::string>& rows);
+
+  /// The `n x n` identity.
+  static BitMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_.empty(); }
+
+  const BitVec& row(std::size_t r) const { return rows_[r]; }
+  BitVec& row(std::size_t r) { return rows_[r]; }
+
+  bool get(std::size_t r, std::size_t c) const { return rows_[r].get(c); }
+  void set(std::size_t r, std::size_t c, bool value = true) {
+    rows_[r].set(c, value);
+  }
+
+  /// Appends a row; the row's size must match `cols()` (or defines it if
+  /// the matrix is still empty).
+  void append_row(BitVec row);
+
+  /// Appends all rows of `other` (same width required).
+  void append_rows(const BitMatrix& other);
+
+  /// Extracts column `c` as a `BitVec` of length `rows()`.
+  BitVec column(std::size_t c) const;
+
+  BitMatrix transposed() const;
+
+  /// Matrix-vector product `A * v` (v has length `cols()`, result length
+  /// `rows()`). For a check matrix this is the syndrome map.
+  BitVec multiply(const BitVec& v) const;
+
+  /// Matrix-matrix product `A * B`.
+  BitMatrix multiply(const BitMatrix& other) const;
+
+  /// XORs row `src` into row `dst`.
+  void add_row_to(std::size_t src, std::size_t dst);
+
+  void swap_rows(std::size_t a, std::size_t b);
+
+  /// Removes rows that are all-zero.
+  void remove_zero_rows();
+
+  bool operator==(const BitMatrix& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+}  // namespace ftsp::f2

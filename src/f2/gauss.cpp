@@ -1,0 +1,128 @@
+#include "f2/gauss.hpp"
+
+#include <cassert>
+
+namespace ftsp::f2 {
+
+RrefResult rref(const BitMatrix& m) {
+  RrefResult result;
+  result.reduced = m;
+  BitMatrix& a = result.reduced;
+  const std::size_t n_rows = a.rows();
+  const std::size_t n_cols = a.cols();
+
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < n_cols && pivot_row < n_rows; ++col) {
+    std::size_t sel = n_rows;
+    for (std::size_t r = pivot_row; r < n_rows; ++r) {
+      if (a.get(r, col)) {
+        sel = r;
+        break;
+      }
+    }
+    if (sel == n_rows) {
+      continue;
+    }
+    a.swap_rows(pivot_row, sel);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      if (r != pivot_row && a.get(r, col)) {
+        a.add_row_to(pivot_row, r);
+      }
+    }
+    result.pivots.push_back(col);
+    ++pivot_row;
+  }
+  return result;
+}
+
+std::size_t rank(const BitMatrix& m) { return rref(m).pivots.size(); }
+
+std::vector<BitVec> kernel_basis(const BitMatrix& m) {
+  const auto r = rref(m);
+  const std::size_t n_cols = m.cols();
+  std::vector<bool> is_pivot(n_cols, false);
+  for (std::size_t p : r.pivots) {
+    is_pivot[p] = true;
+  }
+
+  std::vector<BitVec> basis;
+  for (std::size_t free_col = 0; free_col < n_cols; ++free_col) {
+    if (is_pivot[free_col]) {
+      continue;
+    }
+    BitVec v(n_cols);
+    v.set(free_col);
+    // Each pivot variable is determined by the free column's entry in the
+    // corresponding reduced row.
+    for (std::size_t i = 0; i < r.pivots.size(); ++i) {
+      if (r.reduced.get(i, free_col)) {
+        v.set(r.pivots[i]);
+      }
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::optional<BitVec> solve(const BitMatrix& m, const BitVec& b) {
+  assert(b.size() == m.rows());
+  // Eliminate on the augmented matrix [m | b].
+  BitMatrix aug(m.rows(), m.cols() + 1);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    aug.row(r) = BitVec(m.cols() + 1);
+    for (std::size_t c : m.row(r).ones()) {
+      aug.row(r).set(c);
+    }
+    if (b.get(r)) {
+      aug.row(r).set(m.cols());
+    }
+  }
+  const auto red = rref(aug);
+  BitVec x(m.cols());
+  for (std::size_t i = 0; i < red.pivots.size(); ++i) {
+    if (red.pivots[i] == m.cols()) {
+      return std::nullopt;  // Row (0 ... 0 | 1): inconsistent.
+    }
+    if (red.reduced.get(i, m.cols())) {
+      x.set(red.pivots[i]);
+    }
+  }
+  return x;
+}
+
+bool in_row_span(const BitMatrix& m, const BitVec& v) {
+  const auto r = rref(m);
+  return reduce_against(v, r.reduced, r.pivots).none();
+}
+
+BitVec reduce_against(const BitVec& v, const BitMatrix& basis_rref,
+                      const std::vector<std::size_t>& pivots) {
+  BitVec reduced = v;
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    if (reduced.get(pivots[i])) {
+      reduced ^= basis_rref.row(i);
+    }
+  }
+  return reduced;
+}
+
+std::vector<std::size_t> independent_rows(const BitMatrix& m) {
+  std::vector<std::size_t> chosen;
+  BitMatrix accumulated;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (!m.row(r).any()) {
+      continue;
+    }
+    if (accumulated.empty() || !in_row_span(accumulated, m.row(r))) {
+      accumulated.append_row(m.row(r));
+      chosen.push_back(r);
+    }
+  }
+  return chosen;
+}
+
+std::optional<BitVec> express_in_rows(const BitMatrix& m, const BitVec& v) {
+  return solve(m.transposed(), v);
+}
+
+}  // namespace ftsp::f2

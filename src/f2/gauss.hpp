@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "f2/bit_matrix.hpp"
+#include "f2/bit_vec.hpp"
+
+namespace ftsp::f2 {
+
+/// Result of reduced-row-echelon-form elimination.
+struct RrefResult {
+  BitMatrix reduced;               ///< RREF of the input (zero rows kept).
+  std::vector<std::size_t> pivots; ///< Pivot column of each nonzero row.
+};
+
+/// Computes the reduced row echelon form of `m`.
+RrefResult rref(const BitMatrix& m);
+
+/// Rank of `m`.
+std::size_t rank(const BitMatrix& m);
+
+/// A basis of the right kernel: all `v` with `m * v = 0`.
+/// Returns one `BitVec` (length `cols`) per kernel dimension.
+std::vector<BitVec> kernel_basis(const BitMatrix& m);
+
+/// Solves `m * x = b` for one solution, or nullopt if inconsistent.
+std::optional<BitVec> solve(const BitMatrix& m, const BitVec& b);
+
+/// True iff `v` lies in the row space of `m`.
+bool in_row_span(const BitMatrix& m, const BitVec& v);
+
+/// Reduces `v` against the RREF rows of `basis_rref` (pivot columns
+/// `pivots`), yielding the canonical coset representative of `v` modulo the
+/// row space. Two vectors are in the same coset iff their reductions agree.
+BitVec reduce_against(const BitVec& v, const BitMatrix& basis_rref,
+                      const std::vector<std::size_t>& pivots);
+
+/// Returns a subset of row indices of `m` forming a basis of its row space
+/// (greedy, in row order).
+std::vector<std::size_t> independent_rows(const BitMatrix& m);
+
+/// Expresses `v` as a combination of the rows of `m`, i.e. finds `c` with
+/// `m^T * c = v` (c has length `m.rows()`), or nullopt if `v` is not in the
+/// row span.
+std::optional<BitVec> express_in_rows(const BitMatrix& m, const BitVec& v);
+
+}  // namespace ftsp::f2

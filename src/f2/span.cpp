@@ -1,0 +1,84 @@
+#include "f2/span.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "f2/gauss.hpp"
+
+namespace ftsp::f2 {
+
+namespace {
+constexpr std::size_t kMaxSpanDimension = 24;
+}  // namespace
+
+RowSpan::RowSpan(const BitMatrix& m) : vector_size_(m.cols()) {
+  auto red = rref(m);
+  pivots_ = red.pivots;
+  red.reduced.remove_zero_rows();
+  basis_ = std::move(red.reduced);
+
+  const std::size_t dim = basis_.rows();
+  if (dim > kMaxSpanDimension) {
+    throw std::length_error("RowSpan: span too large to materialize");
+  }
+  const std::size_t count = std::size_t{1} << dim;
+  elements_.reserve(count);
+  BitVec current(vector_size_);
+  elements_.push_back(current);
+  for (std::size_t i = 1; i < count; ++i) {
+    // Gray code: element i differs from i-1 in basis row ctz(i).
+    const auto flip = static_cast<std::size_t>(std::countr_zero(i));
+    current ^= basis_.row(flip);
+    elements_.push_back(current);
+  }
+}
+
+bool RowSpan::contains(const BitVec& v) const {
+  if (basis_.empty()) {
+    return v.none();
+  }
+  return reduce_against(v, basis_, pivots_).none();
+}
+
+BitVec RowSpan::coset_canonical(const BitVec& v) const {
+  if (basis_.empty()) {
+    return v;
+  }
+  return reduce_against(v, basis_, pivots_);
+}
+
+std::size_t RowSpan::coset_min_weight(const BitVec& v) const {
+  assert(v.size() == vector_size_);
+  std::size_t best = v.size() + 1;
+  for (const auto& s : elements_) {
+    const std::size_t w = (v ^ s).popcount();
+    if (w < best) {
+      best = w;
+      if (best == 0) {
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+BitVec RowSpan::coset_min_representative(const BitVec& v) const {
+  assert(v.size() == vector_size_);
+  std::size_t best = v.size() + 1;
+  BitVec best_vec = v;
+  for (const auto& s : elements_) {
+    BitVec candidate = v ^ s;
+    const std::size_t w = candidate.popcount();
+    if (w < best) {
+      best = w;
+      best_vec = std::move(candidate);
+      if (best == 0) {
+        break;
+      }
+    }
+  }
+  return best_vec;
+}
+
+}  // namespace ftsp::f2

@@ -1,0 +1,78 @@
+#include "qec/code_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "f2/bit_matrix.hpp"
+
+namespace ftsp::qec {
+
+namespace {
+
+std::string strip(const std::string& line) {
+  const auto begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+CssCode read_css_code(std::istream& in) {
+  std::string name = "unnamed";
+  f2::BitMatrix hx;
+  f2::BitMatrix hz;
+  f2::BitMatrix* current = nullptr;
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = strip(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("name:", 0) == 0) {
+      name = strip(line.substr(5));
+      continue;
+    }
+    if (line == "hx:") {
+      current = &hx;
+      continue;
+    }
+    if (line == "hz:") {
+      current = &hz;
+      continue;
+    }
+    if (current == nullptr) {
+      throw std::invalid_argument(
+          "read_css_code: row before any 'hx:'/'hz:' section");
+    }
+    current->append_row(f2::BitVec::from_string(line));
+  }
+  if (hx.empty() || hz.empty()) {
+    throw std::invalid_argument("read_css_code: missing hx or hz rows");
+  }
+  return CssCode(name, hx, hz);
+}
+
+CssCode parse_css_code(const std::string& text) {
+  std::istringstream in(text);
+  return read_css_code(in);
+}
+
+std::string write_css_code(const CssCode& code) {
+  std::ostringstream out;
+  out << "name: " << code.name() << '\n';
+  out << "hx:\n";
+  for (std::size_t r = 0; r < code.hx().rows(); ++r) {
+    out << code.hx().row(r).to_string() << '\n';
+  }
+  out << "hz:\n";
+  for (std::size_t r = 0; r < code.hz().rows(); ++r) {
+    out << code.hz().row(r).to_string() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftsp::qec

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qec/css_code.hpp"
+
+namespace ftsp::qec {
+
+/// Plain-text CSS code format:
+///
+/// ```
+/// name: my-code
+/// hx:
+/// 1100110
+/// 1010101
+/// hz:
+/// 0001111
+/// ```
+///
+/// Rows are '0'/'1' strings (separators '_', ' ' and '.' allowed, see
+/// BitVec::from_string); blank lines and '#' comments are ignored.
+/// Parsing validates the code (CSS condition, independence, k >= 1) via
+/// the CssCode constructor and throws std::invalid_argument on malformed
+/// input.
+CssCode read_css_code(std::istream& in);
+CssCode parse_css_code(const std::string& text);
+
+/// Renders a code in the same format (round-trips through the parser).
+std::string write_css_code(const CssCode& code);
+
+}  // namespace ftsp::qec

@@ -1,0 +1,205 @@
+#include "qec/code_library.hpp"
+
+#include <stdexcept>
+
+#include "f2/bit_matrix.hpp"
+
+namespace ftsp::qec {
+
+using f2::BitMatrix;
+using f2::BitVec;
+
+namespace {
+
+// Instances produced by the SAT code searches in code_search.hpp
+// (deterministic; parameters verified by tests/test_codes.cpp). Each stands
+// in for a paper code whose check matrix is not public; see DESIGN.md.
+const std::vector<std::string> kEleven113Rows = {
+    "10000001011",
+    "01000111110",
+    "00100100011",
+    "00010111101",
+    "00001010011",
+};
+// Note: a *self-dual* [[12,2,4]] CSS code does not exist (our SAT search
+// proves the formula unsatisfiable), so the Carbon stand-in is two-sided.
+const std::vector<std::string> kCarbonHxRows = {
+    "100000011111",
+    "010001101110",
+    "001001111010",
+    "000100100011",
+    "000011010111",
+};
+const std::vector<std::string> kCarbonHzRows = {
+    "101101110000",
+    "100011001000",
+    "110101100100",
+    "111110000010",
+    "111010100001",
+};
+const std::vector<std::string> kSixteen24Rows = {
+    "1000000000001011",
+    "0100000101111101",
+    "0010000000000111",
+    "0001000110100000",
+    "0000100101111110",
+    "0000010111000000",
+    "0000001110010000",
+};
+
+}  // namespace
+
+CssCode steane() {
+  // Qubits on the vertices of the triangular tiling; X and Z generators on
+  // the same three faces (self-dual).
+  const BitMatrix h = BitMatrix::from_strings({
+      "1100110",
+      "1010101",
+      "0001111",
+  });
+  return CssCode("Steane", h, h);
+}
+
+CssCode shor() {
+  const BitMatrix hx = BitMatrix::from_strings({
+      "111111000",
+      "000111111",
+  });
+  const BitMatrix hz = BitMatrix::from_strings({
+      "110000000",
+      "011000000",
+      "000110000",
+      "000011000",
+      "000000110",
+      "000000011",
+  });
+  return CssCode("Shor", hx, hz);
+}
+
+CssCode surface3() {
+  // Rotated surface code on a 3x3 grid (qubits row-major):
+  //   0 1 2
+  //   3 4 5
+  //   6 7 8
+  // Z plaquettes: {0,1,3,4}, {4,5,7,8} and boundary pairs {2,5}, {3,6};
+  // X plaquettes: {1,2,4,5}, {3,4,6,7} and boundary pairs {0,1}, {7,8}.
+  const BitMatrix hx = BitMatrix::from_strings({
+      "011011000",
+      "000110110",
+      "110000000",
+      "000000011",
+  });
+  const BitMatrix hz = BitMatrix::from_strings({
+      "110110000",
+      "000011011",
+      "001001000",
+      "000100100",
+  });
+  return CssCode("Surface_3", hx, hz);
+}
+
+CssCode eleven_1_3() {
+  // Self-dual [[11,1,3]] instance found by the SAT code search
+  // (see code_search.hpp); stands in for Grassl's [[11,1,3]].
+  const BitMatrix h = BitMatrix::from_strings(kEleven113Rows);
+  return CssCode("[[11,1,3]]", h, h);
+}
+
+CssCode tetrahedral() {
+  // Quantum Reed-Muller code [[15,1,3]]: qubits are the nonzero points v of
+  // F2^4 (qubit index v-1). X generators evaluate the coordinate functions
+  // x_i (weight 8); Z generators evaluate x_i and the products x_i x_j.
+  const std::size_t n = 15;
+  BitMatrix hx;
+  for (std::size_t i = 0; i < 4; ++i) {
+    BitVec row(n);
+    for (std::size_t v = 1; v <= n; ++v) {
+      if ((v >> i) & 1U) {
+        row.set(v - 1);
+      }
+    }
+    hx.append_row(row);
+  }
+  BitMatrix hz = hx;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      BitVec row(n);
+      for (std::size_t v = 1; v <= n; ++v) {
+        if (((v >> i) & 1U) != 0 && ((v >> j) & 1U) != 0) {
+          row.set(v - 1);
+        }
+      }
+      hz.append_row(row);
+    }
+  }
+  return CssCode("Tetrahedral", hx, hz);
+}
+
+CssCode hamming15() {
+  // Hamming [15,11,3] check matrix used for both sides (self-dual CSS).
+  const std::size_t n = 15;
+  BitMatrix h;
+  for (std::size_t i = 0; i < 4; ++i) {
+    BitVec row(n);
+    for (std::size_t v = 1; v <= n; ++v) {
+      if ((v >> i) & 1U) {
+        row.set(v - 1);
+      }
+    }
+    h.append_row(row);
+  }
+  return CssCode("Hamming", h, h);
+}
+
+CssCode carbon() {
+  // Two-sided [[12,2,4]] instance found by the SAT code search; stands in
+  // for the Quantinuum "Carbon" code.
+  return CssCode("Carbon", BitMatrix::from_strings(kCarbonHxRows),
+                 BitMatrix::from_strings(kCarbonHzRows));
+}
+
+CssCode sixteen_2_4() {
+  // Self-dual [[16,2,4]] instance found by the SAT code search; stands in
+  // for Grassl's [[16,2,4]].
+  const BitMatrix h = BitMatrix::from_strings(kSixteen24Rows);
+  return CssCode("[[16,2,4]]", h, h);
+}
+
+CssCode tesseract() {
+  // RM(1,4): the all-ones row plus the four coordinate hyperplanes over
+  // the 16 points of F2^4. Self-orthogonal, k = 16 - 10 = 6, d = 4.
+  const std::size_t n = 16;
+  BitMatrix h;
+  BitVec ones(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    ones.set(v);
+  }
+  h.append_row(ones);
+  for (std::size_t i = 0; i < 4; ++i) {
+    BitVec row(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((v >> i) & 1U) {
+        row.set(v);
+      }
+    }
+    h.append_row(row);
+  }
+  return CssCode("Tesseract", h, h);
+}
+
+std::vector<CssCode> all_library_codes() {
+  return {steane(),     shor(),      surface3(),
+          eleven_1_3(), tetrahedral(), hamming15(),
+          carbon(),     sixteen_2_4(), tesseract()};
+}
+
+CssCode library_code_by_name(const std::string& name) {
+  for (auto& code : all_library_codes()) {
+    if (code.name() == name) {
+      return code;
+    }
+  }
+  throw std::invalid_argument("library_code_by_name: unknown code " + name);
+}
+
+}  // namespace ftsp::qec

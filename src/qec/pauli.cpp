@@ -1,0 +1,59 @@
+#include "qec/pauli.hpp"
+
+#include <stdexcept>
+
+namespace ftsp::qec {
+
+Pauli::Pauli(f2::BitVec x_part, f2::BitVec z_part)
+    : x(std::move(x_part)), z(std::move(z_part)) {
+  if (x.size() != z.size()) {
+    throw std::invalid_argument("Pauli: X and Z parts must have equal size");
+  }
+}
+
+Pauli& Pauli::operator*=(const Pauli& o) {
+  x ^= o.x;
+  z ^= o.z;
+  return *this;
+}
+
+std::string Pauli::to_string() const {
+  std::string s(num_qubits(), 'I');
+  for (std::size_t i = 0; i < num_qubits(); ++i) {
+    const bool has_x = x.get(i);
+    const bool has_z = z.get(i);
+    if (has_x && has_z) {
+      s[i] = 'Y';
+    } else if (has_x) {
+      s[i] = 'X';
+    } else if (has_z) {
+      s[i] = 'Z';
+    }
+  }
+  return s;
+}
+
+Pauli Pauli::from_string(const std::string& s) {
+  Pauli p(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case 'I':
+        break;
+      case 'X':
+        p.x.set(i);
+        break;
+      case 'Z':
+        p.z.set(i);
+        break;
+      case 'Y':
+        p.x.set(i);
+        p.z.set(i);
+        break;
+      default:
+        throw std::invalid_argument("Pauli::from_string: invalid character");
+    }
+  }
+  return p;
+}
+
+}  // namespace ftsp::qec

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "f2/bit_vec.hpp"
+
+namespace ftsp::qec {
+
+/// The two Pauli types relevant for CSS codes. A general Pauli is a product
+/// of an X part and a Z part (`Pauli` below); Y acts on a qubit iff both
+/// parts are set there.
+enum class PauliType { X, Z };
+
+/// The opposite type. Errors of type T are detected by measuring
+/// stabilizers of type `other(T)` (they anticommute).
+constexpr PauliType other(PauliType t) {
+  return t == PauliType::X ? PauliType::Z : PauliType::X;
+}
+
+constexpr const char* name(PauliType t) {
+  return t == PauliType::X ? "X" : "Z";
+}
+
+/// An n-qubit Pauli operator modulo phase, in symplectic representation:
+/// bit i of `x` set means an X acting on qubit i, bit i of `z` a Z;
+/// both set means Y.
+struct Pauli {
+  f2::BitVec x;
+  f2::BitVec z;
+
+  Pauli() = default;
+  explicit Pauli(std::size_t n) : x(n), z(n) {}
+  Pauli(f2::BitVec x_part, f2::BitVec z_part);
+
+  std::size_t num_qubits() const { return x.size(); }
+
+  /// Number of qubits acted on non-trivially.
+  std::size_t weight() const { return (x | z).popcount(); }
+
+  bool is_identity() const { return x.none() && z.none(); }
+
+  /// Symplectic product: true iff the two operators commute.
+  bool commutes_with(const Pauli& o) const {
+    return !(x.dot(o.z) != z.dot(o.x));
+  }
+
+  /// Component of the given type as a plain support vector.
+  const f2::BitVec& part(PauliType t) const {
+    return t == PauliType::X ? x : z;
+  }
+  f2::BitVec& part(PauliType t) { return t == PauliType::X ? x : z; }
+
+  /// Multiplies (XORs) `o` into this operator, ignoring phase.
+  Pauli& operator*=(const Pauli& o);
+  friend Pauli operator*(Pauli lhs, const Pauli& rhs) { return lhs *= rhs; }
+
+  bool operator==(const Pauli&) const = default;
+
+  /// Renders like "XIZZY" (qubit 0 first).
+  std::string to_string() const;
+
+  /// Parses a string like "XIZZY" or "X0 Z2" style is not supported;
+  /// only the dense letter form.
+  static Pauli from_string(const std::string& s);
+};
+
+}  // namespace ftsp::qec

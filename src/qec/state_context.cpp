@@ -1,0 +1,18 @@
+#include "qec/state_context.hpp"
+
+namespace ftsp::qec {
+
+StateContext::StateContext(const CssCode& code, LogicalBasis basis)
+    : code_(&code), basis_(basis) {
+  x_generators_ = code.hx();
+  z_generators_ = code.hz();
+  if (basis == LogicalBasis::Zero) {
+    z_generators_.append_rows(code.logical_z());
+  } else {
+    x_generators_.append_rows(code.logical_x());
+  }
+  x_span_ = f2::RowSpan(x_generators_);
+  z_span_ = f2::RowSpan(z_generators_);
+}
+
+}  // namespace ftsp::qec

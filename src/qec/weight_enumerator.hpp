@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/css_code.hpp"
+#include "qec/pauli.hpp"
+
+namespace ftsp::qec {
+
+/// Hamming-weight histogram: `counts[w]` = number of group elements of
+/// weight w. Size is n+1.
+struct WeightDistribution {
+  std::vector<std::uint64_t> counts;
+
+  std::uint64_t total() const;
+  /// Smallest nonzero weight with a nonzero count (0 if only identity).
+  std::size_t min_nonzero_weight() const;
+};
+
+/// Weight distribution of the type-t stabilizer span of the code
+/// (2^r elements, including the identity).
+WeightDistribution stabilizer_weight_distribution(const CssCode& code,
+                                                  PauliType t);
+
+/// Weight distribution of the type-t normalizer (stabilizers plus all
+/// logical cosets of the same type): the kernel of the opposite check
+/// matrix, 2^(r+k) elements.
+WeightDistribution normalizer_weight_distribution(const CssCode& code,
+                                                  PauliType t);
+
+/// The code's type-t distance computed from the enumerators: the minimal
+/// weight in the normalizer that is not attained by a stabilizer coset,
+/// i.e. min weight over N(S) \ S. Cross-validates
+/// `CssCode::distance_x/z` by an independent route.
+std::size_t distance_from_enumerators(const CssCode& code, PauliType t);
+
+}  // namespace ftsp::qec

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace ftsp::sat {
+
+/// Encoding helpers layered on top of `Solver`.
+///
+/// `CnfBuilder` owns nothing; it appends clauses and auxiliary variables to
+/// the solver it wraps. All helpers use standard Tseitin-style encodings so
+/// the resulting formulas stay equisatisfiable and model values of the
+/// returned defined literals are exact.
+class CnfBuilder {
+ public:
+  explicit CnfBuilder(Solver& solver) : solver_(&solver) {}
+
+  Solver& solver() { return *solver_; }
+
+  /// A fresh variable as a positive literal.
+  Lit fresh();
+
+  /// Constant literals (lazily created single-valued variables).
+  Lit constant(bool value);
+
+  /// Returns a literal equivalent to the XOR (parity) of `inputs`.
+  /// Empty input yields constant false. Uses a linear chain of 2-input
+  /// XOR definitions.
+  Lit xor_of(std::span<const Lit> inputs);
+  Lit xor_of(std::initializer_list<Lit> inputs);
+
+  /// Returns a literal equivalent to the AND of `inputs`.
+  /// Empty input yields constant true.
+  Lit and_of(std::span<const Lit> inputs);
+  Lit and_of(std::initializer_list<Lit> inputs);
+
+  /// Returns a literal equivalent to the OR of `inputs`.
+  /// Empty input yields constant false.
+  Lit or_of(std::span<const Lit> inputs);
+  Lit or_of(std::initializer_list<Lit> inputs);
+
+  /// Adds clauses forcing `out <-> a XOR b`.
+  void define_xor2(Lit out, Lit a, Lit b);
+
+  /// Adds clauses forcing `a -> b`.
+  void add_implies(Lit a, Lit b) { solver_->add_binary(~a, b); }
+
+  /// Adds clauses forcing `a <-> b`.
+  void add_equal(Lit a, Lit b);
+
+  /// Adds an at-most-k cardinality constraint over `lits` using the Sinz
+  /// sequential-counter encoding. `k == 0` forces all literals false.
+  void add_at_most_k(std::span<const Lit> lits, std::size_t k);
+
+  /// Adds an at-least-one constraint (a plain clause).
+  void add_at_least_one(std::span<const Lit> lits);
+
+  /// Pairwise at-most-one plus at-least-one.
+  void add_exactly_one(std::span<const Lit> lits);
+
+ private:
+  Solver* solver_;
+  Lit true_lit_ = Lit::undef;
+};
+
+}  // namespace ftsp::sat

@@ -1,0 +1,83 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hpp"
+
+namespace ftsp::sat {
+
+bool CnfFormula::load_into(Solver& solver) const {
+  while (solver.num_vars() < num_vars) {
+    solver.new_var();
+  }
+  bool ok = true;
+  for (const auto& clause : clauses) {
+    ok = solver.add_clause(clause) && ok;
+  }
+  return ok;
+}
+
+CnfFormula parse_dimacs(std::istream& in) {
+  CnfFormula formula;
+  std::string line;
+  bool header_seen = false;
+  std::vector<Lit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, cnf;
+      int clause_count = 0;
+      header >> p >> cnf >> formula.num_vars >> clause_count;
+      if (p != "p" || cnf != "cnf" || formula.num_vars < 0) {
+        throw std::invalid_argument("parse_dimacs: malformed header");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      throw std::invalid_argument("parse_dimacs: clause before header");
+    }
+    std::istringstream tokens(line);
+    long long value = 0;
+    while (tokens >> value) {
+      if (value == 0) {
+        formula.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const auto v = static_cast<Var>(std::abs(value) - 1);
+      if (v >= formula.num_vars) {
+        throw std::invalid_argument("parse_dimacs: variable out of range");
+      }
+      current.push_back(Lit(v, value < 0));
+    }
+  }
+  if (!current.empty()) {
+    throw std::invalid_argument("parse_dimacs: unterminated clause");
+  }
+  return formula;
+}
+
+CnfFormula parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+std::string to_dimacs(const CnfFormula& formula) {
+  std::ostringstream out;
+  out << "p cnf " << formula.num_vars << ' ' << formula.clauses.size()
+      << '\n';
+  for (const auto& clause : formula.clauses) {
+    for (Lit l : clause) {
+      out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace ftsp::sat

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace ftsp::sat {
+
+/// Cumulative search statistics, reset only on construction.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t removed_clauses = 0;
+};
+
+/// A CDCL SAT solver in the MiniSat lineage.
+///
+/// Features: two-watched-literal unit propagation, first-UIP conflict
+/// analysis with recursive clause minimization, VSIDS variable activities
+/// with an indexed heap, phase saving, Luby restarts, activity/LBD-based
+/// learned-clause deletion, and incremental solving under assumptions.
+///
+/// This is the substrate standing in for Z3 in the paper's synthesis flow:
+/// all verification- and correction-circuit synthesis queries are encoded
+/// as CNF (see `CnfBuilder`) and decided here.
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause. Returns false if the formula is now trivially
+  /// unsatisfiable (adding to an UNSAT solver is a no-op).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits);
+
+  /// Convenience single/two/three-literal forms.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Decides satisfiability under the given assumptions.
+  bool solve(std::span<const Lit> assumptions = {});
+  bool solve(std::initializer_list<Lit> assumptions);
+
+  /// Model access; only valid after `solve()` returned true.
+  bool model_value(Var v) const;
+  bool model_value(Lit l) const;
+
+  /// False once the clause database is known unsatisfiable at level 0.
+  bool okay() const { return ok_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// Optional hard limit on conflicts per `solve()` call; 0 = unlimited.
+  /// When the budget is exhausted `solve()` throws `SolveInterrupted`.
+  void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+  struct SolveInterrupted {};
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    int lbd = 0;
+    bool learnt = false;
+    bool removed = false;
+  };
+  using ClauseRef = Clause*;
+
+  struct Watcher {
+    ClauseRef clause;
+    Lit blocker;
+  };
+
+  // --- Assignment state -------------------------------------------------
+  std::vector<LBool> assigns_;          // Current value per variable.
+  std::vector<bool> polarity_;          // Saved phase per variable.
+  std::vector<ClauseRef> reason_;       // Implying clause per variable.
+  std::vector<int> level_;              // Decision level per variable.
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;          // Trail index at each decision level.
+  std::size_t qhead_ = 0;               // Propagation queue head.
+
+  // --- Clause database --------------------------------------------------
+  std::vector<std::unique_ptr<Clause>> clauses_;  // Problem clauses.
+  std::vector<std::unique_ptr<Clause>> learnts_;
+  std::vector<std::vector<Watcher>> watches_;     // Indexed by literal code.
+  double clause_inc_ = 1.0;
+  double max_learnts_factor_ = 0.4;
+
+  // --- Decision heuristic -----------------------------------------------
+  std::vector<double> var_activity_;
+  double var_inc_ = 1.0;
+  std::vector<int> heap_;       // Binary max-heap of variables by activity.
+  std::vector<int> heap_pos_;   // Position of each var in heap_, -1 if out.
+
+  // --- Misc ---------------------------------------------------------------
+  bool ok_ = true;
+  std::vector<bool> model_;
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_toclear_;
+  SolverStats stats_;
+  std::uint64_t conflict_budget_ = 0;
+
+  // --- Internals ----------------------------------------------------------
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  LBool value(Var v) const { return assigns_[v]; }
+  LBool value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
+
+  void attach_clause(ClauseRef c);
+  void detach_clause(ClauseRef c);
+  void unchecked_enqueue(Lit l, ClauseRef from);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+               int& out_btlevel, int& out_lbd);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void var_bump_activity(Var v);
+  void var_decay_activity() { var_inc_ /= 0.95; }
+  void clause_bump_activity(Clause& c);
+  void clause_decay_activity() { clause_inc_ /= 0.999; }
+  void rescale_var_activity();
+  void reduce_db();
+  int compute_lbd(std::span<const Lit> lits);
+
+  // Heap operations.
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+  bool heap_lt(Var a, Var b) const {
+    return var_activity_[a] > var_activity_[b];
+  }
+
+  enum class SearchStatus { Sat, Unsat, Restart };
+  SearchStatus search(std::uint64_t conflicts_allowed,
+                      std::span<const Lit> assumptions);
+};
+
+/// Luby sequence value (1-indexed): 1 1 2 1 1 2 4 ...
+std::uint64_t luby(std::uint64_t i);
+
+}  // namespace ftsp::sat

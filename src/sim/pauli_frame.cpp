@@ -1,0 +1,58 @@
+#include "sim/pauli_frame.hpp"
+
+#include <cassert>
+
+namespace ftsp::sim {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+void apply_gate(PauliFrame& frame, const Gate& gate) {
+  auto& x = frame.error.x;
+  auto& z = frame.error.z;
+  switch (gate.kind) {
+    case GateKind::Cnot:
+      // X on the control copies to the target; Z on the target copies to
+      // the control.
+      if (x.get(gate.q0)) {
+        x.flip(gate.q1);
+      }
+      if (z.get(gate.q1)) {
+        z.flip(gate.q0);
+      }
+      break;
+    case GateKind::H:
+      // H exchanges X and Z.
+      {
+        const bool had_x = x.get(gate.q0);
+        x.set(gate.q0, z.get(gate.q0));
+        z.set(gate.q0, had_x);
+      }
+      break;
+    case GateKind::PrepZ:
+    case GateKind::PrepX:
+      x.set(gate.q0, false);
+      z.set(gate.q0, false);
+      break;
+    case GateKind::MeasZ:
+      assert(gate.cbit >= 0);
+      frame.outcomes[static_cast<std::size_t>(gate.cbit)] =
+          frame.outcomes[static_cast<std::size_t>(gate.cbit)] ^
+          x.get(gate.q0);
+      break;
+    case GateKind::MeasX:
+      assert(gate.cbit >= 0);
+      frame.outcomes[static_cast<std::size_t>(gate.cbit)] =
+          frame.outcomes[static_cast<std::size_t>(gate.cbit)] ^
+          z.get(gate.q0);
+      break;
+  }
+}
+
+void apply_circuit(PauliFrame& frame, const circuit::Circuit& c) {
+  for (const Gate& g : c.gates()) {
+    apply_gate(frame, g);
+  }
+}
+
+}  // namespace ftsp::sim

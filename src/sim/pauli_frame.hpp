@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qec/pauli.hpp"
+
+namespace ftsp::sim {
+
+/// Pauli-frame state for exact fault propagation through Clifford circuits.
+///
+/// Every circuit synthesized here prepares a stabilizer state and measures
+/// stabilizers of it, so all noiseless measurement outcomes are
+/// deterministic (+1). Noise is a set of Pauli faults; their effect is
+/// fully captured by propagating the accumulated Pauli `error` through the
+/// circuit and recording, per measurement, whether the outcome is flipped
+/// relative to the noiseless reference. This makes the frame simulation
+/// *exact*, not an approximation (cross-validated against the full
+/// stabilizer tableau simulator in the tests).
+struct PauliFrame {
+  qec::Pauli error;            ///< Accumulated Pauli on all qubits.
+  std::vector<bool> outcomes;  ///< Per classical bit: flipped vs. noiseless?
+
+  explicit PauliFrame(const circuit::Circuit& c)
+      : error(c.num_qubits()), outcomes(c.num_cbits(), false) {}
+  PauliFrame(std::size_t num_qubits, std::size_t num_cbits)
+      : error(num_qubits), outcomes(num_cbits, false) {}
+};
+
+/// Advances the frame across one gate (conjugation of the error by the
+/// gate; resets clear the error, measurements record flips).
+void apply_gate(PauliFrame& frame, const circuit::Gate& gate);
+
+/// Runs a whole circuit (convenience for fault-free propagation).
+void apply_circuit(PauliFrame& frame, const circuit::Circuit& c);
+
+}  // namespace ftsp::sim

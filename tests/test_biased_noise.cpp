@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/protocol.hpp"
+#include "core/samplers.hpp"
+#include "qec/code_library.hpp"
+#include "sim/faults.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+using sim::LocationKind;
+using sim::NoiseParams;
+
+TEST(NoiseParams, E11IsUniform) {
+  const auto params = NoiseParams::e1_1(0.01);
+  for (double rate : params.rates) {
+    EXPECT_DOUBLE_EQ(rate, 0.01);
+  }
+}
+
+TEST(NoiseParams, LocationKindMapping) {
+  EXPECT_EQ(sim::location_kind(circuit::GateKind::Cnot),
+            LocationKind::TwoQubit);
+  EXPECT_EQ(sim::location_kind(circuit::GateKind::H),
+            LocationKind::OneQubit);
+  EXPECT_EQ(sim::location_kind(circuit::GateKind::PrepZ),
+            LocationKind::Init);
+  EXPECT_EQ(sim::location_kind(circuit::GateKind::PrepX),
+            LocationKind::Init);
+  EXPECT_EQ(sim::location_kind(circuit::GateKind::MeasZ),
+            LocationKind::Measurement);
+  EXPECT_EQ(sim::location_kind(circuit::GateKind::MeasX),
+            LocationKind::Measurement);
+}
+
+class BiasedNoiseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    protocol_ = synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+    executor_ = std::make_unique<Executor>(protocol_);
+    decoder_ = std::make_unique<decoder::PerfectDecoder>(*protocol_.code);
+  }
+  Protocol protocol_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<decoder::PerfectDecoder> decoder_;
+};
+
+TEST_F(BiasedNoiseTest, ZeroRateKindNeverFaults) {
+  // Only CNOT faults enabled: measurement/init/1q fault counters stay 0.
+  const auto q = NoiseParams::biased(0.0, 0.2, 0.0, 0.0);
+  const auto batch =
+      sample_protocol_batch(*executor_, *decoder_, q, 500, 11);
+  for (const auto& t : batch.trajectories) {
+    EXPECT_EQ(t.faults[static_cast<std::size_t>(LocationKind::OneQubit)],
+              0u);
+    EXPECT_EQ(
+        t.faults[static_cast<std::size_t>(LocationKind::Measurement)],
+        0u);
+    EXPECT_EQ(t.faults[static_cast<std::size_t>(LocationKind::Init)], 0u);
+  }
+}
+
+TEST_F(BiasedNoiseTest, MeasurementOnlyNoiseIsHarmless) {
+  // Pure measurement noise can trigger verifications but never leaves a
+  // data error: the logical error rate must be exactly zero (recoveries
+  // for bare-flip classes are weight-<=1 and correctable).
+  const auto q = NoiseParams::biased(0.0, 0.0, 0.3, 0.0);
+  const auto batch =
+      sample_protocol_batch(*executor_, *decoder_, q, 3000, 13);
+  const auto estimate = estimate_logical_rate({batch}, q);
+  EXPECT_LT(estimate.mean, 1e-3);
+}
+
+TEST_F(BiasedNoiseTest, ReweightingAcrossBiasAgreesWithDirect) {
+  // Sample under uniform elevated noise, re-weight to a CNOT-biased
+  // target; compare against directly sampling the biased target.
+  const auto target = NoiseParams::biased(0.002, 0.04, 0.01, 0.002);
+  const auto direct_batch =
+      sample_protocol_batch(*executor_, *decoder_, target, 30000, 17);
+  const auto is_batch = sample_protocol_batch(
+      *executor_, *decoder_, NoiseParams::e1_1(0.05), 30000, 18);
+  const auto direct = estimate_logical_rate({direct_batch}, target);
+  const auto reweighted = estimate_logical_rate({is_batch}, target);
+  const double sigma =
+      4.0 * (direct.std_error + reweighted.std_error) + 1e-9;
+  EXPECT_NEAR(direct.mean, reweighted.mean, sigma);
+}
+
+TEST_F(BiasedNoiseTest, TwoQubitNoiseDominatesLogicalFailures) {
+  // At equal rates, CNOT locations dominate both in count and in spread
+  // errors; gate-only noise must produce a higher logical rate than
+  // init-only noise at the same strength.
+  const auto gates = NoiseParams::biased(0.0, 0.03, 0.0, 0.0);
+  const auto inits = NoiseParams::biased(0.0, 0.0, 0.0, 0.03);
+  const auto gate_batch =
+      sample_protocol_batch(*executor_, *decoder_, gates, 20000, 19);
+  const auto init_batch =
+      sample_protocol_batch(*executor_, *decoder_, inits, 20000, 20);
+  EXPECT_GT(estimate_logical_rate({gate_batch}, gates).mean,
+            estimate_logical_rate({init_batch}, inits).mean);
+}
+
+TEST_F(BiasedNoiseTest, ImpossibleTargetGetsZeroWeight) {
+  // Trajectories with CNOT faults have zero probability under a target
+  // with p2 = 0; the estimator must not produce NaN or infinity.
+  const auto batch = sample_protocol_batch(
+      *executor_, *decoder_, NoiseParams::e1_1(0.1), 5000, 23);
+  const auto target = NoiseParams::biased(0.01, 0.0, 0.01, 0.01);
+  const auto estimate = estimate_logical_rate({batch}, target);
+  EXPECT_TRUE(std::isfinite(estimate.mean));
+  EXPECT_TRUE(std::isfinite(estimate.std_error));
+}
+
+}  // namespace
+}  // namespace ftsp::core

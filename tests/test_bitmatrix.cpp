@@ -1,0 +1,128 @@
+#include "f2/bit_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsp::f2 {
+namespace {
+
+TEST(BitMatrix, ZeroConstructed) {
+  const BitMatrix m(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(m.row(r).none());
+  }
+}
+
+TEST(BitMatrix, FromStringsParsesRows) {
+  const auto m = BitMatrix::from_strings({"101", "010"});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_TRUE(m.get(1, 1));
+}
+
+TEST(BitMatrix, FromStringsRejectsWidthMismatch) {
+  EXPECT_THROW(BitMatrix::from_strings({"101", "01"}),
+               std::invalid_argument);
+}
+
+TEST(BitMatrix, IdentityHasUnitRows) {
+  const auto id = BitMatrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(id.row(i).popcount(), 1u);
+    EXPECT_TRUE(id.get(i, i));
+  }
+}
+
+TEST(BitMatrix, AppendRowDefinesWidth) {
+  BitMatrix m;
+  m.append_row(BitVec::from_string("0110"));
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_THROW(m.append_row(BitVec(3)), std::invalid_argument);
+}
+
+TEST(BitMatrix, AppendRowsConcatenates) {
+  auto a = BitMatrix::from_strings({"10", "01"});
+  const auto b = BitMatrix::from_strings({"11"});
+  a.append_rows(b);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.row(2).to_string(), "11");
+}
+
+TEST(BitMatrix, ColumnExtracts) {
+  const auto m = BitMatrix::from_strings({"10", "11", "01"});
+  EXPECT_EQ(m.column(0).to_string(), "110");
+  EXPECT_EQ(m.column(1).to_string(), "011");
+}
+
+TEST(BitMatrix, TransposeSwapsShape) {
+  const auto m = BitMatrix::from_strings({"101", "010"});
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m.get(r, c), t.get(c, r));
+    }
+  }
+}
+
+TEST(BitMatrix, MultiplyVectorIsSyndromeMap) {
+  const auto m = BitMatrix::from_strings({"110", "011"});
+  EXPECT_EQ(m.multiply(BitVec::from_string("100")).to_string(), "10");
+  EXPECT_EQ(m.multiply(BitVec::from_string("010")).to_string(), "11");
+  EXPECT_EQ(m.multiply(BitVec::from_string("111")).to_string(), "00");
+}
+
+TEST(BitMatrix, MultiplyVectorChecksSize) {
+  const auto m = BitMatrix::from_strings({"110"});
+  EXPECT_THROW(m.multiply(BitVec(2)), std::invalid_argument);
+}
+
+TEST(BitMatrix, MultiplyMatrixMatchesManual) {
+  const auto a = BitMatrix::from_strings({"11", "01"});
+  const auto b = BitMatrix::from_strings({"10", "11"});
+  const auto ab = a.multiply(b);
+  // [1 1][1 0]   [0 1]
+  // [0 1][1 1] = [1 1]
+  EXPECT_EQ(ab.row(0).to_string(), "01");
+  EXPECT_EQ(ab.row(1).to_string(), "11");
+}
+
+TEST(BitMatrix, MultiplyShapeMismatchThrows) {
+  const auto a = BitMatrix::from_strings({"11"});
+  const auto b = BitMatrix::from_strings({"10"});
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(BitMatrix, AddRowToXors) {
+  auto m = BitMatrix::from_strings({"110", "011"});
+  m.add_row_to(0, 1);
+  EXPECT_EQ(m.row(1).to_string(), "101");
+  EXPECT_EQ(m.row(0).to_string(), "110");
+}
+
+TEST(BitMatrix, SwapRows) {
+  auto m = BitMatrix::from_strings({"10", "01"});
+  m.swap_rows(0, 1);
+  EXPECT_EQ(m.row(0).to_string(), "01");
+  EXPECT_EQ(m.row(1).to_string(), "10");
+}
+
+TEST(BitMatrix, RemoveZeroRows) {
+  auto m = BitMatrix::from_strings({"00", "01", "00", "11"});
+  m.remove_zero_rows();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.row(0).to_string(), "01");
+  EXPECT_EQ(m.row(1).to_string(), "11");
+}
+
+TEST(BitMatrix, EqualityIsStructural) {
+  EXPECT_EQ(BitMatrix::from_strings({"10"}), BitMatrix::from_strings({"10"}));
+  EXPECT_NE(BitMatrix::from_strings({"10"}), BitMatrix::from_strings({"01"}));
+}
+
+}  // namespace
+}  // namespace ftsp::f2

@@ -1,0 +1,178 @@
+#include "f2/bit_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ftsp::f2 {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ConstructedZeroed) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) {
+    EXPECT_FALSE(v.get(i));
+  }
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, InitializerListSetsBits) {
+  BitVec v(10, {0, 3, 9});
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(9));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, SetAndClearBit) {
+  BitVec v(70);
+  v.set(64);
+  EXPECT_TRUE(v.get(64));
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVec, FlipTogglesBit) {
+  BitVec v(5);
+  v.flip(2);
+  EXPECT_TRUE(v.get(2));
+  v.flip(2);
+  EXPECT_FALSE(v.get(2));
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v(100, {1, 50, 99});
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, FromStringParsesBits) {
+  const BitVec v = BitVec::from_string("0110");
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVec, FromStringSkipsSeparators) {
+  const BitVec v = BitVec::from_string("01_10 1.1");
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVec, ToStringRoundTrips) {
+  const std::string s = "101001110";
+  EXPECT_EQ(BitVec::from_string(s).to_string(), s);
+}
+
+TEST(BitVec, XorIsBitwise) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+}
+
+TEST(BitVec, AndIsBitwise) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+}
+
+TEST(BitVec, OrIsBitwise) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a | b).to_string(), "1110");
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(4);
+  const BitVec b(5);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+}
+
+TEST(BitVec, DotIsParityOfOverlap) {
+  const BitVec a = BitVec::from_string("1110");
+  const BitVec b = BitVec::from_string("1100");
+  EXPECT_FALSE(a.dot(b));  // Overlap 2: even.
+  const BitVec c = BitVec::from_string("1000");
+  EXPECT_TRUE(a.dot(c));  // Overlap 1: odd.
+}
+
+TEST(BitVec, DotAcrossWordBoundary) {
+  BitVec a(130);
+  BitVec b(130);
+  a.set(5);
+  a.set(128);
+  b.set(128);
+  EXPECT_TRUE(a.dot(b));
+  b.set(5);
+  EXPECT_FALSE(a.dot(b));
+}
+
+TEST(BitVec, LowestSet) {
+  BitVec v(100);
+  EXPECT_EQ(v.lowest_set(), 100u);
+  v.set(77);
+  EXPECT_EQ(v.lowest_set(), 77u);
+  v.set(3);
+  EXPECT_EQ(v.lowest_set(), 3u);
+}
+
+TEST(BitVec, OnesListsIndicesAscending) {
+  const BitVec v(70, {69, 0, 33});
+  const std::vector<std::size_t> expected = {0, 33, 69};
+  EXPECT_EQ(v.ones(), expected);
+}
+
+TEST(BitVec, LexLessOrdersAsInteger) {
+  const BitVec a = BitVec::from_string("0100");  // 2
+  const BitVec b = BitVec::from_string("0010");  // 4
+  EXPECT_TRUE(a.lex_less(b));
+  EXPECT_FALSE(b.lex_less(a));
+  EXPECT_FALSE(a.lex_less(a));
+}
+
+TEST(BitVec, EqualityComparesContent) {
+  EXPECT_EQ(BitVec::from_string("101"), BitVec::from_string("101"));
+  EXPECT_NE(BitVec::from_string("101"), BitVec::from_string("100"));
+  EXPECT_NE(BitVec(3), BitVec(4));
+}
+
+TEST(BitVec, HashDistinguishesTypicalVectors) {
+  std::unordered_set<std::size_t> hashes;
+  for (int i = 0; i < 64; ++i) {
+    BitVec v(12);
+    for (int b = 0; b < 6; ++b) {
+      if ((i >> b) & 1) {
+        v.set(static_cast<std::size_t>(2 * b));
+      }
+    }
+    hashes.insert(v.hash());
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(BitVec, PopcountAcrossManyWords) {
+  BitVec v(256);
+  for (std::size_t i = 0; i < 256; i += 3) {
+    v.set(i);
+  }
+  EXPECT_EQ(v.popcount(), 86u);
+}
+
+}  // namespace
+}  // namespace ftsp::f2

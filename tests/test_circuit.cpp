@@ -1,0 +1,106 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsp::circuit {
+namespace {
+
+TEST(Circuit, StartsEmpty) {
+  const Circuit c(3);
+  EXPECT_EQ(c.num_qubits(), 3u);
+  EXPECT_EQ(c.num_cbits(), 0u);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.depth(), 0u);
+}
+
+TEST(Circuit, AppendGates) {
+  Circuit c(3);
+  c.prep_z(0);
+  c.prep_x(1);
+  c.h(2);
+  c.cnot(1, 0);
+  EXPECT_EQ(c.gate_count(), 4u);
+  EXPECT_EQ(c.cnot_count(), 1u);
+  EXPECT_EQ(c.gates()[3].kind, GateKind::Cnot);
+  EXPECT_EQ(c.gates()[3].q0, 1u);
+  EXPECT_EQ(c.gates()[3].q1, 0u);
+}
+
+TEST(Circuit, MeasurementsAllocateClassicalBits) {
+  Circuit c(2);
+  const int b0 = c.measure_z(0);
+  const int b1 = c.measure_x(1);
+  EXPECT_EQ(b0, 0);
+  EXPECT_EQ(b1, 1);
+  EXPECT_EQ(c.num_cbits(), 2u);
+  EXPECT_TRUE(c.gates()[0].is_measurement());
+}
+
+TEST(Circuit, QubitRangeChecked) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), std::out_of_range);
+  EXPECT_THROW(c.cnot(0, 5), std::out_of_range);
+}
+
+TEST(Circuit, CnotRejectsSameQubit) {
+  Circuit c(2);
+  EXPECT_THROW(c.cnot(1, 1), std::invalid_argument);
+}
+
+TEST(Circuit, AddQubitExtendsRegister) {
+  Circuit c(2);
+  const std::size_t anc = c.add_qubit();
+  EXPECT_EQ(anc, 2u);
+  EXPECT_EQ(c.num_qubits(), 3u);
+  c.cnot(0, anc);  // Now valid.
+  EXPECT_EQ(c.cnot_count(), 1u);
+}
+
+TEST(Circuit, AppendRenumbersClassicalBits) {
+  Circuit a(2);
+  a.measure_z(0);
+  Circuit b(2);
+  b.measure_z(1);
+  b.measure_x(0);
+  const int offset = a.append(b);
+  EXPECT_EQ(offset, 1);
+  EXPECT_EQ(a.num_cbits(), 3u);
+  EXPECT_EQ(a.gates()[1].cbit, 1);
+  EXPECT_EQ(a.gates()[2].cbit, 2);
+}
+
+TEST(Circuit, AppendRejectsWiderCircuit) {
+  Circuit a(2);
+  const Circuit b(3);
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(Circuit, DepthTracksQubitChains) {
+  Circuit c(3);
+  c.h(0);         // depth 1 on q0
+  c.cnot(0, 1);   // depth 2 on q0,q1
+  c.cnot(1, 2);   // depth 3 on q1,q2
+  c.h(0);         // depth 3 on q0
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, DepthParallelGatesDoNotStack) {
+  Circuit c(4);
+  c.cnot(0, 1);
+  c.cnot(2, 3);  // Disjoint: same layer.
+  EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(Circuit, TextRendering) {
+  Circuit c(2);
+  c.prep_z(0);
+  c.cnot(0, 1);
+  c.measure_z(1);
+  const std::string text = c.to_text();
+  EXPECT_NE(text.find("RZ 0"), std::string::npos);
+  EXPECT_NE(text.find("CX 0 1"), std::string::npos);
+  EXPECT_NE(text.find("MZ 1 -> c0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsp::circuit

@@ -1,0 +1,184 @@
+#include "sat/cnf_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftsp::sat {
+namespace {
+
+/// Enumerates all assignments of `inputs` by pinning them with assumptions
+/// and checks `expected` against the model value of `out`.
+void check_truth_table(
+    Solver& solver, const std::vector<Lit>& inputs, Lit out,
+    const std::function<bool(const std::vector<bool>&)>& expected) {
+  const std::size_t n = inputs.size();
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<Lit> assumptions;
+    std::vector<bool> values;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool v = ((mask >> i) & 1u) != 0;
+      values.push_back(v);
+      assumptions.push_back(v ? inputs[i] : ~inputs[i]);
+    }
+    ASSERT_TRUE(solver.solve(assumptions)) << "mask " << mask;
+    EXPECT_EQ(solver.model_value(out), expected(values)) << "mask " << mask;
+  }
+}
+
+TEST(CnfBuilder, ConstantsAreFixed) {
+  Solver s;
+  CnfBuilder cnf(s);
+  const Lit t = cnf.constant(true);
+  const Lit f = cnf.constant(false);
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(t));
+  EXPECT_FALSE(s.model_value(f));
+  EXPECT_EQ(t, ~f);
+}
+
+TEST(CnfBuilder, Xor2TruthTable) {
+  Solver s;
+  CnfBuilder cnf(s);
+  const Lit a = cnf.fresh();
+  const Lit b = cnf.fresh();
+  const Lit out = cnf.fresh();
+  cnf.define_xor2(out, a, b);
+  check_truth_table(s, {a, b}, out, [](const std::vector<bool>& v) {
+    return v[0] != v[1];
+  });
+}
+
+TEST(CnfBuilder, XorOfEmptyIsFalse) {
+  Solver s;
+  CnfBuilder cnf(s);
+  const Lit out = cnf.xor_of({});
+  ASSERT_TRUE(s.solve());
+  EXPECT_FALSE(s.model_value(out));
+}
+
+TEST(CnfBuilder, XorOfSingleIsIdentity) {
+  Solver s;
+  CnfBuilder cnf(s);
+  const Lit a = cnf.fresh();
+  const Lit out = cnf.xor_of({a});
+  EXPECT_EQ(out, a);
+}
+
+TEST(CnfBuilder, XorOfFiveParity) {
+  Solver s;
+  CnfBuilder cnf(s);
+  std::vector<Lit> in;
+  for (int i = 0; i < 5; ++i) {
+    in.push_back(cnf.fresh());
+  }
+  const Lit out = cnf.xor_of(in);
+  check_truth_table(s, in, out, [](const std::vector<bool>& v) {
+    int count = 0;
+    for (bool b : v) {
+      count += b ? 1 : 0;
+    }
+    return (count % 2) == 1;
+  });
+}
+
+TEST(CnfBuilder, AndOfTruthTable) {
+  Solver s;
+  CnfBuilder cnf(s);
+  std::vector<Lit> in = {cnf.fresh(), cnf.fresh(), cnf.fresh()};
+  const Lit out = cnf.and_of(in);
+  check_truth_table(s, in, out, [](const std::vector<bool>& v) {
+    return v[0] && v[1] && v[2];
+  });
+}
+
+TEST(CnfBuilder, AndOfEmptyIsTrue) {
+  Solver s;
+  CnfBuilder cnf(s);
+  const Lit out = cnf.and_of({});
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(out));
+}
+
+TEST(CnfBuilder, OrOfTruthTable) {
+  Solver s;
+  CnfBuilder cnf(s);
+  std::vector<Lit> in = {cnf.fresh(), cnf.fresh(), cnf.fresh()};
+  const Lit out = cnf.or_of(in);
+  check_truth_table(s, in, out, [](const std::vector<bool>& v) {
+    return v[0] || v[1] || v[2];
+  });
+}
+
+TEST(CnfBuilder, ImpliesAndEqual) {
+  Solver s;
+  CnfBuilder cnf(s);
+  const Lit a = cnf.fresh();
+  const Lit b = cnf.fresh();
+  cnf.add_implies(a, b);
+  EXPECT_FALSE(s.solve({a, ~b}));
+  EXPECT_TRUE(s.solve({a, b}));
+  EXPECT_TRUE(s.solve({~a, ~b}));
+
+  const Lit c = cnf.fresh();
+  const Lit d = cnf.fresh();
+  cnf.add_equal(c, d);
+  EXPECT_FALSE(s.solve({c, ~d}));
+  EXPECT_FALSE(s.solve({~c, d}));
+  EXPECT_TRUE(s.solve({c, d}));
+}
+
+/// Exhaustive check of the sequential-counter cardinality encoding for all
+/// (n, k) with n <= 6: satisfiable under exactly the assignments with at
+/// most k bits set.
+class AtMostK : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AtMostK, MatchesPopcount) {
+  const auto [n, k] = GetParam();
+  Solver s;
+  CnfBuilder cnf(s);
+  std::vector<Lit> in;
+  for (int i = 0; i < n; ++i) {
+    in.push_back(cnf.fresh());
+  }
+  cnf.add_at_most_k(in, static_cast<std::size_t>(k));
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<Lit> assumptions;
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      const bool v = ((mask >> i) & 1u) != 0;
+      count += v ? 1 : 0;
+      assumptions.push_back(v ? in[static_cast<std::size_t>(i)]
+                              : ~in[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(s.solve(assumptions), count <= k)
+        << "n=" << n << " k=" << k << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Small, AtMostK,
+    ::testing::Values(std::pair{3, 0}, std::pair{3, 1}, std::pair{3, 2},
+                      std::pair{4, 1}, std::pair{4, 2}, std::pair{5, 2},
+                      std::pair{5, 3}, std::pair{6, 1}, std::pair{6, 4}));
+
+TEST(CnfBuilder, ExactlyOneAllowsSingles) {
+  Solver s;
+  CnfBuilder cnf(s);
+  std::vector<Lit> in = {cnf.fresh(), cnf.fresh(), cnf.fresh(), cnf.fresh()};
+  cnf.add_exactly_one(in);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    std::vector<Lit> assumptions;
+    int count = 0;
+    for (int i = 0; i < 4; ++i) {
+      const bool v = ((mask >> i) & 1u) != 0;
+      count += v ? 1 : 0;
+      assumptions.push_back(v ? in[static_cast<std::size_t>(i)]
+                              : ~in[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(s.solve(assumptions), count == 1) << "mask " << mask;
+  }
+}
+
+}  // namespace
+}  // namespace ftsp::sat

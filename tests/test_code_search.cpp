@@ -1,0 +1,117 @@
+#include "qec/code_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "f2/gauss.hpp"
+
+namespace ftsp::qec {
+namespace {
+
+TEST(SelfDualSearch, FindsSteaneParameters) {
+  // A non-degenerate self-dual [[7,1,3]] exists (the Steane code); the SAT
+  // search must find one.
+  SelfDualSearchOptions opt;
+  opt.n = 7;
+  opt.rows = 3;
+  opt.min_detect_weight = 3;
+  const auto h = find_self_dual_check_matrix(opt);
+  ASSERT_TRUE(h.has_value());
+  const CssCode code("found", *h, *h);
+  EXPECT_EQ(code.num_qubits(), 7u);
+  EXPECT_EQ(code.num_logical(), 1u);
+  EXPECT_GE(code.distance(), 3u);
+}
+
+TEST(SelfDualSearch, ResultIsSelfOrthogonal) {
+  SelfDualSearchOptions opt;
+  opt.n = 8;
+  opt.rows = 3;
+  opt.min_detect_weight = 2;
+  const auto h = find_self_dual_check_matrix(opt);
+  ASSERT_TRUE(h.has_value());
+  for (std::size_t i = 0; i < h->rows(); ++i) {
+    for (std::size_t j = i; j < h->rows(); ++j) {
+      EXPECT_FALSE(h->row(i).dot(h->row(j)));
+    }
+  }
+  EXPECT_EQ(f2::rank(*h), 3u);
+}
+
+TEST(SelfDualSearch, InfeasibleParametersReturnNullopt) {
+  // [[4,0,...]]-style request: rows >= n is rejected up front.
+  SelfDualSearchOptions opt;
+  opt.n = 4;
+  opt.rows = 4;
+  EXPECT_FALSE(find_self_dual_check_matrix(opt).has_value());
+}
+
+TEST(SelfDualSearch, NonDegenerateTwelveTwoFourIsUnsat) {
+  // Documented in DESIGN.md: no self-dual [[12,2,4]] CSS code has dual
+  // distance 4; the solver proves the formula unsatisfiable.
+  SelfDualSearchOptions opt;
+  opt.n = 12;
+  opt.rows = 5;
+  opt.min_detect_weight = 4;
+  EXPECT_FALSE(find_self_dual_check_matrix(opt).has_value());
+}
+
+TEST(SelfDualSearch, ForcedLogicalPinsDistance) {
+  SelfDualSearchOptions opt;
+  opt.n = 11;
+  opt.rows = 5;
+  opt.min_detect_weight = 3;
+  f2::BitVec logical(11);
+  logical.set(8);
+  logical.set(9);
+  logical.set(10);
+  opt.forced_logical = logical;
+  const auto h = find_self_dual_check_matrix(opt);
+  ASSERT_TRUE(h.has_value());
+  const CssCode code("found", *h, *h);
+  EXPECT_EQ(code.distance(), 3u);
+  // The pinned vector is in the kernel but not a stabilizer.
+  EXPECT_TRUE(h->multiply(logical).none());
+  EXPECT_FALSE(f2::in_row_span(*h, logical));
+}
+
+TEST(TwoSidedSearch, FindsTwelveTwoFour) {
+  CssSearchOptions opt;
+  opt.n = 12;
+  opt.rx = 5;
+  opt.rz = 5;
+  opt.min_distance = 4;
+  const auto result = find_css_check_matrices(opt);
+  ASSERT_TRUE(result.has_value());
+  const CssCode code("found", result->hx, result->hz);
+  EXPECT_EQ(code.num_logical(), 2u);
+  EXPECT_EQ(code.distance(), 4u);
+}
+
+TEST(TwoSidedSearch, RejectsDegenerateShapes) {
+  CssSearchOptions opt;
+  opt.n = 6;
+  opt.rx = 3;
+  opt.rz = 3;  // rx + rz == n: no logical qubits.
+  EXPECT_FALSE(find_css_check_matrices(opt).has_value());
+}
+
+TEST(RandomSearch, FindsSmallDistanceTwoCode) {
+  // [[4,2,2]]-like parameters are plentiful; the random search should hit
+  // one quickly.
+  const auto code = random_css_search(/*n=*/4, /*k=*/2, /*rx=*/1,
+                                      /*target_distance=*/2, /*seed=*/7,
+                                      /*max_tries=*/4000);
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(code->num_qubits(), 4u);
+  EXPECT_EQ(code->num_logical(), 2u);
+  EXPECT_EQ(code->distance(), 2u);
+}
+
+TEST(RandomSearch, GivesUpGracefully) {
+  // Impossible target: distance 5 on 5 qubits with k=1.
+  const auto code = random_css_search(5, 1, 2, 5, 11, 50);
+  EXPECT_FALSE(code.has_value());
+}
+
+}  // namespace
+}  // namespace ftsp::qec

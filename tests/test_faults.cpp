@@ -1,0 +1,102 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsp::sim {
+namespace {
+
+using circuit::Circuit;
+
+TEST(Faults, OneSitePerGate) {
+  Circuit c(3);
+  c.prep_z(0);
+  c.h(1);
+  c.cnot(0, 2);
+  c.measure_z(2);
+  const auto sites = enumerate_fault_sites(c);
+  ASSERT_EQ(sites.size(), 4u);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(sites[i].gate_index, i);
+  }
+}
+
+TEST(Faults, CnotHasFifteenOps) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  const auto sites = enumerate_fault_sites(c);
+  EXPECT_EQ(sites[0].ops.size(), 15u);
+  // All distinct and none the identity.
+  for (const auto& op : sites[0].ops) {
+    EXPECT_FALSE(op.flip_outcome);
+    EXPECT_GE(op.num_terms, 1);
+  }
+}
+
+TEST(Faults, HadamardHasThreePaulis) {
+  Circuit c(1);
+  c.h(0);
+  const auto sites = enumerate_fault_sites(c);
+  EXPECT_EQ(sites[0].ops.size(), 3u);
+}
+
+TEST(Faults, PrepFaultFlipsPreparedBasis) {
+  Circuit c(2);
+  c.prep_z(0);
+  c.prep_x(1);
+  const auto sites = enumerate_fault_sites(c);
+  ASSERT_EQ(sites[0].ops.size(), 1u);
+  EXPECT_TRUE(sites[0].ops[0].terms[0].x);   // |1> instead of |0>.
+  EXPECT_FALSE(sites[0].ops[0].terms[0].z);
+  ASSERT_EQ(sites[1].ops.size(), 1u);
+  EXPECT_TRUE(sites[1].ops[0].terms[0].z);   // |-> instead of |+>.
+  EXPECT_FALSE(sites[1].ops[0].terms[0].x);
+}
+
+TEST(Faults, MeasurementFaultFlipsOutcomeOnly) {
+  Circuit c(1);
+  c.measure_z(0);
+  const auto sites = enumerate_fault_sites(c);
+  ASSERT_EQ(sites[0].ops.size(), 1u);
+  EXPECT_TRUE(sites[0].ops[0].flip_outcome);
+  EXPECT_EQ(sites[0].ops[0].num_terms, 0);
+
+  PauliFrame frame(c);
+  apply_gate(frame, c.gates()[0]);
+  apply_fault(frame, sites[0].ops[0], c.gates()[0]);
+  EXPECT_TRUE(frame.outcomes[0]);
+  EXPECT_TRUE(frame.error.is_identity());
+}
+
+TEST(Faults, ApplyTwoQubitFault) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  PauliFrame frame(c);
+  FaultOp op;
+  op.terms[0] = {0, true, false};
+  op.terms[1] = {1, false, true};
+  op.num_terms = 2;
+  apply_fault(frame, op, c.gates()[0]);
+  EXPECT_TRUE(frame.error.x.get(0));
+  EXPECT_TRUE(frame.error.z.get(1));
+}
+
+TEST(Faults, CnotOpsCoverAllPairs) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  const auto sites = enumerate_fault_sites(c);
+  // Count single-qubit vs two-qubit fault operators: 3 + 3 + 9 = 15.
+  std::size_t singles = 0;
+  std::size_t doubles = 0;
+  for (const auto& op : sites[0].ops) {
+    if (op.num_terms == 1) {
+      ++singles;
+    } else if (op.num_terms == 2) {
+      ++doubles;
+    }
+  }
+  EXPECT_EQ(singles, 6u);
+  EXPECT_EQ(doubles, 9u);
+}
+
+}  // namespace
+}  // namespace ftsp::sim

@@ -1,0 +1,118 @@
+#include "core/ft_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+
+/// THE property of the paper (Definition 1 with t = 1): for every library
+/// code, the synthesized deterministic protocol maps every possible single
+/// fault to a residual error of state-reduced weight at most 1, on both
+/// the X and Z side. Exhaustive over all fault locations and operators.
+class FaultToleranceProperty : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(FaultToleranceProperty, ZeroStateProtocolIsStrictlyFaultTolerant) {
+  const auto code = qec::library_code_by_name(GetParam());
+  const auto protocol = synthesize_protocol(code, LogicalBasis::Zero);
+  const auto result = check_fault_tolerance(protocol);
+  EXPECT_GT(result.faults_checked, 0u);
+  EXPECT_TRUE(result.ok) << [&] {
+    std::string all;
+    for (const auto& v : result.violations) {
+      all += v + "\n";
+    }
+    return all;
+  }();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, FaultToleranceProperty,
+    ::testing::Values("Steane", "Shor", "Surface_3", "[[11,1,3]]",
+                      "Tetrahedral", "Hamming", "Carbon", "[[16,2,4]]",
+                      "Tesseract"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+/// The mirrored statement for |+>_L: the first layer verifies Z errors,
+/// hooks are X type, and the same exhaustive guarantee must hold.
+class PlusBasisProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlusBasisProperty, PlusStateProtocolIsStrictlyFaultTolerant) {
+  const auto code = qec::library_code_by_name(GetParam());
+  const auto protocol = synthesize_protocol(code, LogicalBasis::Plus);
+  const auto result = check_fault_tolerance(protocol);
+  EXPECT_GT(result.faults_checked, 0u);
+  EXPECT_TRUE(result.ok) << (result.violations.empty()
+                                 ? std::string()
+                                 : result.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, PlusBasisProperty,
+    ::testing::Values("Steane", "Shor", "Surface_3", "[[11,1,3]]",
+                      "Tetrahedral", "Hamming", "Carbon", "[[16,2,4]]",
+                      "Tesseract"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(FaultToleranceProperty, DeferredFlagPolicyStillFaultTolerant) {
+  SynthesisOptions options;
+  options.flag_policy = FlagPolicy::DeferToNextLayer;
+  for (const char* name : {"Shor", "Carbon"}) {
+    const auto protocol = synthesize_protocol(
+        qec::library_code_by_name(name), LogicalBasis::Zero, options);
+    EXPECT_TRUE(check_fault_tolerance(protocol).ok) << name;
+  }
+}
+
+TEST(FaultToleranceProperty, NakedPrepWithoutCorrectionsViolates) {
+  // Negative control: the bare preparation (protocol with layers stripped)
+  // must NOT be fault-tolerant — otherwise the checker is vacuous.
+  auto protocol = synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  protocol.layer1.reset();
+  protocol.layer2.reset();
+  const auto result = check_fault_tolerance(protocol);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.violations.empty());
+}
+
+TEST(FaultToleranceProperty, VerificationWithoutBranchesViolates) {
+  // Second negative control: keeping the verification but dropping the
+  // correction branches leaves detected-but-uncorrected errors behind.
+  auto protocol = synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  ASSERT_TRUE(protocol.layer1.has_value());
+  protocol.layer1->branches.clear();
+  const auto result = check_fault_tolerance(protocol);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(FaultToleranceProperty, ViolationListIsBounded) {
+  auto protocol = synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  protocol.layer1.reset();
+  const auto result = check_fault_tolerance(protocol, /*max_violations=*/3);
+  EXPECT_FALSE(result.ok);
+  EXPECT_LE(result.violations.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ftsp::core

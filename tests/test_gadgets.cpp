@@ -1,0 +1,133 @@
+#include "circuit/gadgets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsp::circuit {
+namespace {
+
+using f2::BitVec;
+using qec::PauliType;
+
+TEST(Gadgets, ZTypeUnflaggedStructure) {
+  Circuit c(4);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("1011"), PauliType::Z, /*flagged=*/false);
+  EXPECT_EQ(layout.ancilla, 4u);
+  EXPECT_EQ(layout.outcome_bit, 0);
+  EXPECT_EQ(c.num_qubits(), 5u);
+  EXPECT_EQ(c.cnot_count(), 3u);
+  // Data qubits control, ancilla is target.
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::Cnot) {
+      EXPECT_EQ(g.q1, layout.ancilla);
+      EXPECT_NE(g.q0, layout.ancilla);
+    }
+  }
+  // Ancilla prepared in |0> and measured in Z.
+  EXPECT_EQ(c.gates().front().kind, GateKind::PrepZ);
+  EXPECT_EQ(c.gates().back().kind, GateKind::MeasZ);
+}
+
+TEST(Gadgets, XTypeReversesRoles) {
+  Circuit c(4);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("1110"), PauliType::X, /*flagged=*/false);
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::Cnot) {
+      EXPECT_EQ(g.q0, layout.ancilla);  // Ancilla controls.
+    }
+  }
+  EXPECT_EQ(c.gates().front().kind, GateKind::PrepX);
+  EXPECT_EQ(c.gates().back().kind, GateKind::MeasX);
+}
+
+TEST(Gadgets, FlaggedAddsFlagQubitAndTwoCnots) {
+  Circuit c(4);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("1111"), PauliType::Z, /*flagged=*/true);
+  EXPECT_TRUE(layout.flagged);
+  EXPECT_EQ(c.num_qubits(), 6u);  // Data + ancilla + flag.
+  EXPECT_EQ(c.cnot_count(), 6u);  // 4 data + 2 flag couplings.
+  EXPECT_EQ(c.num_cbits(), 2u);
+  EXPECT_NE(layout.flag_bit, layout.outcome_bit);
+  // Flag of a Z-type gadget is prepared in |+> and read in X.
+  std::size_t prep_x_count = 0;
+  std::size_t meas_x_count = 0;
+  for (const Gate& g : c.gates()) {
+    prep_x_count += g.kind == GateKind::PrepX ? 1 : 0;
+    meas_x_count += g.kind == GateKind::MeasX ? 1 : 0;
+  }
+  EXPECT_EQ(prep_x_count, 1u);
+  EXPECT_EQ(meas_x_count, 1u);
+}
+
+TEST(Gadgets, CustomOrderRespected) {
+  Circuit c(4);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("1110"), PauliType::Z, false, {2, 0, 1});
+  std::vector<std::size_t> controls;
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::Cnot) {
+      controls.push_back(g.q0);
+    }
+  }
+  const std::vector<std::size_t> expected = {2, 0, 1};
+  EXPECT_EQ(controls, expected);
+  EXPECT_EQ(layout.order, expected);
+}
+
+TEST(Gadgets, OrderMustMatchSupport) {
+  Circuit c(4);
+  EXPECT_THROW(append_stabilizer_measurement(c, BitVec::from_string("1110"),
+                                             PauliType::Z, false, {0, 1, 3}),
+               std::invalid_argument);
+}
+
+TEST(Gadgets, EmptySupportRejected) {
+  Circuit c(3);
+  EXPECT_THROW(append_stabilizer_measurement(c, BitVec(3), PauliType::Z,
+                                             false),
+               std::invalid_argument);
+}
+
+TEST(Gadgets, FlaggingNeedsWeightThree) {
+  Circuit c(3);
+  EXPECT_THROW(append_stabilizer_measurement(
+                   c, BitVec::from_string("110"), PauliType::Z, true),
+               std::invalid_argument);
+}
+
+TEST(Gadgets, HookErrorsAreSuffixes) {
+  Circuit c(4);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("1111"), PauliType::Z, /*flagged=*/true);
+  const auto hooks = hook_errors(layout, 4);
+  ASSERT_EQ(hooks.size(), 3u);  // Cuts 1, 2, 3 of a weight-4 ladder.
+  EXPECT_EQ(hooks[0].data_error.to_string(), "0111");
+  EXPECT_EQ(hooks[1].data_error.to_string(), "0011");
+  EXPECT_EQ(hooks[2].data_error.to_string(), "0001");
+  // Standard placement: cuts 1..w-2 are caught, the last cut is not
+  // (it is weight 1 and harmless anyway).
+  EXPECT_TRUE(hooks[0].caught_by_flag);
+  EXPECT_TRUE(hooks[1].caught_by_flag);
+  EXPECT_FALSE(hooks[2].caught_by_flag);
+}
+
+TEST(Gadgets, UnflaggedHooksNotCaught) {
+  Circuit c(4);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("1111"), PauliType::Z, /*flagged=*/false);
+  for (const auto& hook : hook_errors(layout, 4)) {
+    EXPECT_FALSE(hook.caught_by_flag);
+  }
+}
+
+TEST(Gadgets, WeightOneHasNoHooks) {
+  Circuit c(2);
+  const auto layout = append_stabilizer_measurement(
+      c, BitVec::from_string("10"), PauliType::Z, false);
+  EXPECT_TRUE(hook_errors(layout, 2).empty());
+}
+
+}  // namespace
+}  // namespace ftsp::circuit

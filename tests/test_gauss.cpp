@@ -1,0 +1,170 @@
+#include "f2/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ftsp::f2 {
+namespace {
+
+TEST(Rref, IdentityIsFixedPoint) {
+  const auto id = BitMatrix::identity(4);
+  const auto r = rref(id);
+  EXPECT_EQ(r.reduced, id);
+  EXPECT_EQ(r.pivots.size(), 4u);
+}
+
+TEST(Rref, ReducesDependentRows) {
+  const auto m = BitMatrix::from_strings({"110", "011", "101"});
+  const auto r = rref(m);
+  EXPECT_EQ(r.pivots.size(), 2u);  // Row 3 = row 1 + row 2.
+}
+
+TEST(Rref, PivotColumnsAreUnitVectors) {
+  const auto m = BitMatrix::from_strings({"1101", "0111", "1010"});
+  const auto r = rref(m);
+  for (std::size_t i = 0; i < r.pivots.size(); ++i) {
+    const auto col = r.reduced.column(r.pivots[i]);
+    EXPECT_EQ(col.popcount(), 1u);
+    EXPECT_TRUE(col.get(i));
+  }
+}
+
+TEST(Rank, MatchesKnownValues) {
+  EXPECT_EQ(rank(BitMatrix::identity(5)), 5u);
+  EXPECT_EQ(rank(BitMatrix(3, 4)), 0u);
+  EXPECT_EQ(rank(BitMatrix::from_strings({"11", "11"})), 1u);
+}
+
+TEST(Kernel, DimensionIsColsMinusRank) {
+  const auto m = BitMatrix::from_strings({"1100", "0110"});
+  const auto kernel = kernel_basis(m);
+  EXPECT_EQ(kernel.size(), 2u);
+  for (const auto& v : kernel) {
+    EXPECT_TRUE(m.multiply(v).none());
+  }
+}
+
+TEST(Kernel, EmptyForInvertibleMatrix) {
+  EXPECT_TRUE(kernel_basis(BitMatrix::identity(3)).empty());
+}
+
+TEST(Kernel, VectorsAreIndependent) {
+  const auto m = BitMatrix::from_strings({"111000", "000111"});
+  const auto kernel = kernel_basis(m);
+  BitMatrix stacked;
+  for (const auto& v : kernel) {
+    stacked.append_row(v);
+  }
+  EXPECT_EQ(rank(stacked), kernel.size());
+}
+
+TEST(Solve, FindsSolutionWhenConsistent) {
+  const auto m = BitMatrix::from_strings({"110", "011"});
+  const BitVec b = BitVec::from_string("10");
+  const auto x = solve(m, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(m.multiply(*x), b);
+}
+
+TEST(Solve, DetectsInconsistency) {
+  // Rows are equal but targets differ.
+  const auto m = BitMatrix::from_strings({"110", "110"});
+  const BitVec b = BitVec::from_string("10");
+  EXPECT_FALSE(solve(m, b).has_value());
+}
+
+TEST(Solve, ZeroTargetGivesZeroishSolution) {
+  const auto m = BitMatrix::from_strings({"101", "011"});
+  const auto x = solve(m, BitVec(2));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(m.multiply(*x).none());
+}
+
+TEST(InRowSpan, DetectsMembership) {
+  const auto m = BitMatrix::from_strings({"1100", "0011"});
+  EXPECT_TRUE(in_row_span(m, BitVec::from_string("1111")));
+  EXPECT_TRUE(in_row_span(m, BitVec(4)));
+  EXPECT_FALSE(in_row_span(m, BitVec::from_string("1000")));
+}
+
+TEST(ReduceAgainst, CanonicalizesCosets) {
+  const auto m = BitMatrix::from_strings({"1100", "0011"});
+  const auto r = rref(m);
+  const BitVec a = BitVec::from_string("1000");
+  const BitVec b = BitVec::from_string("0100");  // a + (1100)
+  EXPECT_EQ(reduce_against(a, r.reduced, r.pivots),
+            reduce_against(b, r.reduced, r.pivots));
+  const BitVec c = BitVec::from_string("0010");
+  EXPECT_NE(reduce_against(a, r.reduced, r.pivots),
+            reduce_against(c, r.reduced, r.pivots));
+}
+
+TEST(IndependentRows, PicksGreedyBasis) {
+  const auto m = BitMatrix::from_strings({"110", "011", "101", "111"});
+  const auto rows = independent_rows(m);
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 1u);
+}
+
+TEST(IndependentRows, SkipsZeroRows) {
+  const auto m = BitMatrix::from_strings({"000", "010"});
+  const auto rows = independent_rows(m);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(ExpressInRows, RecoversCombination) {
+  const auto m = BitMatrix::from_strings({"1100", "0110", "0011"});
+  const BitVec target = BitVec::from_string("1010");  // rows 0 + 1.
+  const auto combo = express_in_rows(m, target);
+  ASSERT_TRUE(combo.has_value());
+  BitVec rebuilt(4);
+  for (std::size_t r : combo->ones()) {
+    rebuilt ^= m.row(r);
+  }
+  EXPECT_EQ(rebuilt, target);
+}
+
+TEST(ExpressInRows, FailsOutsideSpan) {
+  const auto m = BitMatrix::from_strings({"1100"});
+  EXPECT_FALSE(express_in_rows(m, BitVec::from_string("0010")).has_value());
+}
+
+// Property sweep: solve() result always satisfies the system; membership
+// via in_row_span agrees with express_in_rows on random instances.
+class GaussRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussRandomized, SolveAndSpanAgree) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> bit(0, 1);
+  const std::size_t rows = 4 + GetParam() % 3;
+  const std::size_t cols = 6 + GetParam() % 5;
+  BitMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, bit(rng) != 0);
+    }
+  }
+  BitVec v(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    v.set(c, bit(rng) != 0);
+  }
+  EXPECT_EQ(in_row_span(m, v), express_in_rows(m, v).has_value());
+
+  const BitVec s = m.multiply(v);
+  const auto x = solve(m, s);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(m.multiply(*x), s);
+
+  // Rank of [m; m] equals rank of m.
+  BitMatrix doubled = m;
+  doubled.append_rows(m);
+  EXPECT_EQ(rank(doubled), rank(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaussRandomized, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace ftsp::f2

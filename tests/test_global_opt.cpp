@@ -1,0 +1,67 @@
+#include "core/global_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ft_check.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+
+TEST(GlobalOpt, SteaneGlobalMatchesDirectSynthesis) {
+  // The Steane protocol is already unique-optimal; global search must
+  // return the same metrics.
+  const auto direct = compute_metrics(
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero));
+  const auto result = globally_optimize(qec::steane(), LogicalBasis::Zero);
+  EXPECT_GE(result.candidates_explored, 1u);
+  EXPECT_EQ(result.best_metrics.total_verif_ancillas,
+            direct.total_verif_ancillas);
+  EXPECT_EQ(result.best_metrics.total_verif_cnots,
+            direct.total_verif_cnots);
+  EXPECT_LE(result.best_metrics.avg_corr_cnots, direct.avg_corr_cnots);
+}
+
+TEST(GlobalOpt, NeverWorseThanDefault) {
+  for (const char* name : {"Shor", "Surface_3"}) {
+    const auto code = qec::library_code_by_name(name);
+    const auto direct =
+        compute_metrics(synthesize_protocol(code, LogicalBasis::Zero));
+    const auto result = globally_optimize(code, LogicalBasis::Zero);
+    // Lexicographic score comparison.
+    const auto as_tuple = [](const ProtocolMetrics& m) {
+      return std::make_tuple(m.total_verif_ancillas, m.total_verif_cnots,
+                             m.avg_corr_ancillas, m.avg_corr_cnots);
+    };
+    EXPECT_LE(as_tuple(result.best_metrics), as_tuple(direct)) << name;
+  }
+}
+
+TEST(GlobalOpt, BestCandidateIsFaultTolerant) {
+  const auto result = globally_optimize(qec::shor(), LogicalBasis::Zero);
+  EXPECT_TRUE(check_fault_tolerance(result.best).ok);
+}
+
+TEST(GlobalOpt, ExploresMultipleCandidatesWhenAvailable) {
+  GlobalOptOptions options;
+  options.max_layer1_sets = 16;
+  const auto result =
+      globally_optimize(qec::shor(), LogicalBasis::Zero, options);
+  EXPECT_GE(result.candidates_explored, 2u);
+}
+
+TEST(GlobalOpt, FlagPolicyExplorationCanBeDisabled) {
+  GlobalOptOptions with;
+  with.explore_flag_policies = true;
+  GlobalOptOptions without;
+  without.explore_flag_policies = false;
+  const auto a = globally_optimize(qec::shor(), LogicalBasis::Zero, with);
+  const auto b =
+      globally_optimize(qec::shor(), LogicalBasis::Zero, without);
+  EXPECT_GE(a.candidates_explored, b.candidates_explored);
+}
+
+}  // namespace
+}  // namespace ftsp::core

@@ -1,0 +1,162 @@
+#include "decoder/lookup_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qec/code_library.hpp"
+
+namespace ftsp::decoder {
+namespace {
+
+using f2::BitVec;
+using qec::PauliType;
+
+TEST(LookupDecoder, ZeroSyndromeDecodesToIdentity) {
+  const auto code = qec::steane();
+  const LookupDecoder dec(code, PauliType::X);
+  EXPECT_TRUE(dec.decode(BitVec(3)).none());
+}
+
+TEST(LookupDecoder, SingleErrorsDecodeExactly) {
+  for (const auto& code : qec::all_library_codes()) {
+    for (const PauliType t : {PauliType::X, PauliType::Z}) {
+      const LookupDecoder dec(code, t);
+      for (std::size_t q = 0; q < code.num_qubits(); ++q) {
+        BitVec e(code.num_qubits());
+        e.set(q);
+        const BitVec corrected = dec.residual(e);
+        // Residual must be a stabilizer (trivial syndrome, weight-1
+        // decoded exactly for distance >= 3).
+        EXPECT_TRUE(code.syndrome(t, corrected).none())
+            << code.name() << ' ' << name(t) << q;
+        // For d >= 3, a single error is corrected without logical flip.
+        const auto& logicals = code.logicals(other(t));
+        for (std::size_t l = 0; l < logicals.rows(); ++l) {
+          EXPECT_FALSE(corrected.dot(logicals.row(l)))
+              << code.name() << ' ' << name(t) << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(LookupDecoder, DecodedErrorMatchesSyndrome) {
+  const auto code = qec::shor();
+  const LookupDecoder dec(code, PauliType::X);
+  const auto& hz = code.hz();
+  // Every syndrome decodes to an error reproducing it.
+  for (std::size_t s = 0; s < (1u << hz.rows()); ++s) {
+    BitVec syndrome(hz.rows());
+    for (std::size_t b = 0; b < hz.rows(); ++b) {
+      if ((s >> b) & 1u) {
+        syndrome.set(b);
+      }
+    }
+    const BitVec e = dec.decode(syndrome);
+    EXPECT_EQ(hz.multiply(e), syndrome);
+  }
+}
+
+TEST(LookupDecoder, DecodedErrorIsMinimumWeight) {
+  const auto code = qec::steane();
+  const LookupDecoder dec(code, PauliType::X);
+  const auto& hz = code.hz();
+  for (std::size_t s = 1; s < 8; ++s) {
+    BitVec syndrome(3);
+    for (std::size_t b = 0; b < 3; ++b) {
+      if ((s >> b) & 1u) {
+        syndrome.set(b);
+      }
+    }
+    const BitVec e = dec.decode(syndrome);
+    // Brute force the true minimum weight.
+    std::size_t best = 99;
+    for (std::size_t w = 0; w <= 7 && best == 99; ++w) {
+      qec::for_each_weight(7, w, [&](const BitVec& v) {
+        if (hz.multiply(v) == syndrome) {
+          best = w;
+          return false;
+        }
+        return true;
+      });
+    }
+    EXPECT_EQ(e.popcount(), best) << "syndrome " << s;
+  }
+}
+
+TEST(LookupDecoder, SyndromeSizeValidated) {
+  const auto code = qec::steane();
+  const LookupDecoder dec(code, PauliType::X);
+  EXPECT_THROW(dec.decode(BitVec(4)), std::invalid_argument);
+}
+
+TEST(PerfectDecoder, NoErrorNoFlip) {
+  const auto code = qec::steane();
+  const PerfectDecoder dec(code);
+  const auto outcome = dec.decode(qec::Pauli(7));
+  EXPECT_FALSE(outcome.x_flip);
+  EXPECT_FALSE(outcome.z_flip);
+}
+
+TEST(PerfectDecoder, SingleErrorsNeverFlip) {
+  for (const auto& code : qec::all_library_codes()) {
+    const PerfectDecoder dec(code);
+    for (std::size_t q = 0; q < code.num_qubits(); ++q) {
+      for (int kind = 1; kind < 4; ++kind) {
+        qec::Pauli e(code.num_qubits());
+        if (kind & 1) {
+          e.x.set(q);
+        }
+        if (kind & 2) {
+          e.z.set(q);
+        }
+        const auto outcome = dec.decode(e);
+        EXPECT_FALSE(outcome.x_flip) << code.name() << " qubit " << q;
+        EXPECT_FALSE(outcome.z_flip) << code.name() << " qubit " << q;
+      }
+    }
+  }
+}
+
+TEST(PerfectDecoder, LogicalOperatorFlips) {
+  const auto code = qec::steane();
+  const PerfectDecoder dec(code);
+  qec::Pauli xl(7);
+  xl.x = code.logical_x().row(0);
+  EXPECT_TRUE(dec.decode(xl).x_flip);
+  EXPECT_FALSE(dec.decode(xl).z_flip);
+  qec::Pauli zl(7);
+  zl.z = code.logical_z().row(0);
+  EXPECT_TRUE(dec.decode(zl).z_flip);
+  EXPECT_FALSE(dec.decode(zl).x_flip);
+}
+
+TEST(PerfectDecoder, StabilizerErrorsAreInvisible) {
+  const auto code = qec::surface3();
+  const PerfectDecoder dec(code);
+  qec::Pauli e(code.num_qubits());
+  e.x = code.hx().row(0);
+  e.z = code.hz().row(1);
+  const auto outcome = dec.decode(e);
+  EXPECT_FALSE(outcome.x_flip);
+  EXPECT_FALSE(outcome.z_flip);
+}
+
+TEST(PerfectDecoder, WeightTwoOnDistanceThreeMayFlip) {
+  // On the Steane code a weight-2 X error shares a syndrome with a
+  // weight-1 error whose correction completes a logical X.
+  const auto code = qec::steane();
+  const PerfectDecoder dec(code);
+  bool some_flip = false;
+  for (std::size_t a = 0; a < 7 && !some_flip; ++a) {
+    for (std::size_t b = a + 1; b < 7 && !some_flip; ++b) {
+      qec::Pauli e(7);
+      e.x.set(a);
+      e.x.set(b);
+      some_flip = dec.decode(e).x_flip;
+    }
+  }
+  EXPECT_TRUE(some_flip);
+}
+
+}  // namespace
+}  // namespace ftsp::decoder

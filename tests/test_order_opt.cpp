@@ -1,0 +1,85 @@
+// The measurement-order search: flags can only be removed relative to the
+// plain ascending order, fault tolerance must be preserved either way.
+#include <gtest/gtest.h>
+
+#include "core/ft_check.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+
+std::size_t total_flags(const Protocol& protocol) {
+  std::size_t flags = 0;
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    for (const auto& gadget : (*layer)->gadgets) {
+      flags += gadget.flagged ? 1 : 0;
+    }
+  }
+  return flags;
+}
+
+class OrderOptAllCodes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OrderOptAllCodes, NeverMoreFlagsThanPlainOrder) {
+  const auto code = qec::library_code_by_name(GetParam());
+  SynthesisOptions plain;
+  plain.optimize_measurement_order = false;
+  SynthesisOptions ordered;
+  ordered.optimize_measurement_order = true;
+  const auto protocol_plain =
+      synthesize_protocol(code, LogicalBasis::Zero, plain);
+  const auto protocol_ordered =
+      synthesize_protocol(code, LogicalBasis::Zero, ordered);
+  EXPECT_LE(total_flags(protocol_ordered), total_flags(protocol_plain));
+}
+
+TEST_P(OrderOptAllCodes, PlainOrderIsAlsoFaultTolerant) {
+  const auto code = qec::library_code_by_name(GetParam());
+  SynthesisOptions plain;
+  plain.optimize_measurement_order = false;
+  const auto protocol =
+      synthesize_protocol(code, LogicalBasis::Zero, plain);
+  EXPECT_TRUE(check_fault_tolerance(protocol).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, OrderOptAllCodes,
+    ::testing::Values("Steane", "Shor", "Surface_3", "Tetrahedral",
+                      "Carbon", "Tesseract"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(OrderOpt, GadgetOrderMatchesSupport) {
+  // Whatever order is chosen, it must be a permutation of the support.
+  const auto protocol =
+      synthesize_protocol(qec::tesseract(), LogicalBasis::Zero);
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    for (const auto& gadget : (*layer)->gadgets) {
+      f2::BitVec rebuilt(protocol.num_data_qubits());
+      for (std::size_t q : gadget.order) {
+        rebuilt.set(q);
+      }
+      EXPECT_EQ(rebuilt, gadget.support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftsp::core

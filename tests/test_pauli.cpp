@@ -1,0 +1,98 @@
+#include "qec/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsp::qec {
+namespace {
+
+TEST(PauliType, OtherSwaps) {
+  EXPECT_EQ(other(PauliType::X), PauliType::Z);
+  EXPECT_EQ(other(PauliType::Z), PauliType::X);
+  EXPECT_STREQ(name(PauliType::X), "X");
+  EXPECT_STREQ(name(PauliType::Z), "Z");
+}
+
+TEST(Pauli, DefaultIsIdentity) {
+  const Pauli p(5);
+  EXPECT_TRUE(p.is_identity());
+  EXPECT_EQ(p.weight(), 0u);
+  EXPECT_EQ(p.num_qubits(), 5u);
+}
+
+TEST(Pauli, FromStringParsesAllLetters) {
+  const Pauli p = Pauli::from_string("IXZY");
+  EXPECT_FALSE(p.x.get(0));
+  EXPECT_FALSE(p.z.get(0));
+  EXPECT_TRUE(p.x.get(1));
+  EXPECT_FALSE(p.z.get(1));
+  EXPECT_FALSE(p.x.get(2));
+  EXPECT_TRUE(p.z.get(2));
+  EXPECT_TRUE(p.x.get(3));
+  EXPECT_TRUE(p.z.get(3));
+}
+
+TEST(Pauli, FromStringRejectsInvalid) {
+  EXPECT_THROW(Pauli::from_string("XQ"), std::invalid_argument);
+}
+
+TEST(Pauli, ToStringRoundTrips) {
+  const std::string s = "XYZIIZX";
+  EXPECT_EQ(Pauli::from_string(s).to_string(), s);
+}
+
+TEST(Pauli, WeightCountsNonIdentity) {
+  EXPECT_EQ(Pauli::from_string("IXYZI").weight(), 3u);
+  EXPECT_EQ(Pauli::from_string("YYY").weight(), 3u);
+}
+
+TEST(Pauli, MismatchedPartsThrow) {
+  EXPECT_THROW(Pauli(f2::BitVec(3), f2::BitVec(4)), std::invalid_argument);
+}
+
+TEST(Pauli, CommutationSingleQubit) {
+  const Pauli x = Pauli::from_string("X");
+  const Pauli y = Pauli::from_string("Y");
+  const Pauli z = Pauli::from_string("Z");
+  const Pauli i = Pauli::from_string("I");
+  EXPECT_FALSE(x.commutes_with(z));
+  EXPECT_FALSE(x.commutes_with(y));
+  EXPECT_FALSE(y.commutes_with(z));
+  EXPECT_TRUE(x.commutes_with(x));
+  EXPECT_TRUE(x.commutes_with(i));
+  EXPECT_TRUE(z.commutes_with(z));
+}
+
+TEST(Pauli, CommutationMultiQubit) {
+  // XX and ZZ overlap on two anticommuting positions: they commute.
+  EXPECT_TRUE(Pauli::from_string("XX").commutes_with(
+      Pauli::from_string("ZZ")));
+  // XI and ZZ overlap on one: anticommute.
+  EXPECT_FALSE(Pauli::from_string("XI").commutes_with(
+      Pauli::from_string("ZZ")));
+  EXPECT_TRUE(Pauli::from_string("XYZ").commutes_with(
+      Pauli::from_string("XYZ")));
+}
+
+TEST(Pauli, ProductXorsComponents) {
+  const Pauli a = Pauli::from_string("XXI");
+  const Pauli b = Pauli::from_string("IXZ");
+  const Pauli ab = a * b;
+  EXPECT_EQ(ab.to_string(), "XIZ");
+}
+
+TEST(Pauli, ProductOfXAndZIsY) {
+  const Pauli x = Pauli::from_string("X");
+  const Pauli z = Pauli::from_string("Z");
+  EXPECT_EQ((x * z).to_string(), "Y");
+}
+
+TEST(Pauli, PartAccessorsMatchTypes) {
+  Pauli p = Pauli::from_string("XZY");
+  EXPECT_EQ(p.part(PauliType::X).to_string(), "101");
+  EXPECT_EQ(p.part(PauliType::Z).to_string(), "011");
+  p.part(PauliType::X).set(1);
+  EXPECT_EQ(p.to_string(), "XYY");
+}
+
+}  // namespace
+}  // namespace ftsp::qec

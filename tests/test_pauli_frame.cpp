@@ -1,0 +1,157 @@
+#include "sim/pauli_frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsp::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+TEST(PauliFrame, CnotPropagatesXToTarget) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  PauliFrame frame(c);
+  frame.error.x.set(0);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.error.x.get(0));
+  EXPECT_TRUE(frame.error.x.get(1));
+  EXPECT_TRUE(frame.error.z.none());
+}
+
+TEST(PauliFrame, CnotPropagatesZToControl) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  PauliFrame frame(c);
+  frame.error.z.set(1);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.error.z.get(0));
+  EXPECT_TRUE(frame.error.z.get(1));
+  EXPECT_TRUE(frame.error.x.none());
+}
+
+TEST(PauliFrame, CnotLeavesXOnTargetAlone) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  PauliFrame frame(c);
+  frame.error.x.set(1);
+  apply_circuit(frame, c);
+  EXPECT_FALSE(frame.error.x.get(0));
+  EXPECT_TRUE(frame.error.x.get(1));
+}
+
+TEST(PauliFrame, CnotLeavesZOnControlAlone) {
+  Circuit c(2);
+  c.cnot(0, 1);
+  PauliFrame frame(c);
+  frame.error.z.set(0);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.error.z.get(0));
+  EXPECT_FALSE(frame.error.z.get(1));
+}
+
+TEST(PauliFrame, CnotPropagatesYToYY) {
+  // Y on the control spreads its X part: Y_c -> Y_c X_t.
+  Circuit c(2);
+  c.cnot(0, 1);
+  PauliFrame frame(c);
+  frame.error.x.set(0);
+  frame.error.z.set(0);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.error.x.get(0));
+  EXPECT_TRUE(frame.error.z.get(0));
+  EXPECT_TRUE(frame.error.x.get(1));
+  EXPECT_FALSE(frame.error.z.get(1));
+}
+
+TEST(PauliFrame, HadamardSwapsXAndZ) {
+  Circuit c(1);
+  c.h(0);
+  PauliFrame frame(c);
+  frame.error.x.set(0);
+  apply_circuit(frame, c);
+  EXPECT_FALSE(frame.error.x.get(0));
+  EXPECT_TRUE(frame.error.z.get(0));
+}
+
+TEST(PauliFrame, HadamardFixesY) {
+  Circuit c(1);
+  c.h(0);
+  PauliFrame frame(c);
+  frame.error.x.set(0);
+  frame.error.z.set(0);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.error.x.get(0));
+  EXPECT_TRUE(frame.error.z.get(0));
+}
+
+TEST(PauliFrame, ResetClearsError) {
+  Circuit c(2);
+  c.prep_z(0);
+  c.prep_x(1);
+  PauliFrame frame(c);
+  frame.error.x.set(0);
+  frame.error.z.set(0);
+  frame.error.x.set(1);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.error.is_identity());
+}
+
+TEST(PauliFrame, MeasZFlippedByXAndY) {
+  Circuit c(3);
+  c.measure_z(0);
+  c.measure_z(1);
+  c.measure_z(2);
+  PauliFrame frame(c);
+  frame.error.x.set(0);            // X: flips.
+  frame.error.x.set(1);
+  frame.error.z.set(1);            // Y: flips.
+  frame.error.z.set(2);            // Z: does not flip.
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.outcomes[0]);
+  EXPECT_TRUE(frame.outcomes[1]);
+  EXPECT_FALSE(frame.outcomes[2]);
+}
+
+TEST(PauliFrame, MeasXFlippedByZAndY) {
+  Circuit c(3);
+  c.measure_x(0);
+  c.measure_x(1);
+  c.measure_x(2);
+  PauliFrame frame(c);
+  frame.error.z.set(0);
+  frame.error.x.set(1);
+  frame.error.z.set(1);
+  frame.error.x.set(2);
+  apply_circuit(frame, c);
+  EXPECT_TRUE(frame.outcomes[0]);
+  EXPECT_TRUE(frame.outcomes[1]);
+  EXPECT_FALSE(frame.outcomes[2]);
+}
+
+TEST(PauliFrame, HookErrorMatchesPaperFigure1) {
+  // Measuring a weight-4 Z stabilizer: a Z on the ancilla after the second
+  // data CNOT propagates onto the remaining two data controls.
+  Circuit c(5);  // Qubits 0-3 data, 4 ancilla.
+  c.prep_z(4);
+  c.cnot(0, 4);
+  c.cnot(1, 4);
+  c.cnot(2, 4);
+  c.cnot(3, 4);
+  c.measure_z(4);
+  PauliFrame frame(c);
+  std::size_t applied = 0;
+  for (const Gate& g : c.gates()) {
+    apply_gate(frame, g);
+    ++applied;
+    if (applied == 3) {  // After CNOT(1,4).
+      frame.error.z.flip(4);
+    }
+  }
+  EXPECT_EQ(frame.error.z.to_string().substr(0, 4), "0011");
+  EXPECT_FALSE(frame.outcomes[0]);  // Z on the ancilla: outcome unaffected.
+}
+
+}  // namespace
+}  // namespace ftsp::sim

@@ -1,0 +1,224 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "f2/gauss.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+using qec::PauliType;
+
+TEST(Protocol, SteaneSingleLayerMatchesPaper) {
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  // Table I: one layer, one weight-3 verification measurement, no flags,
+  // one correction branch with one weight-3 measurement.
+  ASSERT_TRUE(protocol.layer1.has_value());
+  EXPECT_FALSE(protocol.layer2.has_value());
+  const auto metrics = compute_metrics(protocol);
+  ASSERT_TRUE(metrics.layer1.has_value());
+  EXPECT_EQ(metrics.layer1->verif_measurements, 1u);
+  EXPECT_EQ(metrics.layer1->verif_flags, 0u);
+  EXPECT_EQ(metrics.layer1->verif_cnots, 3u);
+  ASSERT_EQ(metrics.layer1->corr_measurements.size(), 1u);
+  EXPECT_EQ(metrics.layer1->corr_measurements[0], 1u);
+  EXPECT_EQ(metrics.layer1->corr_cnots[0], 3u);
+}
+
+TEST(Protocol, Layer1CorrectsFirstTypeErrors) {
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  ASSERT_TRUE(protocol.layer1.has_value());
+  EXPECT_EQ(protocol.layer1->error_type, PauliType::X);
+  // Verification gadgets measure the opposite (Z) type.
+  for (const auto& gadget : protocol.layer1->gadgets) {
+    EXPECT_EQ(gadget.stabilizer_type, PauliType::Z);
+  }
+}
+
+TEST(Protocol, PlusBasisMirrorsLayerTypes) {
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Plus);
+  ASSERT_TRUE(protocol.layer1.has_value());
+  EXPECT_EQ(protocol.layer1->error_type, PauliType::Z);
+  for (const auto& gadget : protocol.layer1->gadgets) {
+    EXPECT_EQ(gadget.stabilizer_type, PauliType::X);
+  }
+}
+
+TEST(Protocol, BranchesCoverEverySingleFaultPattern) {
+  const auto protocol =
+      synthesize_protocol(qec::surface3(), LogicalBasis::Zero);
+  ASSERT_TRUE(protocol.layer1.has_value() || protocol.layer2.has_value());
+  // Re-enumerate events and confirm each non-zero layer outcome has a
+  // branch with a recovery for the observed extended pattern.
+  std::vector<const circuit::Circuit*> segments = {&protocol.prep};
+  if (protocol.layer1.has_value()) {
+    segments.push_back(&protocol.layer1->verif);
+  }
+  const auto events =
+      enumerate_single_fault_events(protocol.num_data_qubits(), segments);
+  if (protocol.layer1.has_value()) {
+    for (const auto& e : events) {
+      const auto& key = e.outcomes[1];
+      if (key.none()) {
+        continue;
+      }
+      EXPECT_NE(protocol.layer1->branches.find(key),
+                protocol.layer1->branches.end())
+          << "no branch for " << key.to_string();
+    }
+  }
+}
+
+TEST(Protocol, HookBranchesOnlyOnFlagPatterns) {
+  for (const char* name : {"Shor", "Surface_3", "Tetrahedral"}) {
+    const auto protocol = synthesize_protocol(
+        qec::library_code_by_name(name), LogicalBasis::Zero);
+    for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+      if (!layer->has_value()) {
+        continue;
+      }
+      for (const auto& [key, branch] : (*layer)->branches) {
+        EXPECT_EQ(branch.is_hook_branch,
+                  (key & (*layer)->flag_mask).any())
+            << name << " key " << key.to_string();
+        if (branch.is_hook_branch) {
+          // Hooks are of the measured type (opposite the layer type).
+          EXPECT_EQ(branch.corrected_type, other((*layer)->error_type));
+        }
+      }
+    }
+  }
+}
+
+TEST(Protocol, FlagMaskMarksExactlyFlagBits) {
+  const auto protocol =
+      synthesize_protocol(qec::tetrahedral(), LogicalBasis::Zero);
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    std::size_t flags = 0;
+    for (const auto& gadget : (*layer)->gadgets) {
+      if (gadget.flagged) {
+        ++flags;
+        EXPECT_TRUE((*layer)->flag_mask.get(
+            static_cast<std::size_t>(gadget.flag_bit)));
+      }
+    }
+    EXPECT_EQ((*layer)->flag_mask.popcount(), flags);
+  }
+}
+
+TEST(Protocol, OverridePrepIsUsedVerbatim) {
+  const auto code = qec::steane();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  SynthesisOverrides overrides;
+  overrides.prep = prep;
+  const auto protocol = synthesize_protocol(code, LogicalBasis::Zero, {},
+                                            overrides);
+  EXPECT_EQ(protocol.prep.gate_count(), prep.gate_count());
+  EXPECT_EQ(protocol.prep.cnot_count(), prep.cnot_count());
+}
+
+TEST(Protocol, EventsEnumerationCountsAllOps) {
+  // prep_z (1 op) + cnot (15 ops) + measure (1 op) = 17 events.
+  circuit::Circuit c(2);
+  c.prep_z(0);
+  c.cnot(0, 1);
+  const std::size_t anc = c.add_qubit();
+  c.prep_z(anc);
+  c.cnot(0, anc);
+  c.measure_z(anc);
+  const auto events = enumerate_single_fault_events(2, {&c});
+  EXPECT_EQ(events.size(), 1u + 15u + 1u + 15u + 1u);
+  for (const auto& e : events) {
+    ASSERT_EQ(e.outcomes.size(), 1u);
+    EXPECT_EQ(e.outcomes[0].size(), 1u);
+    EXPECT_EQ(e.data_error.num_qubits(), 2u);
+  }
+}
+
+TEST(Protocol, DanglingEventsAreDetectedAsDangerous) {
+  // X on the control of the GHZ-style chain spreads to weight >= 2.
+  const auto code = qec::steane();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  const auto events = enumerate_single_fault_events(7, {&prep});
+  const auto dangerous = dangerous_errors(state, PauliType::X, events);
+  EXPECT_FALSE(dangerous.empty());
+  for (const auto& e : dangerous) {
+    EXPECT_GE(state.reduced_weight(PauliType::X, e), 2u);
+  }
+}
+
+TEST(Protocol, MetricsTotalsAreConsistent) {
+  const auto protocol =
+      synthesize_protocol(qec::shor(), LogicalBasis::Zero);
+  const auto metrics = compute_metrics(protocol);
+  std::size_t ancillas = 0;
+  std::size_t cnots = 0;
+  for (const auto* layer : {&metrics.layer1, &metrics.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    ancillas += (*layer)->verif_measurements + (*layer)->verif_flags;
+    cnots += (*layer)->verif_cnots + (*layer)->flag_cnots;
+  }
+  EXPECT_EQ(metrics.total_verif_ancillas, ancillas);
+  EXPECT_EQ(metrics.total_verif_cnots, cnots);
+  EXPECT_GT(metrics.prep_cnots, 0u);
+}
+
+TEST(Protocol, FormattedRowContainsLabel) {
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  const auto metrics = compute_metrics(protocol);
+  const std::string row = format_metrics_row("Steane/test", metrics);
+  EXPECT_NE(row.find("Steane/test"), std::string::npos);
+  EXPECT_FALSE(metrics_row_header().empty());
+}
+
+
+TEST(Protocol, SteaneVerificationIsTheLogicalZ) {
+  // The optimal Steane |0>_L verification is a weight-3 logical-Z
+  // representative: inside the Z *state* span, outside the code span —
+  // the paper's motivating example for state-stabilizer candidates.
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  ASSERT_TRUE(protocol.layer1.has_value());
+  ASSERT_EQ(protocol.layer1->verification.stabilizers.size(), 1u);
+  const auto& s = protocol.layer1->verification.stabilizers[0];
+  EXPECT_EQ(s.popcount(), 3u);
+  EXPECT_TRUE(protocol.state->stabilizer_span(PauliType::Z).contains(s));
+  EXPECT_FALSE(
+      f2::in_row_span(protocol.code->hz(), s));  // A logical, not a stab.
+}
+
+TEST(Protocol, PeakQubitsCoversLargestSegment) {
+  const auto protocol =
+      synthesize_protocol(qec::carbon(), LogicalBasis::Zero);
+  const auto metrics = compute_metrics(protocol);
+  EXPECT_GE(metrics.peak_qubits, protocol.num_data_qubits() + 1);
+  std::size_t expected = protocol.num_data_qubits();
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    expected = std::max(expected, (*layer)->verif.num_qubits());
+    for (const auto& [key, branch] : (*layer)->branches) {
+      (void)key;
+      expected = std::max(expected, branch.circ.num_qubits());
+    }
+  }
+  EXPECT_EQ(metrics.peak_qubits, expected);
+}
+
+}  // namespace
+}  // namespace ftsp::core

@@ -1,0 +1,134 @@
+#include "core/qasm_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  std::string::size_type pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(QasmCircuit, HeaderAndRegisters) {
+  circuit::Circuit c(3);
+  c.prep_z(0);
+  c.h(1);
+  c.cnot(0, 2);
+  c.measure_z(2);
+  const std::string qasm = circuit_to_qasm(c);
+  EXPECT_NE(qasm.find("OPENQASM 3.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("include \"stdgates.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.find("qubit[3] q;"), std::string::npos);
+  EXPECT_NE(qasm.find("bit[1] c;"), std::string::npos);
+  EXPECT_NE(qasm.find("reset q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0], q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("c[0] = measure q[2];"), std::string::npos);
+}
+
+TEST(QasmCircuit, PrepXIsResetPlusH) {
+  circuit::Circuit c(1);
+  c.prep_x(0);
+  const std::string qasm = circuit_to_qasm(c);
+  const auto reset_pos = qasm.find("reset q[0];");
+  const auto h_pos = qasm.find("h q[0];");
+  ASSERT_NE(reset_pos, std::string::npos);
+  ASSERT_NE(h_pos, std::string::npos);
+  EXPECT_LT(reset_pos, h_pos);
+}
+
+TEST(QasmCircuit, MeasXIsHThenMeasure) {
+  circuit::Circuit c(1);
+  c.measure_x(0);
+  const std::string qasm = circuit_to_qasm(c);
+  const auto h_pos = qasm.find("h q[0];");
+  const auto m_pos = qasm.find("c[0] = measure q[0];");
+  ASSERT_NE(h_pos, std::string::npos);
+  ASSERT_NE(m_pos, std::string::npos);
+  EXPECT_LT(h_pos, m_pos);
+}
+
+TEST(QasmProtocol, SteaneProgramStructure) {
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  const std::string qasm = protocol_to_qasm(protocol);
+  // 7 data + 1 verification ancilla + 1 branch ancilla.
+  EXPECT_NE(qasm.find("qubit[9] q;"), std::string::npos);
+  EXPECT_NE(qasm.find("bit[1] v1;"), std::string::npos);
+  // One branch triggered on v1 == 1.
+  EXPECT_NE(qasm.find("if (v1 == 1) {"), std::string::npos);
+  // The branch measures one extended stabilizer into its own register.
+  EXPECT_NE(qasm.find("bit[1] e1_0;"), std::string::npos);
+  // Recoveries are X type for the first layer of |0>_L.
+  EXPECT_GE(count_occurrences(qasm, "x q["), 1u);
+  // Balanced braces.
+  EXPECT_EQ(count_occurrences(qasm, "{"), count_occurrences(qasm, "}"));
+}
+
+TEST(QasmProtocol, TwoLayerProgramNestsTermination) {
+  const auto protocol =
+      synthesize_protocol(qec::carbon(), LogicalBasis::Zero);
+  ASSERT_TRUE(protocol.layer1.has_value());
+  ASSERT_TRUE(protocol.layer2.has_value());
+  const std::string qasm = protocol_to_qasm(protocol);
+  // Flagged layer 1: flag register + the termination guard.
+  EXPECT_NE(qasm.find("bit[2] f1;"), std::string::npos);
+  EXPECT_NE(qasm.find("if (f1 == 0) {"), std::string::npos);
+  // Layer-2 measurements (writes into v2) appear after the guard; the
+  // register *declaration* is in the header.
+  EXPECT_LT(qasm.find("if (f1 == 0) {"), qasm.find("v2[0] = measure"));
+  EXPECT_EQ(count_occurrences(qasm, "{"), count_occurrences(qasm, "}"));
+}
+
+TEST(QasmProtocol, EveryBranchHasAnIfBlock) {
+  const auto protocol =
+      synthesize_protocol(qec::tetrahedral(), LogicalBasis::Zero);
+  const std::string qasm = protocol_to_qasm(protocol);
+  std::size_t branch_count = 0;
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (layer->has_value()) {
+      branch_count += (*layer)->branches.size();
+    }
+  }
+  EXPECT_GE(count_occurrences(qasm, "if (v"), branch_count);
+}
+
+TEST(QasmProtocol, ZRecoveriesForHookBranches) {
+  // A code with a flagged layer produces hook branches with Z recoveries.
+  for (const char* name : {"Carbon", "[[16,2,4]]", "Tesseract"}) {
+    const auto protocol = synthesize_protocol(
+        qec::library_code_by_name(name), LogicalBasis::Zero);
+    bool has_hook = false;
+    for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+      if (!layer->has_value()) {
+        continue;
+      }
+      for (const auto& [key, branch] : (*layer)->branches) {
+        (void)key;
+        has_hook = has_hook || branch.is_hook_branch;
+      }
+    }
+    if (!has_hook) {
+      continue;
+    }
+    const std::string qasm = protocol_to_qasm(protocol);
+    EXPECT_GE(count_occurrences(qasm, "z q["), 1u) << name;
+    return;
+  }
+  GTEST_SKIP() << "no hook branches in candidate codes";
+}
+
+}  // namespace
+}  // namespace ftsp::core

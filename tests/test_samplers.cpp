@@ -1,0 +1,126 @@
+#include "core/samplers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/protocol.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    protocol_ = synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+    executor_ = std::make_unique<Executor>(protocol_);
+    decoder_ =
+        std::make_unique<decoder::PerfectDecoder>(*protocol_.code);
+  }
+  Protocol protocol_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<decoder::PerfectDecoder> decoder_;
+};
+
+TEST_F(SamplerTest, BatchHasRequestedShots) {
+  const auto batch =
+      sample_protocol_batch(*executor_, *decoder_, 0.1, 500, 42);
+  EXPECT_EQ(batch.trajectories.size(), 500u);
+  EXPECT_DOUBLE_EQ(batch.q.rates[0], 0.1);
+}
+
+TEST_F(SamplerTest, InvalidQRejected) {
+  EXPECT_THROW(sample_protocol_batch(*executor_, *decoder_, 0.0, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sample_protocol_batch(*executor_, *decoder_, 1.0, 10, 1),
+               std::invalid_argument);
+}
+
+TEST_F(SamplerTest, FaultCountsBounded) {
+  const auto batch =
+      sample_protocol_batch(*executor_, *decoder_, 0.3, 200, 7);
+  for (const auto& t : batch.trajectories) {
+    std::uint32_t sites = 0;
+    for (std::size_t k = 0; k < sim::kNumLocationKinds; ++k) {
+      EXPECT_LE(t.faults[k], t.sites[k]);
+      sites += t.sites[k];
+    }
+    EXPECT_GT(sites, 0u);
+  }
+}
+
+TEST_F(SamplerTest, PlainMonteCarloMatchesManualAverage) {
+  // With a single batch at q == p, weights are exactly 1 and the MIS
+  // estimate equals the raw failure fraction.
+  const auto batch =
+      sample_protocol_batch(*executor_, *decoder_, 0.08, 3000, 9);
+  std::size_t failures = 0;
+  for (const auto& t : batch.trajectories) {
+    failures += t.x_fail ? 1 : 0;
+  }
+  const auto estimate = estimate_logical_rate({batch}, 0.08, true);
+  EXPECT_NEAR(estimate.mean,
+              static_cast<double>(failures) / 3000.0, 1e-12);
+}
+
+TEST_F(SamplerTest, EstimateDecreasesWithP) {
+  const std::vector<TrajectoryBatch> batches = {
+      sample_protocol_batch(*executor_, *decoder_, 0.1, 6000, 21),
+      sample_protocol_batch(*executor_, *decoder_, 0.02, 6000, 22)};
+  const auto high = estimate_logical_rate(batches, 0.08);
+  const auto mid = estimate_logical_rate(batches, 0.02);
+  const auto low = estimate_logical_rate(batches, 0.005);
+  EXPECT_GT(high.mean, mid.mean);
+  EXPECT_GT(mid.mean, low.mean);
+  EXPECT_GT(low.mean, 0.0);
+}
+
+TEST_F(SamplerTest, ScalingIsQuadraticIsh) {
+  // Deterministic FT protocol: p_L = O(p^2), so p_L(p) / p^2 should be
+  // roughly constant over a decade.
+  const std::vector<TrajectoryBatch> batches = {
+      sample_protocol_batch(*executor_, *decoder_, 0.05, 20000, 31),
+      sample_protocol_batch(*executor_, *decoder_, 0.01, 20000, 32)};
+  const double r1 = estimate_logical_rate(batches, 0.03).mean / (0.03 * 0.03);
+  const double r2 =
+      estimate_logical_rate(batches, 0.006).mean / (0.006 * 0.006);
+  EXPECT_GT(r2, 0.0);
+  const double ratio = r1 / r2;
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST_F(SamplerTest, MisAgreesWithPlainMcWithinError) {
+  const auto mc = sample_protocol_batch(*executor_, *decoder_, 0.05, 20000,
+                                        51);
+  const auto is = sample_protocol_batch(*executor_, *decoder_, 0.15, 20000,
+                                        52);
+  const auto direct = estimate_logical_rate({mc}, 0.05);
+  const auto reweighted = estimate_logical_rate({is}, 0.05);
+  const double sigma = 4.0 * std::sqrt(direct.std_error * direct.std_error +
+                                       reweighted.std_error *
+                                           reweighted.std_error);
+  EXPECT_NEAR(direct.mean, reweighted.mean, sigma + 1e-9);
+}
+
+TEST_F(SamplerTest, StdErrorShrinksWithShots) {
+  const auto small =
+      sample_protocol_batch(*executor_, *decoder_, 0.1, 500, 61);
+  const auto large =
+      sample_protocol_batch(*executor_, *decoder_, 0.1, 20000, 62);
+  const auto e_small = estimate_logical_rate({small}, 0.1);
+  const auto e_large = estimate_logical_rate({large}, 0.1);
+  EXPECT_LT(e_large.std_error, e_small.std_error);
+}
+
+TEST_F(SamplerTest, EmptyBatchesGiveZero) {
+  const auto estimate = estimate_logical_rate({}, 0.01);
+  EXPECT_EQ(estimate.mean, 0.0);
+  EXPECT_EQ(estimate.std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace ftsp::core

@@ -1,0 +1,285 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace ftsp::sat {
+namespace {
+
+TEST(Luby, MatchesKnownPrefix) {
+  const std::vector<std::uint64_t> expected = {1, 1, 2, 1, 1, 2, 4,
+                                               1, 1, 2, 1, 1, 2, 4, 8};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(luby(i + 1), expected[i]) << "position " << i + 1;
+  }
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_TRUE(s.solve());
+}
+
+TEST(Solver, SingleUnit) {
+  Solver s;
+  const Var v = s.new_var();
+  s.add_unit(pos(v));
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, ContradictingUnitsUnsat) {
+  Solver s;
+  const Var v = s.new_var();
+  s.add_unit(pos(v));
+  EXPECT_FALSE(s.add_unit(neg(v)));
+  EXPECT_FALSE(s.okay());
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(Solver, EmptyClauseUnsat) {
+  Solver s;
+  EXPECT_FALSE(s.add_clause(std::initializer_list<Lit>{}));
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver s;
+  const Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(v), neg(v)}));
+  EXPECT_TRUE(s.solve());
+}
+
+TEST(Solver, DuplicateLiteralsDeduplicated) {
+  Solver s;
+  const Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(v), pos(v), pos(v)}));
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, SimpleImplicationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(s.new_var());
+  }
+  for (int i = 0; i + 1 < 50; ++i) {
+    s.add_binary(neg(v[static_cast<std::size_t>(i)]),
+                 pos(v[static_cast<std::size_t>(i + 1)]));
+  }
+  s.add_unit(pos(v[0]));
+  ASSERT_TRUE(s.solve());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(s.model_value(v[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(Solver, XorChainUnsat) {
+  // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable (sum = 1 over
+  // a cycle of even length).
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  const auto add_xor1 = [&](Var x, Var y) {
+    s.add_binary(pos(x), pos(y));
+    s.add_binary(neg(x), neg(y));
+  };
+  add_xor1(a, b);
+  add_xor1(b, c);
+  add_xor1(a, c);
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(Solver, PigeonholeFourIntoThreeUnsat) {
+  // PHP(4,3): 4 pigeons, 3 holes.
+  Solver s;
+  Var p[4][3];
+  for (auto& row : p) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    s.add_ternary(pos(p[i][0]), pos(p[i][1]), pos(p[i][2]));
+  }
+  for (int h = 0; h < 3; ++h) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        s.add_binary(neg(p[i][h]), neg(p[j][h]));
+      }
+    }
+  }
+  EXPECT_FALSE(s.solve());
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Solver, GraphColoringTriangleNeedsThree) {
+  // A triangle is 3-colorable but not 2-colorable.
+  const auto colorable = [](int colors) {
+    Solver s;
+    std::vector<std::vector<Var>> node(3, std::vector<Var>(
+                                             static_cast<std::size_t>(colors)));
+    for (auto& vars : node) {
+      std::vector<Lit> clause;
+      for (auto& v : vars) {
+        v = s.new_var();
+        clause.push_back(pos(v));
+      }
+      s.add_clause(clause);
+    }
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        for (int c = 0; c < colors; ++c) {
+          s.add_binary(neg(node[static_cast<std::size_t>(a)]
+                                [static_cast<std::size_t>(c)]),
+                       neg(node[static_cast<std::size_t>(b)]
+                                [static_cast<std::size_t>(c)]));
+        }
+      }
+    }
+    return s.solve();
+  };
+  EXPECT_FALSE(colorable(2));
+  EXPECT_TRUE(colorable(3));
+}
+
+TEST(Solver, AssumptionsRestrictModels) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  ASSERT_TRUE(s.solve({neg(a)}));
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  // Conflicting assumptions: unsat under them, sat again without.
+  EXPECT_FALSE(s.solve({neg(a), neg(b)}));
+  EXPECT_TRUE(s.okay());
+  EXPECT_TRUE(s.solve());
+}
+
+TEST(Solver, IncrementalAddAfterSolve) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  ASSERT_TRUE(s.solve());
+  s.add_unit(neg(a));
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(b));
+  s.add_unit(neg(b));
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(Solver, ModelSatisfiesAllClauses) {
+  std::mt19937_64 rng(1234);
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < 30; ++i) {
+    vars.push_back(s.new_var());
+  }
+  std::vector<std::vector<Lit>> clauses;
+  std::uniform_int_distribution<std::size_t> pick(0, vars.size() - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int c = 0; c < 90; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit(vars[pick(rng)], coin(rng) != 0));
+    }
+    clauses.push_back(clause);
+    s.add_clause(clause);
+  }
+  if (s.solve()) {
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (Lit l : clause) {
+        satisfied = satisfied || s.model_value(l);
+      }
+      EXPECT_TRUE(satisfied);
+    }
+  }
+}
+
+TEST(Solver, ConflictBudgetThrows) {
+  // A hard instance with a tiny budget must be interrupted.
+  Solver s;
+  Var p[8][7];
+  for (auto& row : p) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < 7; ++h) {
+      clause.push_back(pos(p[i][h]));
+    }
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < 7; ++h) {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = i + 1; j < 8; ++j) {
+        s.add_binary(neg(p[i][h]), neg(p[j][h]));
+      }
+    }
+  }
+  s.set_conflict_budget(10);
+  EXPECT_THROW(s.solve(), Solver::SolveInterrupted);
+}
+
+/// Brute-force reference check on random small formulas: the solver's
+/// SAT/UNSAT verdict must match exhaustive enumeration.
+class SolverRandom3Sat : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRandom3Sat, AgreesWithBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const int num_vars = 10;
+  const int num_clauses = 38 + GetParam() % 10;  // Near the 3-SAT threshold.
+  std::uniform_int_distribution<int> pick(0, num_vars - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::vector<std::vector<Lit>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit(pick(rng), coin(rng) != 0));
+    }
+    clauses.push_back(clause);
+  }
+
+  bool brute_sat = false;
+  for (unsigned assignment = 0; assignment < (1u << num_vars); ++assignment) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (Lit l : clause) {
+        const bool value = ((assignment >> l.var()) & 1u) != 0;
+        any = any || (value != l.sign());
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      brute_sat = true;
+      break;
+    }
+  }
+
+  Solver s;
+  for (int i = 0; i < num_vars; ++i) {
+    s.new_var();
+  }
+  for (const auto& clause : clauses) {
+    s.add_clause(clause);
+  }
+  EXPECT_EQ(s.solve(), brute_sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverRandom3Sat, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace ftsp::sat

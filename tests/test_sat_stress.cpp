@@ -1,0 +1,190 @@
+// Stress and randomized cross-checks for the CDCL solver and encodings
+// beyond the basic unit tests: XOR systems vs Gaussian elimination,
+// cardinality formulas vs combinatorics, and repeated incremental use.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "f2/bit_matrix.hpp"
+#include "f2/gauss.hpp"
+#include "sat/cnf_builder.hpp"
+#include "sat/solver.hpp"
+
+namespace ftsp::sat {
+namespace {
+
+/// Random F2 linear systems: SAT verdict must equal Gaussian solvability,
+/// and models must satisfy every equation.
+class XorSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(XorSystem, AgreesWithGaussianElimination) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  std::uniform_int_distribution<int> bit(0, 1);
+  const std::size_t vars = 14;
+  const std::size_t equations = 16;
+
+  f2::BitMatrix a(equations, vars);
+  f2::BitVec rhs(equations);
+  for (std::size_t e = 0; e < equations; ++e) {
+    for (std::size_t v = 0; v < vars; ++v) {
+      a.set(e, v, bit(rng) != 0);
+    }
+    rhs.set(e, bit(rng) != 0);
+  }
+
+  Solver solver;
+  CnfBuilder cnf(solver);
+  std::vector<Lit> lits;
+  for (std::size_t v = 0; v < vars; ++v) {
+    lits.push_back(cnf.fresh());
+  }
+  for (std::size_t e = 0; e < equations; ++e) {
+    std::vector<Lit> terms;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (a.get(e, v)) {
+        terms.push_back(lits[v]);
+      }
+    }
+    const Lit parity = cnf.xor_of(terms);
+    solver.add_unit(rhs.get(e) ? parity : ~parity);
+  }
+
+  const bool sat = solver.solve();
+  EXPECT_EQ(sat, f2::solve(a, rhs).has_value());
+  if (sat) {
+    f2::BitVec x(vars);
+    for (std::size_t v = 0; v < vars; ++v) {
+      x.set(v, solver.model_value(lits[v]));
+    }
+    EXPECT_EQ(a.multiply(x), rhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XorSystem, ::testing::Range(0, 30));
+
+/// Exactly-k via at-most-k both ways: the number of models of
+/// "sum x_i == k" over n free variables must be C(n, k).
+class ExactlyK : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ExactlyK, ModelCountMatchesBinomial) {
+  const auto [n, k] = GetParam();
+  Solver solver;
+  CnfBuilder cnf(solver);
+  std::vector<Lit> lits;
+  std::vector<Lit> negated;
+  for (int i = 0; i < n; ++i) {
+    lits.push_back(cnf.fresh());
+    negated.push_back(~lits.back());
+  }
+  cnf.add_at_most_k(lits, static_cast<std::size_t>(k));
+  cnf.add_at_most_k(negated, static_cast<std::size_t>(n - k));
+
+  // Enumerate all models by blocking.
+  std::size_t models = 0;
+  while (solver.solve() && models < 1000) {
+    ++models;
+    std::vector<Lit> block;
+    for (const Lit l : lits) {
+      block.push_back(solver.model_value(l) ? ~l : l);
+    }
+    solver.add_clause(block);
+  }
+  // C(n, k)
+  std::size_t expected = 1;
+  for (int i = 0; i < k; ++i) {
+    expected = expected * static_cast<std::size_t>(n - i) /
+               static_cast<std::size_t>(i + 1);
+  }
+  EXPECT_EQ(models, expected) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExactlyK,
+    ::testing::Values(std::pair{5, 2}, std::pair{6, 3}, std::pair{7, 1},
+                      std::pair{7, 6}, std::pair{8, 4}));
+
+TEST(SolverStress, ManyIncrementalRounds) {
+  // Alternate clause additions and solves; the solver must stay
+  // consistent across hundreds of rounds (watch lists, learnt clauses,
+  // level-0 propagation).
+  std::mt19937_64 rng(99);
+  Solver solver;
+  std::vector<Var> vars;
+  for (int i = 0; i < 40; ++i) {
+    vars.push_back(solver.new_var());
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, vars.size() - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  int sat_count = 0;
+  for (int round = 0; round < 300 && solver.okay(); ++round) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit(vars[pick(rng)], coin(rng) != 0));
+    }
+    solver.add_clause(clause);
+    if (round % 10 == 0) {
+      sat_count += solver.solve() ? 1 : 0;
+    }
+  }
+  EXPECT_GT(sat_count, 0);
+  EXPECT_GT(solver.stats().propagations, 0u);
+}
+
+TEST(SolverStress, AssumptionSweepOverPigeonhole) {
+  // PHP(4,4) is satisfiable; forcing pigeon 0 into each hole via
+  // assumptions must remain satisfiable, and forcing two pigeons into
+  // the same hole must fail.
+  Solver solver;
+  Var p[4][4];
+  for (auto& row : p) {
+    for (auto& v : row) {
+      v = solver.new_var();
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < 4; ++h) {
+      clause.push_back(pos(p[i][h]));
+    }
+    solver.add_clause(clause);
+  }
+  for (int h = 0; h < 4; ++h) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        solver.add_binary(neg(p[i][h]), neg(p[j][h]));
+      }
+    }
+  }
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_TRUE(solver.solve({pos(p[0][h])})) << "hole " << h;
+    EXPECT_FALSE(solver.solve({pos(p[0][h]), pos(p[1][h])}));
+  }
+  EXPECT_TRUE(solver.solve());
+}
+
+TEST(SolverStress, StatisticsAreMonotone) {
+  Solver solver;
+  for (int i = 0; i < 20; ++i) {
+    solver.new_var();
+  }
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<Var> pick(0, 19);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uint64_t last_conflicts = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int c = 0; c < 8; ++c) {
+      solver.add_ternary(Lit(pick(rng), coin(rng) != 0),
+                         Lit(pick(rng), coin(rng) != 0),
+                         Lit(pick(rng), coin(rng) != 0));
+    }
+    if (!solver.okay()) {
+      break;
+    }
+    solver.solve();
+    EXPECT_GE(solver.stats().conflicts, last_conflicts);
+    last_conflicts = solver.stats().conflicts;
+  }
+}
+
+}  // namespace
+}  // namespace ftsp::sat

@@ -1,0 +1,152 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/ft_check.hpp"
+#include "core/metrics.hpp"
+#include "qec/code_io.hpp"
+#include "qec/code_library.hpp"
+#include "sim/faults.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using qec::LogicalBasis;
+
+TEST(CodeIo, RoundTripsLibraryCodes) {
+  for (const auto& code : qec::all_library_codes()) {
+    const auto parsed = qec::parse_css_code(qec::write_css_code(code));
+    EXPECT_EQ(parsed.name(), code.name());
+    EXPECT_EQ(parsed.hx(), code.hx());
+    EXPECT_EQ(parsed.hz(), code.hz());
+    EXPECT_EQ(parsed.distance(), code.distance());
+  }
+}
+
+TEST(CodeIo, ParsesCommentsAndBlanks) {
+  const auto code = qec::parse_css_code(
+      "# the Steane code\n"
+      "name: commented\n"
+      "hx:\n"
+      "110_0110\n"  // Separator inside a row is allowed... (7 bits)
+      "1010101\n"
+      "0001111\n"
+      "\n"
+      "hz:\n"
+      "1100110\n"
+      "1010101\n"
+      "0001111\n");
+  EXPECT_EQ(code.num_qubits(), 7u);
+  EXPECT_EQ(code.name(), "commented");
+}
+
+TEST(CodeIo, RejectsRowOutsideSection) {
+  EXPECT_THROW(qec::parse_css_code("name: x\n1100\nhx:\n"),
+               std::invalid_argument);
+}
+
+TEST(CodeIo, RejectsMissingSections) {
+  EXPECT_THROW(qec::parse_css_code("name: x\nhx:\n1100\n"),
+               std::invalid_argument);
+}
+
+TEST(CodeIo, RejectsInvalidCode) {
+  // Anticommuting generators fail CssCode validation.
+  EXPECT_THROW(qec::parse_css_code("hx:\n110\nhz:\n100\n"),
+               std::invalid_argument);
+}
+
+TEST(CircuitText, RoundTrips) {
+  circuit::Circuit c(3);
+  c.prep_x(0);
+  c.prep_z(1);
+  c.cnot(0, 1);
+  c.h(2);
+  const std::size_t anc = c.add_qubit();
+  c.prep_z(anc);
+  c.cnot(1, anc);
+  c.measure_z(anc);
+  c.measure_x(2);
+  const auto parsed = circuit::Circuit::from_text(c.to_text(), 3);
+  EXPECT_EQ(parsed.to_text(), c.to_text());
+  EXPECT_EQ(parsed.num_qubits(), c.num_qubits());
+  EXPECT_EQ(parsed.num_cbits(), c.num_cbits());
+}
+
+TEST(CircuitText, RejectsUnknownOps) {
+  EXPECT_THROW(circuit::Circuit::from_text("CZ 0 1\n", 2),
+               std::invalid_argument);
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SerializeRoundTrip, ProtocolSurvivesSaveLoad) {
+  const auto code = qec::library_code_by_name(GetParam());
+  const auto original = synthesize_protocol(code, LogicalBasis::Zero);
+  const auto reloaded = load_protocol(save_protocol(original));
+
+  // Structural equality of the observable pieces.
+  EXPECT_EQ(reloaded.basis, original.basis);
+  EXPECT_EQ(reloaded.code->hx(), original.code->hx());
+  EXPECT_EQ(reloaded.prep.to_text(), original.prep.to_text());
+  EXPECT_EQ(reloaded.layer1.has_value(), original.layer1.has_value());
+  EXPECT_EQ(reloaded.layer2.has_value(), original.layer2.has_value());
+  for (const auto& layers :
+       {std::make_pair(&original.layer1, &reloaded.layer1),
+        std::make_pair(&original.layer2, &reloaded.layer2)}) {
+    if (!layers.first->has_value()) {
+      continue;
+    }
+    const auto& a = **layers.first;
+    const auto& b = **layers.second;
+    EXPECT_EQ(a.verif.to_text(), b.verif.to_text());
+    EXPECT_EQ(a.flag_mask, b.flag_mask);
+    ASSERT_EQ(a.branches.size(), b.branches.size());
+    for (const auto& [key, branch] : a.branches) {
+      const auto it = b.branches.find(key);
+      ASSERT_NE(it, b.branches.end());
+      EXPECT_EQ(it->second.is_hook_branch, branch.is_hook_branch);
+      EXPECT_EQ(it->second.plan.measurements, branch.plan.measurements);
+      EXPECT_EQ(it->second.plan.recoveries.size(),
+                branch.plan.recoveries.size());
+    }
+  }
+
+  // Behavioural equality: the reloaded protocol is fault-tolerant and
+  // produces identical residuals under identical forced faults.
+  EXPECT_TRUE(check_fault_tolerance(reloaded).ok);
+  const auto metrics_a = compute_metrics(original);
+  const auto metrics_b = compute_metrics(reloaded);
+  EXPECT_EQ(metrics_a.total_verif_ancillas, metrics_b.total_verif_ancillas);
+  EXPECT_EQ(metrics_a.total_verif_cnots, metrics_b.total_verif_cnots);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, SerializeRoundTrip,
+    ::testing::Values("Steane", "Shor", "Carbon", "Tesseract"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW(load_protocol("not a protocol"), std::invalid_argument);
+  EXPECT_THROW(load_protocol("ftsp-protocol v1\nnonsense"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, HeaderVersionPinned) {
+  const auto protocol =
+      synthesize_protocol(qec::steane(), LogicalBasis::Zero);
+  const std::string text = save_protocol(protocol);
+  EXPECT_EQ(text.rfind("ftsp-protocol v1", 0), 0u);
+}
+
+}  // namespace
+}  // namespace ftsp::core

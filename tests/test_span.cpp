@@ -1,0 +1,127 @@
+#include "f2/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "f2/gauss.hpp"
+
+namespace ftsp::f2 {
+namespace {
+
+TEST(RowSpan, EnumeratesAllElements) {
+  const auto m = BitMatrix::from_strings({"1100", "0011"});
+  const RowSpan span(m);
+  EXPECT_EQ(span.dimension(), 2u);
+  EXPECT_EQ(span.size(), 4u);
+  std::set<std::string> elements;
+  for (const auto& e : span.elements()) {
+    elements.insert(e.to_string());
+  }
+  const std::set<std::string> expected = {"0000", "1100", "0011", "1111"};
+  EXPECT_EQ(elements, expected);
+}
+
+TEST(RowSpan, FirstElementIsZero) {
+  const RowSpan span(BitMatrix::from_strings({"101"}));
+  EXPECT_TRUE(span.elements()[0].none());
+}
+
+TEST(RowSpan, HandlesDependentRows) {
+  const auto m = BitMatrix::from_strings({"110", "011", "101"});
+  const RowSpan span(m);
+  EXPECT_EQ(span.dimension(), 2u);
+  EXPECT_EQ(span.size(), 4u);
+}
+
+TEST(RowSpan, EmptyMatrixGivesTrivialSpan) {
+  const RowSpan span(BitMatrix(0, 5));
+  EXPECT_EQ(span.dimension(), 0u);
+  EXPECT_EQ(span.size(), 1u);
+  EXPECT_TRUE(span.contains(BitVec(5)));
+  EXPECT_FALSE(span.contains(BitVec(5, {2})));
+}
+
+TEST(RowSpan, ContainsMatchesEnumeration) {
+  const auto m = BitMatrix::from_strings({"11010", "01101"});
+  const RowSpan span(m);
+  for (const auto& e : span.elements()) {
+    EXPECT_TRUE(span.contains(e));
+  }
+  EXPECT_FALSE(span.contains(BitVec::from_string("10000")));
+}
+
+TEST(RowSpan, CosetCanonicalEqualIffSameCoset) {
+  const auto m = BitMatrix::from_strings({"1100", "0011"});
+  const RowSpan span(m);
+  const BitVec a = BitVec::from_string("1000");
+  const BitVec b = a ^ span.elements()[3];
+  EXPECT_EQ(span.coset_canonical(a), span.coset_canonical(b));
+  EXPECT_NE(span.coset_canonical(a),
+            span.coset_canonical(BitVec::from_string("0010")));
+}
+
+TEST(RowSpan, CosetMinWeightZeroForMembers) {
+  const auto m = BitMatrix::from_strings({"111", "010"});
+  const RowSpan span(m);
+  for (const auto& e : span.elements()) {
+    EXPECT_EQ(span.coset_min_weight(e), 0u);
+  }
+}
+
+TEST(RowSpan, CosetMinWeightKnownCase) {
+  // Span {0000, 1111}: the coset of 1110 contains 0001 -> weight 1.
+  const RowSpan span(BitMatrix::from_strings({"1111"}));
+  EXPECT_EQ(span.coset_min_weight(BitVec::from_string("1110")), 1u);
+  EXPECT_EQ(span.coset_min_weight(BitVec::from_string("1100")), 2u);
+}
+
+TEST(RowSpan, MinRepresentativeIsInCosetAndMinimal) {
+  const auto m = BitMatrix::from_strings({"11110", "00111"});
+  const RowSpan span(m);
+  const BitVec e = BitVec::from_string("10101");
+  const BitVec rep = span.coset_min_representative(e);
+  EXPECT_TRUE(span.contains(rep ^ e));
+  EXPECT_EQ(rep.popcount(), span.coset_min_weight(e));
+}
+
+TEST(RowSpan, ThrowsOnHugeSpan) {
+  BitMatrix big(30, 40);
+  for (std::size_t i = 0; i < 30; ++i) {
+    big.set(i, i);
+  }
+  EXPECT_THROW(RowSpan{big}, std::length_error);
+}
+
+// Property: brute-force coset minimum equals RowSpan's answer on random
+// small instances.
+class SpanRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpanRandomized, MinWeightMatchesBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  std::uniform_int_distribution<int> bit(0, 1);
+  const std::size_t rows = 3;
+  const std::size_t cols = 8;
+  BitMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, bit(rng) != 0);
+    }
+  }
+  const RowSpan span(m);
+  BitVec v(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    v.set(c, bit(rng) != 0);
+  }
+  std::size_t brute = cols + 1;
+  for (const auto& s : span.elements()) {
+    brute = std::min(brute, (v ^ s).popcount());
+  }
+  EXPECT_EQ(span.coset_min_weight(v), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanRandomized, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace ftsp::f2

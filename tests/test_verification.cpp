@@ -1,0 +1,151 @@
+#include "core/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prep_synth.hpp"
+#include "core/protocol.hpp"
+#include "f2/gauss.hpp"
+#include "qec/code_library.hpp"
+#include "qec/state_context.hpp"
+
+namespace ftsp::core {
+namespace {
+
+using f2::BitVec;
+using qec::LogicalBasis;
+using qec::PauliType;
+
+TEST(Verification, EmptyErrorsNeedNoMeasurements) {
+  const auto code = qec::steane();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto set = synthesize_verification(
+      state.detector_generators(PauliType::X), {});
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->count(), 0u);
+  EXPECT_EQ(set->total_weight(), 0u);
+}
+
+TEST(Verification, SteaneZeroStateNeedsOneWeightThree) {
+  // The paper's Table I: Steane verification uses 1 ancilla and 3 CNOTs
+  // (the logical-Z measurement). This requires the *state* stabilizer
+  // candidates — with code stabilizers only, the minimum weight is 4.
+  const auto code = qec::steane();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  const auto events = enumerate_single_fault_events(7, {&prep});
+  const auto dangerous = dangerous_errors(state, PauliType::X, events);
+  ASSERT_FALSE(dangerous.empty());
+  const auto set = synthesize_verification(
+      state.detector_generators(PauliType::X), dangerous);
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->count(), 1u);
+  EXPECT_EQ(set->total_weight(), 3u);
+}
+
+TEST(Verification, DetectsAllGivenErrors) {
+  const auto code = qec::surface3();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  const auto events =
+      enumerate_single_fault_events(code.num_qubits(), {&prep});
+  const auto dangerous = dangerous_errors(state, PauliType::X, events);
+  const auto set = synthesize_verification(
+      state.detector_generators(PauliType::X), dangerous);
+  ASSERT_TRUE(set.has_value());
+  for (const BitVec& e : dangerous) {
+    bool detected = false;
+    for (const BitVec& s : set->stabilizers) {
+      detected = detected || s.dot(e);
+    }
+    EXPECT_TRUE(detected) << "undetected error " << e.to_string();
+  }
+}
+
+TEST(Verification, StabilizersLieInCandidateSpan) {
+  const auto code = qec::shor();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  const auto events =
+      enumerate_single_fault_events(code.num_qubits(), {&prep});
+  const auto dangerous = dangerous_errors(state, PauliType::X, events);
+  const auto& candidates = state.detector_generators(PauliType::X);
+  const auto set = synthesize_verification(candidates, dangerous);
+  ASSERT_TRUE(set.has_value());
+  for (const BitVec& s : set->stabilizers) {
+    EXPECT_TRUE(f2::in_row_span(candidates, s));
+    EXPECT_TRUE(s.any());
+  }
+}
+
+TEST(Verification, SyntheticCaseForcesTwoMeasurements) {
+  // Candidate generators: Z1Z2 and Z3Z4 only; errors X1 and X3 cannot be
+  // covered by a single span element of bounded... any single stabilizer
+  // from the span detecting both is Z1Z2+Z3Z4 (weight 4); with weight
+  // bounded by construction the optimum is that single weight-4 element.
+  f2::BitMatrix candidates = f2::BitMatrix::from_strings({"1100", "0011"});
+  const std::vector<BitVec> errors = {BitVec::from_string("1000"),
+                                      BitVec::from_string("0010")};
+  const auto set = synthesize_verification(candidates, errors);
+  ASSERT_TRUE(set.has_value());
+  // One measurement Z1Z2Z3Z4 (weight 4) beats two measurements of total
+  // weight 4 on the (u, v) lexicographic order.
+  EXPECT_EQ(set->count(), 1u);
+  EXPECT_EQ(set->stabilizers[0].to_string(), "1111");
+}
+
+TEST(Verification, ImpossibleWhenNoCandidateDetects) {
+  // Error commutes with the whole candidate span: unsatisfiable for any u.
+  f2::BitMatrix candidates = f2::BitMatrix::from_strings({"1100"});
+  const std::vector<BitVec> errors = {BitVec::from_string("1100")};
+  VerificationSynthOptions options;
+  options.max_measurements = 3;
+  EXPECT_FALSE(
+      synthesize_verification(candidates, errors, options).has_value());
+}
+
+TEST(Verification, EnumerationYieldsDistinctOptimalSets) {
+  const auto code = qec::steane();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  const auto events = enumerate_single_fault_events(7, {&prep});
+  const auto dangerous = dangerous_errors(state, PauliType::X, events);
+  const auto sets = enumerate_optimal_verifications(
+      state.detector_generators(PauliType::X), dangerous);
+  ASSERT_FALSE(sets.empty());
+  const std::size_t u = sets[0].count();
+  const std::size_t v = sets[0].total_weight();
+  std::set<std::string> unique;
+  for (const auto& set : sets) {
+    EXPECT_EQ(set.count(), u);
+    EXPECT_EQ(set.total_weight(), v);
+    std::string key;
+    for (const auto& s : set.stabilizers) {
+      key += s.to_string() + "|";
+    }
+    EXPECT_TRUE(unique.insert(key).second) << "duplicate set " << key;
+    for (const BitVec& e : dangerous) {
+      bool detected = false;
+      for (const BitVec& s : set.stabilizers) {
+        detected = detected || s.dot(e);
+      }
+      EXPECT_TRUE(detected);
+    }
+  }
+}
+
+TEST(Verification, EnumerationRespectsLimit) {
+  const auto code = qec::tetrahedral();
+  const qec::StateContext state(code, LogicalBasis::Zero);
+  const auto prep = synthesize_prep(state);
+  const auto events = enumerate_single_fault_events(15, {&prep});
+  const auto dangerous = dangerous_errors(state, PauliType::X, events);
+  VerificationSynthOptions options;
+  options.enumerate_limit = 3;
+  const auto sets = enumerate_optimal_verifications(
+      state.detector_generators(PauliType::X), dangerous, options);
+  EXPECT_LE(sets.size(), 3u);
+  EXPECT_GE(sets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ftsp::core

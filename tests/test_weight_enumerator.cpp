@@ -1,0 +1,78 @@
+#include "qec/weight_enumerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qec/code_library.hpp"
+
+namespace ftsp::qec {
+namespace {
+
+TEST(WeightEnumerator, SteaneStabilizerDistribution) {
+  // span(Hx) of the Steane code: identity + 7 weight-4 elements
+  // (the Hamming code's nonzero words all have weight 4).
+  const auto dist =
+      stabilizer_weight_distribution(steane(), PauliType::X);
+  EXPECT_EQ(dist.total(), 8u);
+  EXPECT_EQ(dist.counts[0], 1u);
+  EXPECT_EQ(dist.counts[4], 7u);
+  EXPECT_EQ(dist.min_nonzero_weight(), 4u);
+}
+
+TEST(WeightEnumerator, SteaneNormalizerContainsWeightThree) {
+  const auto dist = normalizer_weight_distribution(steane(), PauliType::Z);
+  EXPECT_EQ(dist.total(), 16u);  // 2^(3+1)
+  EXPECT_EQ(dist.min_nonzero_weight(), 3u);
+  EXPECT_EQ(dist.counts[3], 7u);  // The 7 weight-3 logical reps.
+}
+
+TEST(WeightEnumerator, ShorAsymmetry) {
+  // Z stabilizers of the Shor code include weight-2 pairs; X stabilizers
+  // start at weight 6.
+  EXPECT_EQ(stabilizer_weight_distribution(shor(), PauliType::Z)
+                .min_nonzero_weight(),
+            2u);
+  EXPECT_EQ(stabilizer_weight_distribution(shor(), PauliType::X)
+                .min_nonzero_weight(),
+            6u);
+}
+
+TEST(WeightEnumerator, TotalsArePowersOfTwo) {
+  for (const auto& code : all_library_codes()) {
+    for (const PauliType t : {PauliType::X, PauliType::Z}) {
+      const auto stab = stabilizer_weight_distribution(code, t);
+      const auto norm = normalizer_weight_distribution(code, t);
+      EXPECT_EQ(stab.total(), std::uint64_t{1}
+                                  << code.check_matrix(t).rows())
+          << code.name();
+      EXPECT_EQ(norm.total(),
+                stab.total() << code.num_logical())
+          << code.name();
+    }
+  }
+}
+
+TEST(WeightEnumerator, DistanceAgreesWithDirectSearch) {
+  // Independent cross-validation of the exact distance computation.
+  for (const auto& code : all_library_codes()) {
+    EXPECT_EQ(distance_from_enumerators(code, PauliType::X),
+              code.distance_x())
+        << code.name();
+    EXPECT_EQ(distance_from_enumerators(code, PauliType::Z),
+              code.distance_z())
+        << code.name();
+  }
+}
+
+TEST(WeightEnumerator, StabilizerWeightsAreEvenForSelfDualCodes) {
+  // Self-orthogonal rows force even weights throughout the span.
+  for (const char* name : {"Steane", "Hamming", "Tesseract"}) {
+    const auto code = library_code_by_name(name);
+    const auto dist = stabilizer_weight_distribution(code, PauliType::X);
+    for (std::size_t w = 1; w < dist.counts.size(); w += 2) {
+      EXPECT_EQ(dist.counts[w], 0u) << name << " weight " << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftsp::qec
