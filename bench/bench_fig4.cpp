@@ -7,6 +7,7 @@
 // multiple-importance re-weighting instead of Qsample's dynamic subset
 // sampling (see DESIGN.md). The "Linear" reference p_L = p corresponds to
 // an unencoded qubit. Expected shape: every curve scales as O(p^2).
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -23,6 +24,39 @@ using namespace ftsp;
 constexpr std::size_t kShotsPerStratum = 8000;
 
 const double kGrid[] = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1};
+
+/// Times the two sampling strata on one protocol with both engines; the
+/// whole figure is sampled with the batched one.
+void compare_engines(const core::Executor& executor,
+                     const decoder::PerfectDecoder& decoder,
+                     const std::string& name) {
+  const auto time_strata = [&](auto&& sample) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto a = sample(0.1, std::uint64_t{0xF16'4'0001ULL});
+    const auto b = sample(0.02, std::uint64_t{0xF16'4'0002ULL});
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // Consume so the work cannot be elided.
+    return std::pair<double, double>{
+        elapsed, core::estimate_logical_rate({a, b}, 0.01).mean};
+  };
+  const auto [scalar_s, scalar_pl] = time_strata([&](double q,
+                                                     std::uint64_t seed) {
+    return core::sample_protocol_batch_scalar(executor, decoder, q,
+                                              kShotsPerStratum, seed);
+  });
+  const auto [batched_s, batched_pl] = time_strata([&](double q,
+                                                       std::uint64_t seed) {
+    return core::sample_protocol_batch(executor, decoder, q,
+                                       kShotsPerStratum, seed);
+  });
+  std::printf("engine check (%s strata): scalar %.3fs, batched %.3fs "
+              "(%.1fx); pL(0.01) %.2e vs %.2e\n\n",
+              name.c_str(), scalar_s, batched_s, scalar_s / batched_s,
+              scalar_pl, batched_pl);
+}
 
 }  // namespace
 
@@ -43,6 +77,7 @@ int main() {
   }
   std::printf("\n");
 
+  bool compared_engines = false;
   for (const auto& code : qec::all_library_codes()) {
     core::Protocol protocol;
     try {
@@ -54,6 +89,10 @@ int main() {
     }
     const core::Executor executor(protocol);
     const decoder::PerfectDecoder decoder(code);
+    if (!compared_engines) {
+      compared_engines = true;
+      compare_engines(executor, decoder, code.name());
+    }
     const std::vector<core::TrajectoryBatch> batches = {
         core::sample_protocol_batch(executor, decoder, 0.1,
                                     kShotsPerStratum, 0xF16'4'0001ULL),

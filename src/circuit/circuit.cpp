@@ -128,7 +128,9 @@ Circuit Circuit::from_text(const std::string& text,
       tokens >> arrow >> creg;
       const int bit =
           op == "MZ" ? circuit.measure_z(q0) : circuit.measure_x(q0);
-      if (!creg.empty() && creg != "c" + std::to_string(bit)) {
+      std::string expected = "c";
+      expected += std::to_string(bit);
+      if (!creg.empty() && creg != expected) {
         throw std::invalid_argument(
             "Circuit::from_text: classical bits out of order in '" + line +
             "'");

@@ -19,7 +19,7 @@ Executor::Executor(const Protocol& protocol) : protocol_(&protocol) {
   }
 }
 
-const std::vector<sim::FaultSite>& Executor::sites_for(
+const std::vector<sim::FaultSite>& Executor::fault_sites(
     const circuit::Circuit& c) const {
   return sites_.at(&c);
 }

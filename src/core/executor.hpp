@@ -43,6 +43,12 @@ class Executor {
 
   const Protocol& protocol() const { return *protocol_; }
 
+  /// Fault sites of a compiled segment, cached at construction. Exposed so
+  /// the batched sampler can drive segments word-parallel instead of
+  /// through the per-shot `run` callback.
+  const std::vector<sim::FaultSite>& fault_sites(
+      const circuit::Circuit& c) const;
+
   /// Runs the protocol. `choose` is invoked once per executed fault
   /// location with a `SiteRef` and must return the index of the fault
   /// operator to inject, or -1 for no fault.
@@ -86,9 +92,6 @@ class Executor {
   std::unordered_map<const circuit::Circuit*, std::vector<sim::FaultSite>>
       sites_;
 
-  const std::vector<sim::FaultSite>& sites_for(
-      const circuit::Circuit& c) const;
-
   template <typename Chooser>
   f2::BitVec run_segment(const circuit::Circuit& c, Result& result,
                          Chooser& choose) const {
@@ -98,7 +101,7 @@ class Executor {
       frame.error.x.set(q, result.data_error.x.get(q));
       frame.error.z.set(q, result.data_error.z.get(q));
     }
-    const auto& sites = sites_for(c);
+    const auto& sites = fault_sites(c);
     for (std::size_t g = 0; g < c.gates().size(); ++g) {
       sim::apply_gate(frame, c.gates()[g]);
       const sim::FaultSite& site = sites[g];

@@ -28,6 +28,12 @@ class LookupDecoder {
   /// opposite-type check matrix).
   const f2::BitVec& decode(const f2::BitVec& syndrome) const;
 
+  /// Table access by packed syndrome (bit i = check row i) — used by the
+  /// batched sampler to precompute per-syndrome logical parities.
+  const f2::BitVec& decode_packed(std::size_t packed) const {
+    return table_[packed];
+  }
+
   /// Decodes the syndrome of `error` and returns the residual
   /// `error + correction` (a stabilizer or logical of the code).
   f2::BitVec residual(const f2::BitVec& error) const;
@@ -59,6 +65,10 @@ class PerfectDecoder {
         z_decoder_(code, qec::PauliType::Z) {}
 
   LogicalOutcome decode(const qec::Pauli& error) const;
+
+  const qec::CssCode& code() const { return *code_; }
+  const LookupDecoder& x_decoder() const { return x_decoder_; }
+  const LookupDecoder& z_decoder() const { return z_decoder_; }
 
  private:
   const qec::CssCode* code_;

@@ -122,5 +122,136 @@ TEST_F(SamplerTest, EmptyBatchesGiveZero) {
   EXPECT_EQ(estimate.std_error, 0.0);
 }
 
+namespace {
+
+bool same_trajectory(const Trajectory& a, const Trajectory& b) {
+  return a.sites == b.sites && a.faults == b.faults &&
+         a.x_fail == b.x_fail && a.z_fail == b.z_fail &&
+         a.hook_terminated == b.hook_terminated;
+}
+
+}  // namespace
+
+TEST_F(SamplerTest, BatchedDeterministicAcrossThreadCounts) {
+  // Shards are seeded by (seed, shard index) alone, so the batch must be
+  // bit-identical no matter how many workers ran it.
+  SamplerOptions one_thread;
+  one_thread.num_threads = 1;
+  one_thread.shard_shots = 256;  // Several shards even at modest shots.
+  SamplerOptions four_threads = one_thread;
+  four_threads.num_threads = 4;
+
+  const auto a = sample_protocol_batch(*executor_, *decoder_, 0.1, 1000, 77,
+                                       one_thread);
+  const auto b = sample_protocol_batch(*executor_, *decoder_, 0.1, 1000, 77,
+                                       four_threads);
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    ASSERT_TRUE(same_trajectory(a.trajectories[i], b.trajectories[i]))
+        << "shot " << i;
+  }
+  // And rerunning with the same seed reproduces the same counts.
+  const auto c = sample_protocol_batch(*executor_, *decoder_, 0.1, 1000, 77,
+                                       four_threads);
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    ASSERT_TRUE(same_trajectory(a.trajectories[i], c.trajectories[i]));
+  }
+}
+
+TEST_F(SamplerTest, BatchedMatchesScalarOracleStatistics) {
+  // The batched engine and the scalar reference sample the same
+  // distribution; their logical-rate estimates must agree within error,
+  // and their per-kind site profiles must be drawn from the same
+  // protocol segments.
+  const double q = 0.08;
+  const std::size_t shots = 6000;
+  const auto scalar =
+      sample_protocol_batch_scalar(*executor_, *decoder_, q, shots, 123);
+  const auto batched =
+      sample_protocol_batch(*executor_, *decoder_, q, shots, 456);
+
+  const auto scalar_est = estimate_logical_rate({scalar}, q);
+  const auto batched_est = estimate_logical_rate({batched}, q);
+  const double sigma =
+      5.0 * std::sqrt(scalar_est.std_error * scalar_est.std_error +
+                      batched_est.std_error * batched_est.std_error);
+  EXPECT_NEAR(scalar_est.mean, batched_est.mean, sigma + 1e-9);
+
+  // Mean fault fraction per kind must match the shared rate q.
+  for (std::size_t k = 0; k < sim::kNumLocationKinds; ++k) {
+    double scalar_sites = 0.0, scalar_faults = 0.0;
+    double batched_sites = 0.0, batched_faults = 0.0;
+    for (const auto& t : scalar.trajectories) {
+      scalar_sites += t.sites[k];
+      scalar_faults += t.faults[k];
+    }
+    for (const auto& t : batched.trajectories) {
+      batched_sites += t.sites[k];
+      batched_faults += t.faults[k];
+    }
+    if (scalar_sites == 0.0) {
+      // Kind absent from this protocol: both engines must agree.
+      EXPECT_EQ(batched_sites, 0.0) << "kind " << k;
+      continue;
+    }
+    ASSERT_GT(batched_sites, 0.0);
+    const double n = std::min(scalar_sites, batched_sites);
+    const double tolerance = 6.0 * std::sqrt(q * (1 - q) / n) + 1e-12;
+    EXPECT_NEAR(scalar_faults / scalar_sites, q, tolerance) << "kind " << k;
+    EXPECT_NEAR(batched_faults / batched_sites, q, tolerance) << "kind " << k;
+  }
+}
+
+TEST_F(SamplerTest, BatchedHandlesOddShotCountsAndShardSizes) {
+  SamplerOptions options;
+  options.num_threads = 2;
+  options.shard_shots = 100;  // Not a multiple of 64: partial tail words.
+  const auto batch = sample_protocol_batch(*executor_, *decoder_, 0.2, 333,
+                                           9, options);
+  ASSERT_EQ(batch.trajectories.size(), 333u);
+  for (const auto& t : batch.trajectories) {
+    std::uint64_t sites = 0;
+    for (std::size_t k = 0; k < sim::kNumLocationKinds; ++k) {
+      EXPECT_LE(t.faults[k], t.sites[k]);
+      sites += t.sites[k];
+    }
+    EXPECT_GT(sites, 0u);
+  }
+}
+
+TEST_F(SamplerTest, ZeroShardShotsRejected) {
+  SamplerOptions options;
+  options.shard_shots = 0;
+  EXPECT_THROW(
+      sample_protocol_batch(*executor_, *decoder_, 0.1, 10, 1, options),
+      std::invalid_argument);
+}
+
+TEST(TrajectoryCounters, HoldCountsBeyondUint16) {
+  // Regression for the uint16_t counters that silently wrapped at 65535:
+  // large codes exceed 65k fault locations per sweep.
+  static_assert(
+      std::is_same_v<decltype(Trajectory{}.sites),
+                     std::array<std::uint32_t, sim::kNumLocationKinds>>,
+      "Trajectory site counters must be at least 32-bit");
+  Trajectory t;
+  for (int i = 0; i < 70000; ++i) {
+    ++t.sites[0];
+    ++t.faults[0];
+  }
+  EXPECT_EQ(t.sites[0], 70000u);
+  EXPECT_EQ(t.total_faults(), 70000u);
+
+  // The importance-sampling density must see the un-wrapped counts.
+  t.faults[0] = 0;
+  TrajectoryBatch batch;
+  batch.q = sim::NoiseParams::e1_1(0.01);
+  Trajectory failing = t;
+  failing.x_fail = true;
+  batch.trajectories = {failing};
+  const auto estimate = estimate_logical_rate({batch}, 0.01);
+  EXPECT_GT(estimate.mean, 0.0);
+}
+
 }  // namespace
 }  // namespace ftsp::core
