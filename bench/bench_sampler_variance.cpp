@@ -8,6 +8,8 @@
 // where naive MC needs ~1/p_L shots to see a single failure.
 #include <chrono>
 #include <cstdio>
+#include <string_view>
+#include <vector>
 
 #include "core/executor.hpp"
 #include "core/protocol.hpp"
@@ -25,7 +27,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 void bench_throughput(const core::Executor& executor,
-                      const decoder::PerfectDecoder& decoder) {
+                      const decoder::PerfectDecoder& decoder,
+                      bool smoke) {
   std::printf("Batched vs scalar sampler throughput (q = 0.1, min of %d "
               "runs)\n\n",
               3);
@@ -48,7 +51,10 @@ void bench_throughput(const core::Executor& executor,
     }
     return std::pair<double, double>{best, checksum};
   };
-  for (const std::size_t shots : {4096u, 16384u, 65536u}) {
+  const std::vector<std::size_t> shot_counts =
+      smoke ? std::vector<std::size_t>{1024u, 4096u}
+            : std::vector<std::size_t>{4096u, 16384u, 65536u};
+  for (const std::size_t shots : shot_counts) {
     const auto [scalar_s, scalar_pl] = timed([&] {
       return core::sample_protocol_batch_scalar(executor, decoder, 0.1,
                                                 shots, 1);
@@ -66,14 +72,23 @@ void bench_throughput(const core::Executor& executor,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: small shot counts for the CI benchmark-smoke job.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke = smoke || std::string_view(argv[i]) == "--smoke";
+  }
   const auto code = qec::steane();
   const auto protocol =
       core::synthesize_protocol(code, qec::LogicalBasis::Zero);
   const core::Executor executor(protocol);
   const decoder::PerfectDecoder decoder(code);
 
-  bench_throughput(executor, decoder);
+  bench_throughput(executor, decoder, smoke);
+
+  if (smoke) {
+    return 0;
+  }
 
   std::printf("Sampler comparison on the Steane protocol (20000 shots "
               "each)\n\n");

@@ -1,11 +1,14 @@
 #include "core/correction.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
+#include "core/bound_sweep.hpp"
 #include "core/stabilizer_select.hpp"
+#include "core/synth_cache.hpp"
 #include "sat/cnf_builder.hpp"
-#include "sat/solver.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
 
@@ -13,7 +16,6 @@ using f2::BitVec;
 using qec::PauliType;
 using sat::CnfBuilder;
 using sat::Lit;
-using sat::Solver;
 
 std::size_t CorrectionPlan::total_weight() const {
   std::size_t w = 0;
@@ -146,70 +148,171 @@ std::optional<CorrectionPlan> finalize(const qec::StateContext& state,
   return plan;
 }
 
-/// One decision query: u measurements of total weight <= v.
-std::optional<CorrectionPlan> query(const qec::StateContext& state,
-                                    PauliType type, const Instance& inst,
-                                    std::size_t u, std::size_t v,
-                                    std::uint64_t budget) {
-  const auto& generators = state.detector_generators(type);
-  Solver solver;
-  solver.set_conflict_budget(budget);
-  CnfBuilder cnf(solver);
-  StabilizerSelection selection(cnf, generators, u);
-  selection.require_nonzero();
-  if (u > 1) {
-    selection.break_symmetry();
-  }
+/// One encoded "u measurements separate every class" skeleton; the weight
+/// bound is either swept via a cardinality ladder (incremental mode) or
+/// fixed per instance (from-scratch mode).
+struct CorrectionContext {
+  std::unique_ptr<sat::SolverBase> solver;
+  std::unique_ptr<CnfBuilder> cnf;
+  std::unique_ptr<StabilizerSelection> selection;
+  sat::CardinalityLadder ladder;
+  std::size_t u = 0;
 
-  // Syndrome literals per (error, measurement).
-  std::vector<std::vector<Lit>> sigma(inst.errors.size(),
-                                      std::vector<Lit>(u));
-  for (std::size_t j = 0; j < inst.errors.size(); ++j) {
-    for (std::size_t i = 0; i < u; ++i) {
-      sigma[j][i] = selection.syndrome_bit(i, inst.errors[j]);
+  CorrectionContext(const qec::StateContext& state, PauliType type,
+                    const Instance& inst, std::size_t num_measurements,
+                    const CorrectionSynthOptions& options, bool with_ladder)
+      : u(num_measurements) {
+    const auto& generators = state.detector_generators(type);
+    solver = sat::make_engine_solver(options.engine, options.conflict_budget);
+    cnf = std::make_unique<CnfBuilder>(*solver);
+    selection = std::make_unique<StabilizerSelection>(*cnf, generators, u);
+    selection->require_nonzero();
+    if (u > 1) {
+      selection->break_symmetry();
     }
-  }
 
-  // Per extended pattern pi: a selected recovery (at least one candidate;
-  // selecting several is harmless, all must then be valid). For every
-  // error j and invalid candidate c: if j's syndrome matches pi, c must
-  // not be selected for pi.
-  const std::size_t num_patterns = std::size_t{1} << u;
-  for (std::size_t pi = 0; pi < num_patterns; ++pi) {
-    std::vector<Lit> chosen(inst.candidates.size());
-    for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
-      chosen[c] = cnf.fresh();
-    }
-    cnf.add_at_least_one(chosen);
+    // Syndrome literals per (error, measurement).
+    std::vector<std::vector<Lit>> sigma(inst.errors.size(),
+                                        std::vector<Lit>(u));
     for (std::size_t j = 0; j < inst.errors.size(); ++j) {
-      for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
-        if (inst.ok[j][c]) {
-          continue;
-        }
-        // not(match(j, pi)) or not chosen[c]
-        std::vector<Lit> clause;
-        clause.reserve(u + 1);
-        clause.push_back(~chosen[c]);
-        for (std::size_t i = 0; i < u; ++i) {
-          const bool bit = ((pi >> i) & 1U) != 0;
-          clause.push_back(bit ? ~sigma[j][i] : sigma[j][i]);
-        }
-        solver.add_clause(clause);
+      for (std::size_t i = 0; i < u; ++i) {
+        sigma[j][i] = selection->syndrome_bit(i, inst.errors[j]);
       }
     }
+
+    // Per extended pattern pi: a selected recovery (at least one
+    // candidate; selecting several is harmless, all must then be valid).
+    // For every error j and invalid candidate c: if j's syndrome matches
+    // pi, c must not be selected for pi.
+    const std::size_t num_patterns = std::size_t{1} << u;
+    for (std::size_t pi = 0; pi < num_patterns; ++pi) {
+      std::vector<Lit> chosen(inst.candidates.size());
+      for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+        chosen[c] = cnf->fresh();
+      }
+      cnf->add_at_least_one(chosen);
+      for (std::size_t j = 0; j < inst.errors.size(); ++j) {
+        for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+          if (inst.ok[j][c]) {
+            continue;
+          }
+          // not(match(j, pi)) or not chosen[c]
+          std::vector<Lit> clause;
+          clause.reserve(u + 1);
+          clause.push_back(~chosen[c]);
+          for (std::size_t i = 0; i < u; ++i) {
+            const bool bit = ((pi >> i) & 1U) != 0;
+            clause.push_back(bit ? ~sigma[j][i] : sigma[j][i]);
+          }
+          solver->add_clause(clause);
+        }
+      }
+    }
+
+    if (with_ladder) {
+      ladder = selection->make_total_weight_ladder(
+          u * state.num_qubits());
+    }
   }
 
-  selection.bound_total_weight(v);
+  bool solve_with_bound(std::size_t v,
+                        const CorrectionSynthOptions& options) {
+    return solve_with_ladder_bound(*solver, ladder, v, options.telemetry);
+  }
 
-  if (!solver.solve()) {
+  std::optional<CorrectionPlan> extract_plan(const qec::StateContext& state,
+                                             PauliType type,
+                                             const Instance& inst) const {
+    std::vector<BitVec> measurements;
+    for (std::size_t i = 0; i < u; ++i) {
+      measurements.push_back(selection->extract(*solver, i));
+    }
+    // Recompute recoveries deterministically (also re-validates the
+    // model).
+    return finalize(state, type, inst, std::move(measurements));
+  }
+};
+
+/// One from-scratch decision query: u measurements of total weight <= v.
+std::optional<CorrectionPlan> query_fresh(const qec::StateContext& state,
+                                          PauliType type,
+                                          const Instance& inst,
+                                          std::size_t u, std::size_t v,
+                                          const CorrectionSynthOptions&
+                                              options) {
+  CorrectionContext ctx(state, type, inst, u, options,
+                        /*with_ladder=*/false);
+  ctx.selection->bound_total_weight(v);
+  const sat::SolverStats before = ctx.solver->stats();
+  const bool sat = ctx.solver->solve();
+  if (options.telemetry != nullptr) {
+    options.telemetry->steps.push_back(
+        {v, sat, ctx.solver->stats() - before});
+  }
+  if (!sat) {
     return std::nullopt;
   }
-  std::vector<BitVec> measurements;
-  for (std::size_t i = 0; i < u; ++i) {
-    measurements.push_back(selection.extract(solver, i));
+  return ctx.extract_plan(state, type, inst);
+}
+
+constexpr const char* kEmptyBits = "-";  // A zero-length bit vector.
+
+std::string correction_cache_key(const qec::StateContext& state,
+                                 PauliType type,
+                                 const std::vector<BitVec>& class_errors,
+                                 const CorrectionSynthOptions& options) {
+  std::string key = "corr|" + options.engine.fingerprint();
+  key += "|mm=" + std::to_string(options.max_measurements);
+  key += "|bud=" + std::to_string(options.conflict_budget);
+  key += "|t=";
+  key += type == PauliType::X ? 'X' : 'Z';
+  key += "|SX=" + cache_key_matrix(state.stabilizer_generators(PauliType::X));
+  key += "|SZ=" + cache_key_matrix(state.stabilizer_generators(PauliType::Z));
+  key += cache_key_errors(class_errors);
+  return key;
+}
+
+std::string bits_or_empty(const BitVec& v) {
+  return v.empty() ? kEmptyBits : v.to_string();
+}
+
+BitVec bits_from(const std::string& s) {
+  return s == kEmptyBits ? BitVec(0) : BitVec::from_string(s);
+}
+
+std::string encode_plan(const CorrectionPlan& plan) {
+  std::string text;
+  for (const auto& m : plan.measurements) {
+    text += "m " + m.to_string() + "\n";
   }
-  // Recompute recoveries deterministically (also re-validates the model).
-  return finalize(state, type, inst, std::move(measurements));
+  for (const auto& [pattern, recovery] : plan.recoveries) {
+    text += "r " + bits_or_empty(pattern) + " " + recovery.to_string() + "\n";
+  }
+  return text;
+}
+
+CorrectionPlan decode_plan(const std::string& text) {
+  CorrectionPlan plan;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == 'm') {
+      plan.measurements.push_back(BitVec::from_string(line.substr(2)));
+    } else {
+      const std::size_t space = line.find(' ', 2);
+      plan.recoveries.emplace(bits_from(line.substr(2, space - 2)),
+                              bits_from(line.substr(space + 1)));
+    }
+  }
+  return plan;
 }
 
 }  // namespace
@@ -218,6 +321,25 @@ std::optional<CorrectionPlan> synthesize_correction(
     const qec::StateContext& state, PauliType error_type,
     const std::vector<BitVec>& class_errors,
     const CorrectionSynthOptions& options) {
+  std::string key;
+  if (options.engine.use_cache) {
+    key = correction_cache_key(state, error_type, class_errors, options);
+    if (const auto hit = SynthCache::instance().lookup(key)) {
+      if (*hit == kCacheInfeasible) {
+        return std::nullopt;
+      }
+      return decode_plan(*hit);
+    }
+  }
+  const auto finish = [&](std::optional<CorrectionPlan> result)
+      -> std::optional<CorrectionPlan> {
+    if (options.engine.use_cache) {
+      SynthCache::instance().store(
+          key, result.has_value() ? encode_plan(*result) : kCacheInfeasible);
+    }
+    return result;
+  };
+
   const Instance inst = build_instance(state, error_type, class_errors);
 
   // u = 0: a single unconditional recovery for the whole class.
@@ -229,35 +351,50 @@ std::optional<CorrectionPlan> synthesize_correction(
     if (const auto recovery = common_recovery(inst, all)) {
       CorrectionPlan plan;
       plan.recoveries.emplace(BitVec(0), *recovery);
-      return plan;
+      return finish(std::move(plan));
     }
   }
 
   const std::size_t n = state.num_qubits();
+  const auto weight_of = [](const CorrectionPlan& plan) {
+    return plan.total_weight();
+  };
   for (std::size_t u = 1; u <= options.max_measurements; ++u) {
-    auto feasible =
-        query(state, error_type, inst, u, u * n, options.conflict_budget);
-    if (!feasible.has_value()) {
-      continue;
-    }
-    // Binary search the minimal total weight for this u.
-    std::size_t lo = u;
-    std::size_t hi = feasible->total_weight();
-    CorrectionPlan best = std::move(*feasible);
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      auto plan =
-          query(state, error_type, inst, u, mid, options.conflict_budget);
-      if (plan.has_value()) {
-        hi = plan->total_weight() < mid ? plan->total_weight() : mid;
-        best = std::move(*plan);
-      } else {
-        lo = mid + 1;
+    std::optional<CorrectionPlan> best;
+    if (options.engine.incremental) {
+      // Encode the skeleton once; sweep the weight bound via assumptions.
+      CorrectionContext ctx(state, error_type, inst, u, options,
+                            /*with_ladder=*/true);
+      best = sweep_min_weight(
+          /*lo=*/u, /*vmax=*/u * n,
+          [&](std::size_t v) -> std::optional<CorrectionPlan> {
+            if (!ctx.solve_with_bound(v, options)) {
+              return std::nullopt;
+            }
+            return ctx.extract_plan(state, error_type, inst);
+          },
+          weight_of);
+      if (best.has_value() && options.engine.use_cache) {
+        std::vector<Lit> bound;
+        if (best->total_weight() < ctx.ladder.max_bound()) {
+          bound.push_back(ctx.ladder.at_most(best->total_weight()));
+        }
+        SynthCache::instance().dump_cnf(key, *ctx.solver, bound);
       }
+    } else {
+      // From-scratch path: every bound re-encodes the CNF.
+      best = sweep_min_weight(
+          u, u * n,
+          [&](std::size_t v) {
+            return query_fresh(state, error_type, inst, u, v, options);
+          },
+          weight_of);
     }
-    return best;
+    if (best.has_value()) {
+      return finish(std::move(best));
+    }
   }
-  return std::nullopt;
+  return finish(std::nullopt);
 }
 
 }  // namespace ftsp::core

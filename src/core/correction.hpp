@@ -7,6 +7,7 @@
 
 #include "f2/bit_vec.hpp"
 #include "qec/state_context.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
 
@@ -31,6 +32,10 @@ struct CorrectionPlan {
 struct CorrectionSynthOptions {
   std::size_t max_measurements = 4;
   std::uint64_t conflict_budget = 0;  ///< Per SAT query; 0 = unlimited.
+  /// SAT engine selection (incremental weight sweeps, portfolio, cache).
+  sat::EngineOptions engine;
+  /// Optional per-bound solver-statistics sink.
+  sat::SweepTelemetry* telemetry = nullptr;
 };
 
 /// Solves CORRECTION CIRCUIT SYNTHESIS (Section IV): given the errors of

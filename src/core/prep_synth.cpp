@@ -7,9 +7,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/synth_cache.hpp"
 #include "f2/gauss.hpp"
 #include "sat/cnf_builder.hpp"
-#include "sat/solver.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
 
@@ -368,44 +369,227 @@ std::optional<circuit::Circuit> optimal_prep_bfs(
 
 }  // namespace
 
-std::optional<circuit::Circuit> synthesize_prep_optimal(
-    const qec::StateContext& state, const PrepSynthOptions& options) {
-  using sat::CnfBuilder;
-  using sat::Lit;
-  using sat::Solver;
+namespace {
 
-  // Exact subspace BFS where the state space is small enough.
-  {
-    const BitMatrix& gens =
-        state.stabilizer_generators(qec::PauliType::X);
-    const std::size_t space =
-        count_subspaces(gens.cols(), f2::rank(gens), 400000);
-    if (space <= 400000) {
-      if (auto bfs = optimal_prep_bfs(state)) {
-        return bfs;
+using sat::CnfBuilder;
+using sat::Lit;
+
+/// Incremental reverse-synthesis search: one solver holds up to
+/// `max_cnots` optional op slots, grown lazily as the gate-count sweep
+/// advances. Slot k is governed by an activation literal act[k]
+/// (monotone: act[k] -> act[k-1]); an inactive slot selects no op and
+/// leaves the matrix unchanged, so "exactly G gates" is just an
+/// assumption set — the CNF skeleton is shared and learned clauses carry
+/// across the whole sweep.
+class IncrementalPrepSearch {
+ public:
+  IncrementalPrepSearch(const BitMatrix& start, std::size_t n,
+                        const PrepSynthOptions& options)
+      : n_(n), r_(start.rows()) {
+    solver_ = sat::make_engine_solver(options.engine,
+                                      options.sat_conflict_budget);
+    cnf_ = std::make_unique<CnfBuilder>(*solver_);
+    m_.emplace_back(r_, std::vector<Lit>(n_));
+    for (std::size_t i = 0; i < r_; ++i) {
+      for (std::size_t q = 0; q < n_; ++q) {
+        m_[0][i][q] = cnf_->constant(start.get(i, q));
       }
     }
   }
 
-  const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
-  const std::size_t n = state.num_qubits();
-  auto rr = f2::rref(gens);
-  rr.reduced.remove_zero_rows();
-  const BitMatrix start = rr.reduced;
-  const std::size_t r = start.rows();
+  sat::SolverBase& solver() { return *solver_; }
 
-  std::size_t nonzero_cols = 0;
-  for (std::size_t q = 0; q < n; ++q) {
-    if (start.column(q).any()) {
-      ++nonzero_cols;
+  /// The assumption set defining the "exactly `gates` CNOTs" query: the
+  /// active-slot prefix, the product-state condition, and the
+  /// progress-pruning ladder bounds. Requires `grow(gates)` to have run.
+  std::vector<Lit> assumptions_for(std::size_t gates) const {
+    std::vector<Lit> assumptions;
+    for (std::size_t k = 0; k < gates; ++k) {
+      assumptions.push_back(act_[k]);
+    }
+    if (gates < act_.size()) {
+      assumptions.push_back(~act_[gates]);
+    }
+    if (gates > 0 && r_ < ladders_[gates - 1].max_bound()) {
+      assumptions.push_back(ladders_[gates - 1].at_most(r_));
+    }
+    // Progress ladder: each op can zero at most one column, so after
+    // slot j (j < gates-1) at most r + (gates-1-j) columns may remain
+    // nonzero.
+    for (std::size_t j = 0; j + 1 < gates; ++j) {
+      const std::size_t bound = r_ + (gates - 1 - j);
+      if (bound < n_ && bound < ladders_[j].max_bound()) {
+        assumptions.push_back(ladders_[j].at_most(bound));
+      }
+    }
+    return assumptions;
+  }
+
+  /// Solves for a circuit of exactly `gates` CNOTs.
+  bool solve_for(std::size_t gates) {
+    grow(gates);
+    return solver_->solve(assumptions_for(gates));
+  }
+
+  circuit::Circuit decode(std::size_t gates) const {
+    circuit::Circuit prep(n_);
+    BitVec plus(n_);
+    const auto& final_m = m_[gates];
+    for (std::size_t q = 0; q < n_; ++q) {
+      for (std::size_t i = 0; i < r_; ++i) {
+        if (solver_->model_value(final_m[i][q])) {
+          plus.set(q);
+          break;
+        }
+      }
+    }
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (plus.get(q)) {
+        prep.prep_x(q);
+      } else {
+        prep.prep_z(q);
+      }
+    }
+    for (std::size_t k = gates; k-- > 0;) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        for (std::size_t t = 0; t < n_; ++t) {
+          if (c != t && solver_->model_value(sel_[k][c][t])) {
+            prep.cnot(c, t);
+          }
+        }
+      }
+    }
+    return prep;
+  }
+
+ private:
+  void grow(std::size_t slots) {
+    while (act_.size() < slots) {
+      const std::size_t k = act_.size();
+      const Lit act = cnf_->fresh();
+      if (k > 0) {
+        solver_->add_binary(~act, act_[k - 1]);  // Active prefix.
+      }
+      act_.push_back(act);
+
+      std::vector<std::vector<Lit>> sel(n_, std::vector<Lit>(n_));
+      std::vector<Lit> all;
+      for (std::size_t c = 0; c < n_; ++c) {
+        for (std::size_t t = 0; t < n_; ++t) {
+          if (c == t) {
+            continue;
+          }
+          sel[c][t] = cnf_->fresh();
+          all.push_back(sel[c][t]);
+          solver_->add_binary(~sel[c][t], act);  // Op implies active.
+          // Pruning: adding a zero column is a no-op, and a minimal
+          // circuit has none.
+          std::vector<Lit> source_nonzero;
+          source_nonzero.reserve(r_ + 1);
+          source_nonzero.push_back(~sel[c][t]);
+          for (std::size_t i = 0; i < r_; ++i) {
+            source_nonzero.push_back(m_[k][i][c]);
+          }
+          solver_->add_clause(source_nonzero);
+          // Pruning: two identical adjacent ops cancel; a minimal
+          // circuit has none.
+          if (k > 0) {
+            solver_->add_binary(~sel_[k - 1][c][t], ~sel[c][t]);
+          }
+        }
+      }
+      // An active slot selects exactly one op; an inactive one selects
+      // none (each op already implies act).
+      std::vector<Lit> one_if_active;
+      one_if_active.reserve(all.size() + 1);
+      one_if_active.push_back(~act);
+      one_if_active.insert(one_if_active.end(), all.begin(), all.end());
+      solver_->add_clause(one_if_active);
+      for (std::size_t a = 0; a < all.size(); ++a) {
+        for (std::size_t b = a + 1; b < all.size(); ++b) {
+          solver_->add_binary(~all[a], ~all[b]);
+        }
+      }
+
+      // Symmetry breaking: adjacent ops (c,t), (c',t') commute iff
+      // t != c' and t' != c; force commuting adjacent pairs into
+      // lexicographically non-decreasing order.
+      if (k > 0) {
+        for (std::size_t c = 0; c < n_; ++c) {
+          for (std::size_t t = 0; t < n_; ++t) {
+            if (c == t) {
+              continue;
+            }
+            for (std::size_t c2 = 0; c2 < n_; ++c2) {
+              for (std::size_t t2 = 0; t2 < n_; ++t2) {
+                if (c2 == t2) {
+                  continue;
+                }
+                const bool commute = (t != c2) && (t2 != c);
+                const bool decreasing =
+                    std::make_pair(c2, t2) < std::make_pair(c, t);
+                if (commute && decreasing) {
+                  solver_->add_binary(~sel_[k - 1][c][t], ~sel[c2][t2]);
+                }
+              }
+            }
+          }
+        }
+      }
+
+      // State after this slot: col t += col c when (c,t) is selected.
+      std::vector<std::vector<Lit>> next(r_, std::vector<Lit>(n_));
+      for (std::size_t q = 0; q < n_; ++q) {
+        for (std::size_t i = 0; i < r_; ++i) {
+          std::vector<Lit> adds;
+          adds.reserve(n_ - 1);
+          for (std::size_t c = 0; c < n_; ++c) {
+            if (c != q) {
+              adds.push_back(cnf_->and_of({sel[c][q], m_[k][i][c]}));
+            }
+          }
+          next[i][q] = cnf_->xor_of({m_[k][i][q], cnf_->or_of(adds)});
+        }
+      }
+      sel_.push_back(std::move(sel));
+      m_.push_back(std::move(next));
+
+      // Column-count ladder over the post-slot state, swept via
+      // assumptions (product condition and progress pruning).
+      std::vector<Lit> nonzero;
+      nonzero.reserve(n_);
+      for (std::size_t q = 0; q < n_; ++q) {
+        std::vector<Lit> column(r_);
+        for (std::size_t i = 0; i < r_; ++i) {
+          column[i] = m_[k + 1][i][q];
+        }
+        nonzero.push_back(cnf_->or_of(column));
+      }
+      ladders_.push_back(cnf_->make_cardinality_ladder(nonzero, n_));
     }
   }
-  const std::size_t lower_bound = nonzero_cols > r ? nonzero_cols - r : 0;
+
+  std::size_t n_;
+  std::size_t r_;
+  std::unique_ptr<sat::SolverBase> solver_;
+  std::unique_ptr<CnfBuilder> cnf_;
+  std::vector<Lit> act_;
+  std::vector<std::vector<std::vector<Lit>>> sel_;  // [slot][c][t]
+  std::vector<std::vector<std::vector<Lit>>> m_;    // [k][row][q]
+  std::vector<sat::CardinalityLadder> ladders_;     // [slot]
+};
+
+std::optional<circuit::Circuit> optimal_prep_fresh(
+    const qec::StateContext& state, const BitMatrix& start,
+    std::size_t lower_bound, const PrepSynthOptions& options) {
+  const std::size_t n = state.num_qubits();
+  const std::size_t r = start.rows();
 
   for (std::size_t num_gates = lower_bound; num_gates <= options.max_cnots;
        ++num_gates) {
-    Solver solver;
-    solver.set_conflict_budget(options.sat_conflict_budget);
+    auto solver_ptr = sat::make_engine_solver(options.engine,
+                                              options.sat_conflict_budget);
+    sat::SolverBase& solver = *solver_ptr;
     CnfBuilder cnf(solver);
 
     // The search runs the circuit in reverse: apply column additions
@@ -510,13 +694,9 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
       }
     }
 
-    bool satisfiable = false;
-    try {
-      satisfiable = solver.solve();
-    } catch (const Solver::SolveInterrupted&) {
-      return std::nullopt;  // Budget exhausted; caller falls back.
-    }
-    if (!satisfiable) {
+    // SolveInterrupted (budget exhausted) propagates to the caller, which
+    // must distinguish "gave up" from "proven infeasible" for the cache.
+    if (!solver.solve()) {
       continue;
     }
 
@@ -552,6 +732,110 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
     return prep;
   }
   return std::nullopt;
+}
+
+std::string prep_cache_key(const BitMatrix& gens,
+                           const PrepSynthOptions& options) {
+  std::string key = "prep|" + options.engine.fingerprint();
+  key += "|maxc=" + std::to_string(options.max_cnots);
+  key += "|bud=" + std::to_string(options.sat_conflict_budget);
+  key += "|bfs=";
+  key += options.allow_bfs ? '1' : '0';
+  key += "|G=" + cache_key_matrix(gens);
+  return key;
+}
+
+}  // namespace
+
+std::optional<circuit::Circuit> synthesize_prep_optimal(
+    const qec::StateContext& state, const PrepSynthOptions& options) {
+  const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
+  const std::size_t n = state.num_qubits();
+
+  std::string key;
+  if (options.engine.use_cache) {
+    key = prep_cache_key(gens, options);
+    if (const auto hit = SynthCache::instance().lookup(key)) {
+      if (*hit == kCacheInfeasible) {
+        return std::nullopt;
+      }
+      return circuit::Circuit::from_text(*hit, n);
+    }
+  }
+  const auto finish = [&](std::optional<circuit::Circuit> result)
+      -> std::optional<circuit::Circuit> {
+    if (options.engine.use_cache) {
+      SynthCache::instance().store(
+          key, result.has_value() ? result->to_text() : kCacheInfeasible);
+    }
+    return result;
+  };
+
+  // Exact subspace BFS where the state space is small enough.
+  if (options.allow_bfs) {
+    const std::size_t space =
+        count_subspaces(gens.cols(), f2::rank(gens), 400000);
+    if (space <= 400000) {
+      if (auto bfs = optimal_prep_bfs(state)) {
+        return finish(std::move(bfs));
+      }
+    }
+  }
+
+  auto rr = f2::rref(gens);
+  rr.reduced.remove_zero_rows();
+  const BitMatrix start = rr.reduced;
+  const std::size_t r = start.rows();
+
+  std::size_t nonzero_cols = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    if (start.column(q).any()) {
+      ++nonzero_cols;
+    }
+  }
+  const std::size_t lower_bound = nonzero_cols > r ? nonzero_cols - r : 0;
+
+  if (lower_bound == 0) {
+    // The generator matrix is already a product state: |+> on its
+    // nonzero columns, no CNOTs.
+    circuit::Circuit prep(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      if (start.column(q).any()) {
+        prep.prep_x(q);
+      } else {
+        prep.prep_z(q);
+      }
+    }
+    return finish(std::move(prep));
+  }
+
+  if (options.engine.incremental) {
+    IncrementalPrepSearch search(start, n, options);
+    std::optional<circuit::Circuit> result;
+    std::size_t found_gates = 0;
+    try {
+      for (std::size_t gates = lower_bound;
+           gates <= options.max_cnots && !result.has_value(); ++gates) {
+        if (search.solve_for(gates)) {
+          result = search.decode(gates);
+          found_gates = gates;
+        }
+      }
+    } catch (const sat::SolverBase::SolveInterrupted&) {
+      return std::nullopt;  // Budget exhausted: fall back, do not cache.
+    }
+    if (options.engine.use_cache && result.has_value()) {
+      SynthCache::instance().dump_cnf(key, search.solver(),
+                                      search.assumptions_for(found_gates));
+    }
+    return finish(std::move(result));
+  }
+
+  try {
+    return finish(optimal_prep_fresh(state, start, lower_bound, options));
+  } catch (const sat::SolverBase::SolveInterrupted&) {
+    return std::nullopt;  // Budget exhausted: fall back, do not cache.
+  }
 }
 
 }  // namespace ftsp::core

@@ -5,6 +5,7 @@
 
 #include "circuit/circuit.hpp"
 #include "qec/state_context.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
 
@@ -21,10 +22,26 @@ struct PrepSynthOptions {
   std::size_t shuffle_tries = 64;
   std::uint64_t seed = 0xf7e9u;
 
-  /// Optimal: per-query conflict budget (0 = unlimited) and the CNOT count
-  /// at which the search gives up and falls back to the heuristic result.
+  /// Optimal: conflict budget per gate-count query (0 = unlimited; both
+  /// engines re-arm it for each queried gate count) and the CNOT count
+  /// at which the search gives up and falls back to the heuristic
+  /// result.
   std::uint64_t sat_conflict_budget = 400000;
   std::size_t max_cnots = 24;
+
+  /// Optimal: allow the exact subspace-BFS shortcut for small state
+  /// spaces. Disable to force the SAT path (mainly for tests/benches).
+  bool allow_bfs = true;
+
+  /// SAT engine selection (gate-count sweeps, portfolio, cache) for the
+  /// Optimal method. `incremental` defaults to false here — unlike the
+  /// verification/correction weight sweeps (pure cardinality bounds,
+  /// where skeleton reuse wins outright), the gate-count bound changes
+  /// the formula structure, and measurements show the activation-gated
+  /// incremental encoding proves the intermediate UNSAT bounds ~5x
+  /// slower than per-bound re-encoding. The incremental path stays
+  /// available for experimentation.
+  sat::EngineOptions engine{.incremental = false};
 };
 
 /// Synthesizes a unitary (generally non-fault-tolerant) preparation circuit

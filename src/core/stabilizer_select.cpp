@@ -77,6 +77,18 @@ void StabilizerSelection::bound_total_weight(std::size_t v) {
   cnf_->add_at_most_k(bits, v);
 }
 
+sat::CardinalityLadder StabilizerSelection::make_total_weight_ladder(
+    std::size_t max_bound) {
+  std::vector<Lit> bits;
+  bits.reserve(u_ * num_qubits());
+  for (std::size_t i = 0; i < u_; ++i) {
+    for (std::size_t q = 0; q < num_qubits(); ++q) {
+      bits.push_back(support_bit(i, q));
+    }
+  }
+  return cnf_->make_cardinality_ladder(bits, max_bound);
+}
+
 void StabilizerSelection::break_symmetry() {
   // Enforce alpha_i < alpha_{i+1} as binary words (MSB at row 0): for each
   // adjacent pair there must be a position where i has 0 and i+1 has 1
@@ -98,7 +110,7 @@ void StabilizerSelection::break_symmetry() {
   }
 }
 
-BitVec StabilizerSelection::extract(const sat::Solver& solver,
+BitVec StabilizerSelection::extract(const sat::SolverBase& solver,
                                     std::size_t i) const {
   BitVec support(num_qubits());
   BitVec combo(generators_->rows());
@@ -113,7 +125,7 @@ BitVec StabilizerSelection::extract(const sat::Solver& solver,
   return support;
 }
 
-void StabilizerSelection::block_model(sat::Solver& solver) {
+void StabilizerSelection::block_model(sat::SolverBase& solver) {
   std::vector<Lit> clause;
   for (std::size_t i = 0; i < u_; ++i) {
     for (std::size_t r = 0; r < generators_->rows(); ++r) {

@@ -40,15 +40,21 @@ class StabilizerSelection {
   /// (the total CNOT count of the measurements).
   void bound_total_weight(std::size_t v);
 
+  /// Assumption-based alternative to `bound_total_weight`: encodes the
+  /// weight counter once; each bound v < max_bound is then enforced per
+  /// solve by assuming `ladder.at_most(v)`. The backbone of incremental
+  /// (u, v)-optimum sweeps.
+  sat::CardinalityLadder make_total_weight_ladder(std::size_t max_bound);
+
   /// Orders selections strictly by their alpha words to break the row
   /// permutation symmetry (valid because equal rows are never useful).
   void break_symmetry();
 
   /// After a satisfying solve: the support of stabilizer i in the model.
-  f2::BitVec extract(const sat::Solver& solver, std::size_t i) const;
+  f2::BitVec extract(const sat::SolverBase& solver, std::size_t i) const;
 
   /// Blocks the current model's selection (for all-solution enumeration).
-  void block_model(sat::Solver& solver);
+  void block_model(sat::SolverBase& solver);
 
  private:
   sat::CnfBuilder* cnf_;

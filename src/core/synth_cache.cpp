@@ -1,0 +1,120 @@
+#include "core/synth_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "sat/dimacs.hpp"
+
+namespace ftsp::core {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SynthCache::SynthCache() {
+  if (const char* dir = std::getenv("FTSP_SAT_DUMP_DIR")) {
+    dump_dir_ = dir;
+  }
+}
+
+SynthCache& SynthCache::instance() {
+  static SynthCache cache;
+  return cache;
+}
+
+std::optional<std::string> SynthCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void SynthCache::store(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(key, std::move(value));
+}
+
+void SynthCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0);
+  misses_.store(0);
+}
+
+std::size_t SynthCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SynthCache::set_dump_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_dir_ = std::move(dir);
+}
+
+std::string SynthCache::dump_dir() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_dir_;
+}
+
+void SynthCache::dump_cnf(const std::string& key,
+                          const sat::SolverBase& solver,
+                          std::span<const sat::Lit> assumptions) const {
+  const std::string dir = dump_dir();
+  if (dir.empty()) {
+    return;
+  }
+  sat::CnfFormula formula;
+  formula.num_vars = solver.num_vars();
+  formula.clauses = solver.problem_clauses();
+  for (const sat::Lit a : assumptions) {
+    formula.clauses.push_back({a});
+  }
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.cnf",
+                static_cast<unsigned long long>(fnv1a(key)));
+  std::ofstream out(dir + "/" + name);
+  if (!out) {
+    return;
+  }
+  out << "c ftsp synthesis query: " << key << "\n" << sat::to_dimacs(formula);
+}
+
+std::string cache_key_matrix(const f2::BitMatrix& m) {
+  std::string key = std::to_string(m.rows()) + "x" + std::to_string(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    key += "|";
+    key += m.row(r).to_string();
+  }
+  return key;
+}
+
+std::string cache_key_errors(const std::vector<f2::BitVec>& errors) {
+  std::vector<std::string> keys;
+  keys.reserve(errors.size());
+  for (const auto& e : errors) {
+    keys.push_back(e.to_string());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::string key;
+  for (const auto& e : keys) {
+    key += "|e=" + e;
+  }
+  return key;
+}
+
+}  // namespace ftsp::core

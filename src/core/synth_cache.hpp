@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "f2/bit_matrix.hpp"
+#include "f2/bit_vec.hpp"
+#include "sat/solver_base.hpp"
+
+namespace ftsp::core {
+
+/// Process-wide memo of solved synthesis queries.
+///
+/// Keys are canonical strings over (check/generator matrices, encoding
+/// parameters, bound, engine fingerprint); values are the synthesis
+/// routines' own text serializations (circuit listings, stabilizer
+/// supports). Repeated code-library sweeps and `code_search` runs hit the
+/// cache instead of re-running the SAT search. The cache is in-memory
+/// only and thread-safe; `clear()` invalidates everything (there is no
+/// partial invalidation — keys embed every input that can change the
+/// result, so stale hits are impossible within a process).
+///
+/// Offline triage hook: when a dump directory is configured (via
+/// `set_dump_dir` or the `FTSP_SAT_DUMP_DIR` environment variable, read
+/// once at first use), cache misses that the incremental engine (the
+/// verification/correction default) solves to a feasible witness dump
+/// the CNF of their final query — problem clauses plus the bound
+/// assumptions as units — as DIMACS into that directory, named by the
+/// key hash. Infeasible or budget-interrupted queries are not dumped
+/// (their per-u contexts do not survive the search).
+class SynthCache {
+ public:
+  static SynthCache& instance();
+
+  std::optional<std::string> lookup(const std::string& key);
+  void store(const std::string& key, std::string value);
+  void clear();
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+  void set_dump_dir(std::string dir);
+  std::string dump_dir() const;
+
+  /// Writes `solver`'s problem clauses as DIMACS to
+  /// `<dump_dir>/<hash(key)>.cnf` (first line: a comment with the key).
+  /// `assumptions` — the literals that parameterized the query (bound
+  /// activations etc.) — are appended as unit clauses so the artifact
+  /// reproduces the solved query, not just the unconstrained skeleton.
+  /// No-op when no dump directory is configured. Best effort: I/O errors
+  /// are swallowed — triage dumps must never fail a synthesis run.
+  void dump_cnf(const std::string& key, const sat::SolverBase& solver,
+                std::span<const sat::Lit> assumptions = {}) const;
+
+ private:
+  SynthCache();
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::string dump_dir_;
+};
+
+/// Canonical cache-key fragment for a generator/check matrix: dimensions
+/// plus row bits, independent of any in-memory representation detail.
+std::string cache_key_matrix(const f2::BitMatrix& m);
+
+/// Canonical cache-key fragment for an error set: sorted, deduplicated
+/// support strings (the synthesized object depends on the set, not the
+/// order).
+std::string cache_key_errors(const std::vector<f2::BitVec>& errors);
+
+/// Sentinel value cached for queries proven infeasible (distinct from any
+/// serialized circuit/stabilizer payload).
+inline constexpr const char* kCacheInfeasible = "NONE";
+
+}  // namespace ftsp::core

@@ -1,18 +1,20 @@
 #include "core/verification.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
+#include "core/bound_sweep.hpp"
 #include "core/stabilizer_select.hpp"
+#include "core/synth_cache.hpp"
 #include "sat/cnf_builder.hpp"
-#include "sat/solver.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
 
 using f2::BitMatrix;
 using f2::BitVec;
 using sat::CnfBuilder;
-using sat::Solver;
 
 std::size_t VerificationSet::total_weight() const {
   std::size_t w = 0;
@@ -24,63 +26,162 @@ std::size_t VerificationSet::total_weight() const {
 
 namespace {
 
-/// One decision query: is there a set of `u` stabilizers with total weight
-/// <= `v` detecting all errors? Returns the set if so.
-std::optional<VerificationSet> query(const BitMatrix& generators,
-                                     const std::vector<BitVec>& errors,
-                                     std::size_t u, std::size_t v,
-                                     std::uint64_t budget) {
-  Solver solver;
-  solver.set_conflict_budget(budget);
-  CnfBuilder cnf(solver);
-  StabilizerSelection selection(cnf, generators, u);
-  selection.require_nonzero();
-  if (u > 1) {
-    selection.break_symmetry();
-  }
-  for (const BitVec& e : errors) {
-    std::vector<sat::Lit> detecting;
-    detecting.reserve(u);
-    for (std::size_t i = 0; i < u; ++i) {
-      detecting.push_back(selection.syndrome_bit(i, e));
-    }
-    cnf.add_at_least_one(detecting);
-  }
-  selection.bound_total_weight(v);
+/// One encoded "u stabilizers detect all errors" skeleton. In incremental
+/// mode the total-weight bound is a cardinality ladder swept via
+/// assumptions, so the skeleton is encoded once per u and learned clauses
+/// carry across the whole (binary-search) weight sweep.
+struct QueryContext {
+  std::unique_ptr<sat::SolverBase> solver;
+  std::unique_ptr<CnfBuilder> cnf;
+  std::unique_ptr<StabilizerSelection> selection;
+  sat::CardinalityLadder ladder;
+  std::size_t u = 0;
 
-  if (!solver.solve()) {
+  QueryContext(const BitMatrix& generators, const std::vector<BitVec>& errors,
+               std::size_t num_stabilizers,
+               const VerificationSynthOptions& options, bool with_ladder)
+      : u(num_stabilizers) {
+    solver = sat::make_engine_solver(options.engine, options.conflict_budget);
+    cnf = std::make_unique<CnfBuilder>(*solver);
+    selection =
+        std::make_unique<StabilizerSelection>(*cnf, generators, u);
+    selection->require_nonzero();
+    if (u > 1) {
+      selection->break_symmetry();
+    }
+    for (const BitVec& e : errors) {
+      std::vector<sat::Lit> detecting;
+      detecting.reserve(u);
+      for (std::size_t i = 0; i < u; ++i) {
+        detecting.push_back(selection->syndrome_bit(i, e));
+      }
+      cnf->add_at_least_one(detecting);
+    }
+    if (with_ladder) {
+      ladder = selection->make_total_weight_ladder(u * generators.cols());
+    }
+  }
+
+  bool solve_with_bound(std::size_t v,
+                        const VerificationSynthOptions& options) {
+    return solve_with_ladder_bound(*solver, ladder, v, options.telemetry);
+  }
+
+  VerificationSet extract_set() const {
+    VerificationSet set;
+    for (std::size_t i = 0; i < u; ++i) {
+      set.stabilizers.push_back(selection->extract(*solver, i));
+    }
+    return set;
+  }
+};
+
+/// From-scratch decision query — the historical single-shot path, kept
+/// as the `engine.incremental = false` baseline.
+std::optional<VerificationSet> query_fresh(
+    const BitMatrix& generators, const std::vector<BitVec>& errors,
+    std::size_t u, std::size_t v, const VerificationSynthOptions& options) {
+  QueryContext ctx(generators, errors, u, options, /*with_ladder=*/false);
+  ctx.selection->bound_total_weight(v);
+  const sat::SolverStats before = ctx.solver->stats();
+  const bool sat = ctx.solver->solve();
+  if (options.telemetry != nullptr) {
+    options.telemetry->steps.push_back(
+        {v, sat, ctx.solver->stats() - before});
+  }
+  if (!sat) {
     return std::nullopt;
   }
-  VerificationSet set;
-  for (std::size_t i = 0; i < u; ++i) {
-    set.stabilizers.push_back(selection.extract(solver, i));
-  }
-  return set;
+  return ctx.extract_set();
 }
 
-/// Finds the optimal (u, v): smallest u admitting any solution, then
-/// smallest v for that u (binary search).
-std::optional<std::pair<std::size_t, std::size_t>> find_optimum(
-    const BitMatrix& generators, const std::vector<BitVec>& errors,
-    const VerificationSynthOptions& options) {
+struct Optimum {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  VerificationSet set;
+  /// The warm incremental context at (u, unbounded); null on the
+  /// from-scratch path.
+  std::unique_ptr<QueryContext> ctx;
+};
+
+/// Finds the lexicographic (u, v) optimum: smallest u admitting any
+/// solution, then smallest v for that u (binary search over the weight
+/// bound). The witness of the optimum is carried out of the sweep, so no
+/// final re-query is needed.
+std::optional<Optimum> find_optimum(const BitMatrix& generators,
+                                    const std::vector<BitVec>& errors,
+                                    const VerificationSynthOptions& options) {
   const std::size_t n = generators.cols();
+  const auto weight_of = [](const VerificationSet& set) {
+    return set.total_weight();
+  };
   for (std::size_t u = 1; u <= options.max_measurements; ++u) {
-    if (!query(generators, errors, u, u * n, options.conflict_budget)) {
+    std::unique_ptr<QueryContext> ctx;
+    std::optional<VerificationSet> best;
+    if (options.engine.incremental) {
+      ctx = std::make_unique<QueryContext>(generators, errors, u, options,
+                                           /*with_ladder=*/true);
+      best = sweep_min_weight(
+          /*lo=*/u, /*vmax=*/u * n,  // Each stabilizer has weight >= 1.
+          [&](std::size_t v) -> std::optional<VerificationSet> {
+            if (!ctx->solve_with_bound(v, options)) {
+              return std::nullopt;
+            }
+            return ctx->extract_set();
+          },
+          weight_of);
+    } else {
+      // From-scratch path: every bound re-encodes the CNF.
+      best = sweep_min_weight(
+          u, u * n,
+          [&](std::size_t v) {
+            return query_fresh(generators, errors, u, v, options);
+          },
+          weight_of);
+    }
+    if (!best.has_value()) {
       continue;
     }
-    std::size_t lo = u;        // Each stabilizer has weight >= 1.
-    std::size_t hi = u * n;    // Known satisfiable.
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (query(generators, errors, u, mid, options.conflict_budget)) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
-      }
-    }
-    return std::make_pair(u, lo);
+    Optimum optimum;
+    optimum.u = u;
+    optimum.v = best->total_weight();
+    optimum.set = *std::move(best);
+    optimum.ctx = std::move(ctx);
+    return optimum;
   }
   return std::nullopt;
+}
+
+std::string verification_cache_key(const BitMatrix& generators,
+                                   const std::vector<BitVec>& errors,
+                                   const VerificationSynthOptions& options) {
+  std::string key = "verif|" + options.engine.fingerprint();
+  key += "|mm=" + std::to_string(options.max_measurements);
+  key += "|bud=" + std::to_string(options.conflict_budget);
+  key += "|G=" + cache_key_matrix(generators);
+  key += cache_key_errors(errors);
+  return key;
+}
+
+std::string encode_set(const VerificationSet& set) {
+  std::string text;
+  for (const auto& s : set.stabilizers) {
+    text += s.to_string();
+    text += '\n';
+  }
+  return text;
+}
+
+VerificationSet decode_set(const std::string& text) {
+  VerificationSet set;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    set.stabilizers.push_back(
+        BitVec::from_string(text.substr(start, end - start)));
+    start = (end == std::string::npos) ? text.size() : end + 1;
+  }
+  return set;
 }
 
 }  // namespace
@@ -92,13 +193,37 @@ std::optional<VerificationSet> synthesize_verification(
   if (dangerous_errors.empty()) {
     return VerificationSet{};
   }
-  const auto optimum =
-      find_optimum(candidate_generators, dangerous_errors, options);
+
+  std::string key;
+  if (options.engine.use_cache) {
+    key = verification_cache_key(candidate_generators, dangerous_errors,
+                                 options);
+    if (const auto hit = SynthCache::instance().lookup(key)) {
+      if (*hit == kCacheInfeasible) {
+        return std::nullopt;
+      }
+      return decode_set(*hit);
+    }
+  }
+
+  auto optimum = find_optimum(candidate_generators, dangerous_errors, options);
   if (!optimum.has_value()) {
+    if (options.engine.use_cache) {
+      SynthCache::instance().store(key, kCacheInfeasible);
+    }
     return std::nullopt;
   }
-  return query(candidate_generators, dangerous_errors, optimum->first,
-               optimum->second, options.conflict_budget);
+  if (options.engine.use_cache) {
+    if (optimum->ctx != nullptr) {
+      std::vector<sat::Lit> bound;
+      if (optimum->v < optimum->ctx->ladder.max_bound()) {
+        bound.push_back(optimum->ctx->ladder.at_most(optimum->v));
+      }
+      SynthCache::instance().dump_cnf(key, *optimum->ctx->solver, bound);
+    }
+    SynthCache::instance().store(key, encode_set(optimum->set));
+  }
+  return std::move(optimum->set);
 }
 
 std::vector<VerificationSet> enumerate_optimal_verifications(
@@ -108,49 +233,45 @@ std::vector<VerificationSet> enumerate_optimal_verifications(
   if (dangerous_errors.empty()) {
     return {VerificationSet{}};
   }
-  const auto optimum =
+  auto optimum =
       find_optimum(candidate_generators, dangerous_errors, options);
   if (!optimum.has_value()) {
     return {};
   }
-  const auto [u, v] = *optimum;
+  const auto [u, v] = std::pair{optimum->u, optimum->v};
 
-  // Re-encode once and enumerate models, blocking each found selection.
-  Solver solver;
-  solver.set_conflict_budget(options.conflict_budget);
-  CnfBuilder cnf(solver);
-  StabilizerSelection selection(cnf, candidate_generators, u);
-  selection.require_nonzero();
-  if (u > 1) {
-    selection.break_symmetry();
-  }
-  for (const BitVec& e : dangerous_errors) {
-    std::vector<sat::Lit> detecting;
-    for (std::size_t i = 0; i < u; ++i) {
-      detecting.push_back(selection.syndrome_bit(i, e));
+  // Enumerate models at the optimum, blocking each found selection. The
+  // incremental sweep context is reused warm (the bound becomes a hard
+  // unit); the from-scratch path re-encodes once, as before.
+  std::unique_ptr<QueryContext> fresh;
+  QueryContext* ctx = optimum->ctx.get();
+  if (ctx != nullptr) {
+    if (v < ctx->ladder.max_bound()) {
+      ctx->solver->add_unit(ctx->ladder.at_most(v));
     }
-    cnf.add_at_least_one(detecting);
+  } else {
+    fresh = std::make_unique<QueryContext>(candidate_generators,
+                                           dangerous_errors, u, options,
+                                           /*with_ladder=*/false);
+    fresh->selection->bound_total_weight(v);
+    ctx = fresh.get();
   }
-  selection.bound_total_weight(v);
 
   std::vector<VerificationSet> results;
   std::set<std::vector<std::string>> seen;
-  while (results.size() < options.enumerate_limit && solver.okay() &&
-         solver.solve()) {
-    VerificationSet set;
-    for (std::size_t i = 0; i < u; ++i) {
-      set.stabilizers.push_back(selection.extract(solver, i));
-    }
+  while (results.size() < options.enumerate_limit && ctx->solver->okay() &&
+         ctx->solver->solve()) {
+    VerificationSet set = ctx->extract_set();
     // Canonicalize as an unordered multiset of supports.
-    std::vector<std::string> key;
+    std::vector<std::string> dedupe_key;
     for (const auto& s : set.stabilizers) {
-      key.push_back(s.to_string());
+      dedupe_key.push_back(s.to_string());
     }
-    std::sort(key.begin(), key.end());
-    if (seen.insert(std::move(key)).second) {
+    std::sort(dedupe_key.begin(), dedupe_key.end());
+    if (seen.insert(std::move(dedupe_key)).second) {
       results.push_back(std::move(set));
     }
-    selection.block_model(solver);
+    ctx->selection->block_model(*ctx->solver);
   }
   return results;
 }

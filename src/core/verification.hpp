@@ -6,6 +6,7 @@
 
 #include "f2/bit_matrix.hpp"
 #include "f2/bit_vec.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
 
@@ -24,6 +25,12 @@ struct VerificationSynthOptions {
   std::size_t max_measurements = 5;
   std::uint64_t conflict_budget = 0;   ///< Per SAT query; 0 = unlimited.
   std::size_t enumerate_limit = 128;   ///< Cap for all-optimal enumeration.
+  /// SAT engine selection: incremental bound sweeps, portfolio size,
+  /// thread count, cube splitting, cache use.
+  sat::EngineOptions engine;
+  /// Optional sink recording one entry per bound query with the solver
+  /// statistics delta attributable to it.
+  sat::SweepTelemetry* telemetry = nullptr;
 };
 
 /// Synthesizes a verification measurement set that detects every error in

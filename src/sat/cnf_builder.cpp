@@ -1,5 +1,6 @@
 #include "sat/cnf_builder.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ftsp::sat {
@@ -128,6 +129,42 @@ void CnfBuilder::add_at_most_k(std::span<const Lit> lits, std::size_t k) {
     // Overflow: lits[i] & s[i-1][k-1] -> false
     solver_->add_binary(~lits[i], ~s[i - 1][k - 1]);
   }
+}
+
+CardinalityLadder CnfBuilder::make_cardinality_ladder(
+    std::span<const Lit> lits, std::size_t max_bound) {
+  CardinalityLadder ladder;
+  const std::size_t n = lits.size();
+  const std::size_t k = std::min(max_bound, n);
+  if (n == 0 || k == 0) {
+    return ladder;
+  }
+  // Sinz counter, one direction only: s[i][j] is implied true when at
+  // least j+1 of lits[0..i] are true. Unlike `add_at_most_k` there are no
+  // overflow clauses — the bound is chosen per solve via `at_most()`.
+  std::vector<std::vector<Lit>> s(n, std::vector<Lit>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k && j <= i; ++j) {
+      s[i][j] = fresh();
+    }
+  }
+  solver_->add_binary(~lits[0], s[0][0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    solver_->add_binary(~lits[i], s[i][0]);
+    for (std::size_t j = 0; j < k && j <= i - 1; ++j) {
+      solver_->add_binary(~s[i - 1][j], s[i][j]);
+    }
+    for (std::size_t j = 1; j < k && j <= i; ++j) {
+      solver_->add_ternary(~lits[i], ~s[i - 1][j - 1], s[i][j]);
+    }
+  }
+  ladder.count_ge.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    // For j > i the prefix cannot hold j+1 true literals; those slots were
+    // never created. The full-row literal is s[n-1][j], defined for all j.
+    ladder.count_ge[j] = s[n - 1][j];
+  }
+  return ladder;
 }
 
 void CnfBuilder::add_at_least_one(std::span<const Lit> lits) {

@@ -7,7 +7,7 @@
 
 namespace ftsp::sat {
 
-bool CnfFormula::load_into(Solver& solver) const {
+bool CnfFormula::load_into(SolverBase& solver) const {
   while (solver.num_vars() < num_vars) {
     solver.new_var();
   }

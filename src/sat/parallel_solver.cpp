@@ -1,0 +1,341 @@
+#include "sat/parallel_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace ftsp::sat {
+
+ParallelSolver::ParallelSolver(const ParallelSolverOptions& options)
+    : opts_(options) {
+  opts_.num_threads = std::max<std::size_t>(opts_.num_threads, 1);
+  opts_.num_configs = std::max<std::size_t>(opts_.num_configs, 1);
+  opts_.round_conflicts = std::max<std::uint64_t>(opts_.round_conflicts, 64);
+}
+
+ParallelSolver::~ParallelSolver() = default;
+
+Var ParallelSolver::new_var() { return num_vars_++; }
+
+bool ParallelSolver::add_clause(std::span<const Lit> lits) {
+  if (!ok_) {
+    return false;
+  }
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  clauses_.emplace_back(lits.begin(), lits.end());
+  return true;
+}
+
+SolverConfig ParallelSolver::config_for(std::size_t index) const {
+  SolverConfig c;
+  c.seed = opts_.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  if (index == 0) {
+    return c;  // Reference configuration: identical to a plain Solver.
+  }
+  c.random_branch_freq = 0.005 * static_cast<double>(index % 4);
+  c.initial_phase = (index % 2) != 0;
+  c.restart_base = std::uint64_t{64} << (index % 3);
+  c.var_activity_decay = (index % 3 == 2) ? 0.92 : 0.95;
+  return c;
+}
+
+void ParallelSolver::sync_worker(std::size_t index) {
+  if (workers_.size() <= index) {
+    workers_.resize(index + 1);
+  }
+  if (!workers_[index]) {
+    workers_[index] = std::make_unique<Worker>();
+  }
+  Worker& w = *workers_[index];
+  if (!w.solver || w.tainted) {
+    if (w.solver) {
+      retired_stats_ += w.solver->stats();
+    }
+    w.solver = std::make_unique<Solver>(config_for(index));
+    w.solver->set_interrupt_flag(&w.interrupt);
+    w.clauses_loaded = 0;
+    w.tainted = false;
+  }
+  while (w.solver->num_vars() < num_vars_) {
+    w.solver->new_var();
+  }
+  for (; w.clauses_loaded < clauses_.size(); ++w.clauses_loaded) {
+    w.solver->add_clause(clauses_[w.clauses_loaded]);
+  }
+  w.interrupt.store(false, std::memory_order_relaxed);
+}
+
+std::vector<Var> ParallelSolver::pick_cube_vars(std::size_t count) const {
+  std::vector<std::uint64_t> occurrences(
+      static_cast<std::size_t>(num_vars_), 0);
+  for (const auto& clause : clauses_) {
+    for (const Lit l : clause) {
+      ++occurrences[static_cast<std::size_t>(l.var())];
+    }
+  }
+  std::vector<Var> vars(static_cast<std::size_t>(num_vars_));
+  for (Var v = 0; v < num_vars_; ++v) {
+    vars[static_cast<std::size_t>(v)] = v;
+  }
+  std::stable_sort(vars.begin(), vars.end(), [&](Var a, Var b) {
+    return occurrences[static_cast<std::size_t>(a)] >
+           occurrences[static_cast<std::size_t>(b)];
+  });
+  vars.resize(std::min(count, vars.size()));
+  return vars;
+}
+
+bool ParallelSolver::solve(std::span<const Lit> assumptions) {
+  model_.clear();
+  if (!ok_) {
+    return false;
+  }
+
+  // Build the per-problem assumption vectors: every portfolio member gets
+  // the caller's assumptions; cube mode appends one sign pattern over the
+  // most frequent variables per problem (the cubes partition the space).
+  const bool cube_mode = opts_.cube_vars > 0 && num_vars_ > 0;
+  std::vector<std::vector<Lit>> problem_assumptions;
+  if (cube_mode) {
+    const std::vector<Var> cube_vars =
+        pick_cube_vars(std::min<std::size_t>(opts_.cube_vars, 16));
+    const std::size_t cubes = std::size_t{1} << cube_vars.size();
+    problem_assumptions.resize(cubes);
+    for (std::size_t cube = 0; cube < cubes; ++cube) {
+      auto& a = problem_assumptions[cube];
+      a.assign(assumptions.begin(), assumptions.end());
+      for (std::size_t b = 0; b < cube_vars.size(); ++b) {
+        a.push_back(Lit(cube_vars[b], ((cube >> b) & 1U) == 0));
+      }
+    }
+  } else {
+    problem_assumptions.assign(
+        opts_.num_configs,
+        std::vector<Lit>(assumptions.begin(), assumptions.end()));
+  }
+  const std::size_t problems = problem_assumptions.size();
+
+  for (std::size_t i = 0; i < problems; ++i) {
+    sync_worker(i);
+  }
+
+  // Single problem: no race to referee, run inline and unlimited.
+  if (problems == 1) {
+    Worker& w = *workers_[0];
+    const LBool r =
+        w.solver->solve_limited(problem_assumptions[0], conflict_budget_);
+    if (r == LBool::Undef) {
+      throw SolveInterrupted{};
+    }
+    last_winner_ = 0;
+    const bool sat = (r == LBool::True);
+    if (sat) {
+      model_.resize(static_cast<std::size_t>(num_vars_));
+      for (Var v = 0; v < num_vars_; ++v) {
+        model_[static_cast<std::size_t>(v)] = w.solver->model_value(v);
+      }
+    } else if (assumptions.empty() && !cube_mode) {
+      ok_ = false;
+    }
+    return sat;
+  }
+
+  std::vector<LBool> results(problems, LBool::Undef);
+  std::uint64_t round_budget = opts_.round_conflicts;
+  std::uint64_t spent = 0;
+
+  for (;;) {
+    if (conflict_budget_ != 0 && spent >= conflict_budget_) {
+      throw SolveInterrupted{};
+    }
+    // The budget caps each configuration's cumulative conflicts (matching
+    // the sequential solver's per-call semantics), so the final round is
+    // clamped to the remainder instead of overshooting by a full round.
+    const std::uint64_t effective_budget =
+        conflict_budget_ != 0
+            ? std::min(round_budget, conflict_budget_ - spent)
+            : round_budget;
+
+    std::atomic<std::size_t> next{0};
+    // Lowest problem index whose verdict makes every higher index
+    // irrelevant (any verdict in portfolio mode, SAT in cube mode).
+    // Seeded from earlier rounds' recorded verdicts, which are
+    // deterministic, so the skip set is too.
+    std::size_t initial_cancel = problems;
+    for (std::size_t i = 0; i < problems; ++i) {
+      if (results[i] == LBool::True) {
+        initial_cancel = i;
+        break;
+      }
+    }
+    std::atomic<std::size_t> cancel_above{initial_cancel};
+
+    const auto job_loop = [&]() {
+      for (;;) {
+        const std::size_t i =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= problems) {
+          return;
+        }
+        Worker& w = *workers_[i];
+        if (results[i] != LBool::Undef) {
+          continue;  // Decided in an earlier round (cube mode).
+        }
+        if (i > cancel_above.load(std::memory_order_acquire)) {
+          w.tainted = true;  // Skipped: state would be schedule-dependent.
+          continue;
+        }
+        const LBool r =
+            w.solver->solve_limited(problem_assumptions[i], effective_budget);
+        if (w.interrupt.load(std::memory_order_relaxed)) {
+          w.tainted = true;  // Cancelled mid-run; discard partial state.
+          continue;
+        }
+        results[i] = r;
+        const bool decisive =
+            cube_mode ? (r == LBool::True) : (r != LBool::Undef);
+        if (decisive) {
+          std::size_t expected = cancel_above.load();
+          while (i < expected &&
+                 !cancel_above.compare_exchange_weak(expected, i)) {
+          }
+          for (std::size_t j = i + 1; j < problems; ++j) {
+            workers_[j]->interrupt.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    };
+
+    const std::size_t thread_count =
+        std::min(opts_.num_threads, problems);
+    if (thread_count <= 1) {
+      job_loop();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(thread_count);
+      for (std::size_t t = 0; t < thread_count; ++t) {
+        pool.emplace_back(job_loop);
+      }
+      for (auto& t : pool) {
+        t.join();
+      }
+    }
+
+    // Referee. Portfolio: lowest index with any verdict wins. Cube:
+    // scanning ascending, the first non-UNSAT cube wins if it is SAT
+    // (all earlier cubes refuted); an undecided cube blocks.
+    std::size_t winner = problems;
+    bool unsat_everywhere = true;
+    for (std::size_t i = 0; i < problems; ++i) {
+      if (results[i] == LBool::Undef) {
+        unsat_everywhere = false;
+        if (!cube_mode) {
+          continue;
+        }
+        break;
+      }
+      if (results[i] == LBool::True) {
+        winner = i;
+        unsat_everywhere = false;
+        break;
+      }
+      if (!cube_mode) {
+        winner = i;  // UNSAT verdict: configuration-independent.
+        unsat_everywhere = false;
+        break;
+      }
+    }
+    if (cube_mode && unsat_everywhere) {
+      winner = 0;  // Every cube refuted: the formula is UNSAT.
+    }
+
+    if (winner != problems || (cube_mode && unsat_everywhere)) {
+      last_winner_ = winner;
+      const bool sat = results[winner] == LBool::True;
+      if (sat) {
+        const Solver& s = *workers_[winner]->solver;
+        model_.resize(static_cast<std::size_t>(num_vars_));
+        for (Var v = 0; v < num_vars_; ++v) {
+          model_[static_cast<std::size_t>(v)] = s.model_value(v);
+        }
+      } else if (assumptions.empty()) {
+        ok_ = false;
+      }
+      for (std::size_t i = 0; i < problems; ++i) {
+        if (i != winner) {
+          workers_[i]->tainted = true;
+        }
+      }
+      return sat;
+    }
+
+    spent += effective_budget;
+    round_budget *= 2;
+  }
+}
+
+bool ParallelSolver::model_value(Var v) const {
+  assert(!model_.empty());
+  return model_[static_cast<std::size_t>(v)];
+}
+
+SolverStats ParallelSolver::stats() const {
+  SolverStats total = retired_stats_;
+  for (const auto& w : workers_) {
+    if (w && w->solver) {
+      total += w->solver->stats();
+    }
+  }
+  return total;
+}
+
+void ParallelSolver::reset_stats() {
+  retired_stats_ = SolverStats{};
+  for (auto& w : workers_) {
+    if (w && w->solver) {
+      w->solver->reset_stats();
+    }
+  }
+}
+
+std::vector<std::vector<Lit>> ParallelSolver::problem_clauses() const {
+  return clauses_;
+}
+
+std::string EngineOptions::fingerprint() const {
+  std::string f = "inc=";
+  f += incremental ? '1' : '0';
+  f += ",cfg=" + std::to_string(num_configs);
+  f += ",cube=" + std::to_string(cube_vars);
+  // The sequential solver ignores the racing knobs; leaving them out of
+  // the fingerprint lets configurations that compute identical results
+  // share cache entries.
+  if (num_configs > 1 || cube_vars > 0) {
+    f += ",seed=" + std::to_string(seed);
+    f += ",rc=" + std::to_string(round_conflicts);
+  }
+  return f;
+}
+
+std::unique_ptr<SolverBase> make_engine_solver(
+    const EngineOptions& engine, std::uint64_t conflict_budget) {
+  std::unique_ptr<SolverBase> solver;
+  if (engine.num_configs <= 1 && engine.cube_vars == 0) {
+    solver = std::make_unique<Solver>();
+  } else {
+    ParallelSolverOptions options;
+    options.num_threads = engine.num_threads;
+    options.num_configs = engine.num_configs;
+    options.cube_vars = engine.cube_vars;
+    options.seed = engine.seed;
+    options.round_conflicts = engine.round_conflicts;
+    solver = std::make_unique<ParallelSolver>(options);
+  }
+  solver->set_conflict_budget(conflict_budget);
+  return solver;
+}
+
+}  // namespace ftsp::sat

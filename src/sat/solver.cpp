@@ -8,7 +8,6 @@ namespace ftsp::sat {
 
 namespace {
 constexpr double kActivityRescaleLimit = 1e100;
-constexpr std::uint64_t kRestartBase = 100;
 }  // namespace
 
 std::uint64_t luby(std::uint64_t i) {
@@ -26,13 +25,28 @@ std::uint64_t luby(std::uint64_t i) {
   }
 }
 
-Solver::Solver() = default;
+Solver::Solver() : Solver(SolverConfig{}) {}
+
+Solver::Solver(const SolverConfig& config)
+    : config_(config),
+      // SplitMix-style scrambling; never zero so xorshift cannot stall.
+      rng_state_((config.seed + 0x9E3779B97F4A7C15ULL) | 1ULL) {}
+
 Solver::~Solver() = default;
+
+std::uint64_t Solver::rng_next() {
+  std::uint64_t x = rng_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_state_ = x;
+  return x;
+}
 
 Var Solver::new_var() {
   const Var v = num_vars();
   assigns_.push_back(LBool::Undef);
-  polarity_.push_back(true);  // Default phase: assign false first.
+  polarity_.push_back(!config_.initial_phase);
   reason_.push_back(nullptr);
   level_.push_back(0);
   var_activity_.push_back(0.0);
@@ -42,10 +56,6 @@ Var Solver::new_var() {
   watches_.emplace_back();
   heap_insert(v);
   return v;
-}
-
-bool Solver::add_clause(std::initializer_list<Lit> lits) {
-  return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
@@ -315,6 +325,17 @@ void Solver::cancel_until(int level) {
 }
 
 Lit Solver::pick_branch_lit() {
+  if (config_.random_branch_freq > 0.0 && num_vars() > 0) {
+    const double draw =
+        static_cast<double>(rng_next() >> 11) * 0x1.0p-53;  // [0, 1)
+    if (draw < config_.random_branch_freq) {
+      const Var v = static_cast<Var>(rng_next() %
+                                     static_cast<std::uint64_t>(num_vars()));
+      if (value(v) == LBool::Undef) {
+        return Lit(v, polarity_[v]);
+      }
+    }
+  }
   while (!heap_empty()) {
     const Var v = heap_pop();
     if (value(v) == LBool::Undef) {
@@ -404,6 +425,9 @@ Solver::SearchStatus Solver::search(std::uint64_t conflicts_allowed,
         ok_ = false;
         return SearchStatus::Unsat;
       }
+      if ((conflict_count & 63) == 0 && interrupted()) {
+        return SearchStatus::Interrupted;
+      }
       std::vector<Lit> learnt;
       int backtrack_level = 0;
       int lbd = 0;
@@ -448,6 +472,9 @@ Solver::SearchStatus Solver::search(std::uint64_t conflicts_allowed,
       }
       if (next == Lit::undef) {
         ++stats_.decisions;
+        if ((stats_.decisions & 1023) == 0 && interrupted()) {
+          return SearchStatus::Interrupted;
+        }
         next = pick_branch_lit();
         if (next == Lit::undef) {
           return SearchStatus::Sat;  // Full assignment found.
@@ -459,27 +486,43 @@ Solver::SearchStatus Solver::search(std::uint64_t conflicts_allowed,
   }
 }
 
-bool Solver::solve(std::initializer_list<Lit> assumptions) {
-  return solve(std::span<const Lit>(assumptions.begin(), assumptions.size()));
+bool Solver::solve(std::span<const Lit> assumptions) {
+  const LBool result = solve_limited(assumptions, conflict_budget_);
+  if (result == LBool::Undef) {
+    throw SolveInterrupted{};
+  }
+  return result == LBool::True;
 }
 
-bool Solver::solve(std::span<const Lit> assumptions) {
+LBool Solver::solve_limited(std::span<const Lit> assumptions,
+                            std::uint64_t max_conflicts) {
   model_.clear();
   if (!ok_) {
-    return false;
+    return LBool::False;
   }
   const std::uint64_t conflicts_at_start = stats_.conflicts;
   for (std::uint64_t restart = 1;; ++restart) {
-    const SearchStatus status =
-        search(kRestartBase * luby(restart), assumptions);
+    if (interrupted()) {
+      cancel_until(0);
+      return LBool::Undef;
+    }
+    std::uint64_t chunk = config_.restart_base * luby(restart);
+    if (max_conflicts != 0) {
+      const std::uint64_t used = stats_.conflicts - conflicts_at_start;
+      if (used >= max_conflicts) {
+        cancel_until(0);
+        return LBool::Undef;
+      }
+      chunk = std::min(chunk, max_conflicts - used);
+    }
+    const SearchStatus status = search(chunk, assumptions);
     if (status == SearchStatus::Restart) {
       ++stats_.restarts;
-      if (conflict_budget_ != 0 &&
-          stats_.conflicts - conflicts_at_start > conflict_budget_) {
-        cancel_until(0);
-        throw SolveInterrupted{};
-      }
       continue;
+    }
+    if (status == SearchStatus::Interrupted) {
+      cancel_until(0);
+      return LBool::Undef;
     }
     const bool satisfiable = (status == SearchStatus::Sat);
     if (satisfiable) {
@@ -489,17 +532,29 @@ bool Solver::solve(std::span<const Lit> assumptions) {
       }
     }
     cancel_until(0);
-    return satisfiable;
+    return satisfiable ? LBool::True : LBool::False;
   }
+}
+
+std::vector<std::vector<Lit>> Solver::problem_clauses() const {
+  std::vector<std::vector<Lit>> out;
+  out.reserve(clauses_.size() + trail_.size());
+  // Level-0 units (original units and their consequences).
+  const std::size_t level0_end =
+      trail_lim_.empty() ? trail_.size()
+                         : static_cast<std::size_t>(trail_lim_[0]);
+  for (std::size_t i = 0; i < level0_end; ++i) {
+    out.push_back({trail_[i]});
+  }
+  for (const auto& c : clauses_) {
+    out.push_back(c->lits);
+  }
+  return out;
 }
 
 bool Solver::model_value(Var v) const {
   assert(!model_.empty());
   return model_[static_cast<std::size_t>(v)];
-}
-
-bool Solver::model_value(Lit l) const {
-  return model_value(l.var()) != l.sign();
 }
 
 // --- Indexed binary max-heap on variable activity -------------------------

@@ -1,22 +1,31 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "sat/solver_base.hpp"
 #include "sat/types.hpp"
 
 namespace ftsp::sat {
 
-/// Cumulative search statistics, reset only on construction.
-struct SolverStats {
-  std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t learned_clauses = 0;
-  std::uint64_t removed_clauses = 0;
+/// Heuristic knobs of one solver instance. The defaults reproduce the
+/// historical (deterministic) behavior; a `ParallelSolver` portfolio
+/// diversifies these per worker. Every configuration is fully
+/// deterministic: `seed` drives a private xorshift generator, so equal
+/// configs on equal formulas always take identical search paths.
+struct SolverConfig {
+  std::uint64_t seed = 0;
+  /// Probability of a uniformly random branch variable per decision.
+  double random_branch_freq = 0.0;
+  /// Initial saved phase: false = assign-false-first (MiniSat default).
+  bool initial_phase = false;
+  /// Conflicts per Luby restart unit.
+  std::uint64_t restart_base = 100;
+  /// VSIDS decay factor (activity increment grows by 1/decay).
+  double var_activity_decay = 0.95;
 };
 
 /// A CDCL SAT solver in the MiniSat lineage.
@@ -28,47 +37,69 @@ struct SolverStats {
 ///
 /// This is the substrate standing in for Z3 in the paper's synthesis flow:
 /// all verification- and correction-circuit synthesis queries are encoded
-/// as CNF (see `CnfBuilder`) and decided here.
-class Solver {
+/// as CNF (see `CnfBuilder`) and decided here (or raced across diversified
+/// configurations by `ParallelSolver`).
+class Solver final : public SolverBase {
  public:
   Solver();
-  ~Solver();
+  explicit Solver(const SolverConfig& config);
+  ~Solver() override;
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
 
-  /// Creates a fresh variable and returns it.
-  Var new_var();
+  using SolverBase::add_clause;
+  using SolverBase::model_value;
+  using SolverBase::solve;
 
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  /// Creates a fresh variable and returns it.
+  Var new_var() override;
+
+  int num_vars() const override { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause. Returns false if the formula is now trivially
   /// unsatisfiable (adding to an UNSAT solver is a no-op).
-  bool add_clause(std::span<const Lit> lits);
-  bool add_clause(std::initializer_list<Lit> lits);
+  bool add_clause(std::span<const Lit> lits) override;
 
-  /// Convenience single/two/three-literal forms.
-  bool add_unit(Lit a) { return add_clause({a}); }
-  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
-  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+  /// Decides satisfiability under the given assumptions. Throws
+  /// `SolveInterrupted` when the conflict budget is exhausted or the
+  /// interrupt flag is raised before a verdict.
+  bool solve(std::span<const Lit> assumptions) override;
 
-  /// Decides satisfiability under the given assumptions.
-  bool solve(std::span<const Lit> assumptions = {});
-  bool solve(std::initializer_list<Lit> assumptions);
+  /// Budgeted solve: decides the formula under `assumptions` within at
+  /// most `max_conflicts` additional conflicts (0 = unlimited). Returns
+  /// `LBool::Undef` (without throwing) when the limit is hit or the
+  /// interrupt flag is raised. Learned clauses persist, so re-calling
+  /// with a larger budget resumes warm.
+  LBool solve_limited(std::span<const Lit> assumptions,
+                      std::uint64_t max_conflicts);
 
   /// Model access; only valid after `solve()` returned true.
-  bool model_value(Var v) const;
-  bool model_value(Lit l) const;
+  bool model_value(Var v) const override;
 
   /// False once the clause database is known unsatisfiable at level 0.
-  bool okay() const { return ok_; }
+  bool okay() const override { return ok_; }
 
-  const SolverStats& stats() const { return stats_; }
+  SolverStats stats() const override { return stats_; }
+  void reset_stats() override { stats_ = SolverStats{}; }
 
   /// Optional hard limit on conflicts per `solve()` call; 0 = unlimited.
   /// When the budget is exhausted `solve()` throws `SolveInterrupted`.
-  void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+  void set_conflict_budget(std::uint64_t budget) override {
+    conflict_budget_ = budget;
+  }
 
-  struct SolveInterrupted {};
+  /// Cooperative cancellation: while `*flag` is true, any in-flight
+  /// search returns as soon as it polls the flag (`solve()` throws
+  /// `SolveInterrupted`, `solve_limited()` returns `Undef`). Pass
+  /// nullptr to detach. The flag is polled every few conflicts, so
+  /// cancellation latency is bounded.
+  void set_interrupt_flag(const std::atomic<bool>* flag) {
+    interrupt_flag_ = flag;
+  }
+
+  std::vector<std::vector<Lit>> problem_clauses() const override;
+
+  const SolverConfig& config() const { return config_; }
 
  private:
   struct Clause {
@@ -108,17 +139,26 @@ class Solver {
   std::vector<int> heap_pos_;   // Position of each var in heap_, -1 if out.
 
   // --- Misc ---------------------------------------------------------------
+  SolverConfig config_;
   bool ok_ = true;
   std::vector<bool> model_;
   std::vector<bool> seen_;
   std::vector<Lit> analyze_toclear_;
   SolverStats stats_;
   std::uint64_t conflict_budget_ = 0;
+  const std::atomic<bool>* interrupt_flag_ = nullptr;
+  std::uint64_t rng_state_;
 
   // --- Internals ----------------------------------------------------------
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   LBool value(Var v) const { return assigns_[v]; }
   LBool value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
+
+  bool interrupted() const {
+    return interrupt_flag_ != nullptr &&
+           interrupt_flag_->load(std::memory_order_relaxed);
+  }
+  std::uint64_t rng_next();
 
   void attach_clause(ClauseRef c);
   void detach_clause(ClauseRef c);
@@ -131,7 +171,7 @@ class Solver {
   Lit pick_branch_lit();
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
   void var_bump_activity(Var v);
-  void var_decay_activity() { var_inc_ /= 0.95; }
+  void var_decay_activity() { var_inc_ /= config_.var_activity_decay; }
   void clause_bump_activity(Clause& c);
   void clause_decay_activity() { clause_inc_ /= 0.999; }
   void rescale_var_activity();
@@ -149,7 +189,7 @@ class Solver {
     return var_activity_[a] > var_activity_[b];
   }
 
-  enum class SearchStatus { Sat, Unsat, Restart };
+  enum class SearchStatus { Sat, Unsat, Restart, Interrupted };
   SearchStatus search(std::uint64_t conflicts_allowed,
                       std::span<const Lit> assumptions);
 };

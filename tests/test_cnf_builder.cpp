@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "sat/solver.hpp"
+
 namespace ftsp::sat {
 namespace {
 
