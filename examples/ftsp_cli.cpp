@@ -1,4 +1,5 @@
-// Command-line front end: synthesize, check, simulate, export.
+// Command-line front end: synthesize, check, simulate, export — and the
+// compile/serve/query trio of the precompiled-artifact pipeline.
 //
 //   ftsp_cli synth   <code> [--basis zero|plus] [--defer-flags]
 //                    [--save FILE]
@@ -9,14 +10,31 @@
 //   ftsp_cli table   <code>           (Table-I style metrics row)
 //   ftsp_cli codes                     (list the built-in library)
 //
+//   ftsp_cli compile <code|--all> --store DIR [--basis zero|plus]
+//                    [--defer-flags] [--force]
+//       Offline synthesis sweep: compiles protocols into artifact files
+//       under DIR (see src/compile/format.md). Already-compiled keys are
+//       skipped unless --force.
+//   ftsp_cli serve   --store DIR [--threads N] [--socket PATH]
+//       Loads every artifact and answers newline-delimited JSON requests
+//       on stdin (or on a unix socket file) with zero SAT work.
+//   ftsp_cli query   --store DIR <json|->
+//       One-shot request against the store (reads stdin when "-").
+//
 // <code> is a library name (e.g. Steane) or a path to a CSS code file in
 // the code_io format; @FILE loads a previously saved protocol.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "compile/artifact.hpp"
+#include "compile/service.hpp"
+#include "compile/store.hpp"
 #include "core/executor.hpp"
 #include "core/ft_check.hpp"
 #include "core/metrics.hpp"
@@ -25,6 +43,7 @@
 #include "core/report.hpp"
 #include "core/samplers.hpp"
 #include "core/serialize.hpp"
+#include "core/synth_cache.hpp"
 #include "qec/code_io.hpp"
 #include "qec/code_library.hpp"
 
@@ -62,8 +81,139 @@ core::Protocol resolve_protocol(const std::string& spec,
 int usage() {
   std::fprintf(stderr,
                "usage: ftsp_cli synth|check|report|qasm|sim|table <code> "
-               "[options], or ftsp_cli codes\n");
+               "[options], ftsp_cli codes,\n"
+               "       ftsp_cli compile <code|--all> --store DIR "
+               "[--basis zero|plus] [--defer-flags] [--force],\n"
+               "       ftsp_cli serve --store DIR [--threads N] "
+               "[--socket PATH],\n"
+               "       ftsp_cli query --store DIR <json|->\n");
   return 2;
+}
+
+int run_compile(const std::vector<std::string>& args) {
+  std::string store_dir;
+  std::string target;
+  qec::LogicalBasis basis = qec::LogicalBasis::Zero;
+  core::SynthesisOptions options;
+  bool all = false;
+  bool force = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--store" && i + 1 < args.size()) {
+      store_dir = args[++i];
+    } else if (args[i] == "--all") {
+      all = true;
+    } else if (args[i] == "--force") {
+      force = true;
+    } else if (args[i] == "--defer-flags") {
+      options.flag_policy = core::FlagPolicy::DeferToNextLayer;
+    } else if (args[i] == "--basis" && i + 1 < args.size()) {
+      basis = args[++i] == "plus" ? qec::LogicalBasis::Plus
+                                  : qec::LogicalBasis::Zero;
+    } else if (target.empty() && args[i][0] != '-') {
+      target = args[i];
+    }
+  }
+  if (store_dir.empty() || (target.empty() && !all)) {
+    return usage();
+  }
+
+  compile::ArtifactStore store(store_dir);
+  // Warm SAT-cache persistence rides along with the artifact files, so
+  // even aborted compiles leave reusable solver results behind.
+  store.attach_synth_cache();
+  const compile::ProtocolCompiler compiler(options);
+
+  std::vector<qec::CssCode> codes;
+  if (all) {
+    codes = qec::all_library_codes();
+  } else {
+    codes.push_back(resolve_code(target));
+  }
+  for (const auto& code : codes) {
+    const std::string key = compile::artifact_key(code, basis, options);
+    if (!force && store.contains(key)) {
+      std::printf("%-14s already compiled (use --force to recompile)\n",
+                  code.name().c_str());
+      continue;
+    }
+    const auto artifact = compiler.compile(code, basis);
+    store.put(artifact);
+    std::printf(
+        "%-14s compiled in %.2fs (%llu solver calls, %u prep CNOTs, "
+        "%u branches)\n",
+        code.name().c_str(), artifact.provenance.wall_seconds,
+        static_cast<unsigned long long>(
+            artifact.provenance.solver_invocations),
+        artifact.provenance.prep_cnots, artifact.provenance.branch_count);
+  }
+  std::printf("store %s: %zu artifact(s)\n", store_dir.c_str(),
+              store.size());
+  return 0;
+}
+
+/// Read-only consumers (serve/query) must not silently create an empty
+/// store out of a mistyped --store path — that masks the operator's
+/// mistake behind "unknown code" errors.
+void require_store_exists(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("store directory does not exist: " + dir +
+                             " (create it with 'ftsp_cli compile')");
+  }
+}
+
+int run_serve(const std::vector<std::string>& args) {
+  std::string store_dir;
+  std::string socket_path;
+  compile::ServeOptions serve_options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--store" && i + 1 < args.size()) {
+      store_dir = args[++i];
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      serve_options.num_threads =
+          static_cast<std::size_t>(std::stoul(args[++i]));
+    } else if (args[i] == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+    }
+  }
+  if (store_dir.empty()) {
+    return usage();
+  }
+  require_store_exists(store_dir);
+  const compile::ArtifactStore store(store_dir);
+  compile::ProtocolService service;
+  const std::size_t loaded = service.load_store(store);
+  std::fprintf(stderr, "serving %zu protocol(s) from %s\n", loaded,
+               store_dir.c_str());
+  if (!socket_path.empty()) {
+    compile::serve_socket(service, socket_path, serve_options);
+  } else {
+    compile::serve_lines(service, std::cin, std::cout, serve_options);
+  }
+  return 0;
+}
+
+int run_query(const std::vector<std::string>& args) {
+  std::string store_dir;
+  std::string request;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--store" && i + 1 < args.size()) {
+      store_dir = args[++i];
+    } else if (request.empty()) {
+      request = args[i];
+    }
+  }
+  if (store_dir.empty() || request.empty()) {
+    return usage();
+  }
+  if (request == "-") {
+    std::getline(std::cin, request);
+  }
+  require_store_exists(store_dir);
+  const compile::ArtifactStore store(store_dir);
+  compile::ProtocolService service;
+  service.load_store(store);
+  std::printf("%s\n", service.handle_request(request).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -79,6 +229,13 @@ int main(int argc, char** argv) {
         std::printf("%s\n", code.description().c_str());
       }
       return 0;
+    }
+    if (command == "compile" || command == "serve" || command == "query") {
+      const std::vector<std::string> args(argv + 2, argv + argc);
+      if (command == "compile") {
+        return run_compile(args);
+      }
+      return command == "serve" ? run_serve(args) : run_query(args);
     }
     if (argc < 3) {
       return usage();

@@ -1,0 +1,243 @@
+#include "compile/artifact.hpp"
+
+#include <bit>
+#include <chrono>
+
+#include "compile/format.hpp"
+#include "core/serialize.hpp"
+#include "core/synth_cache.hpp"
+#include "util/binio.hpp"
+
+namespace ftsp::compile {
+
+namespace {
+
+std::string encode_layout(const core::FrameBatchLayout& layout) {
+  util::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(layout.segments.size()));
+  for (const auto& seg : layout.segments) {
+    out.u32(seg.num_qubits);
+    out.u32(seg.num_cbits);
+    for (const std::uint32_t count : seg.site_counts) {
+      out.u32(count);
+    }
+  }
+  out.u32(layout.peak_qubits);
+  out.u32(layout.peak_cbits);
+  return out.take();
+}
+
+core::FrameBatchLayout decode_layout(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  core::FrameBatchLayout layout;
+  const std::uint32_t count = in.u32();
+  // Each segment occupies 24 payload bytes; bounding the reserve by the
+  // bytes actually present keeps a crafted count from forcing a huge
+  // allocation before the truncation check can fire.
+  if (count > in.remaining() / 24) {
+    throw ArtifactFormatError("artifact: layout segment count exceeds data");
+  }
+  layout.segments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    core::FrameBatchLayout::Segment seg;
+    seg.num_qubits = in.u32();
+    seg.num_cbits = in.u32();
+    for (std::uint32_t& kind_count : seg.site_counts) {
+      kind_count = in.u32();
+    }
+    layout.segments.push_back(seg);
+  }
+  layout.peak_qubits = in.u32();
+  layout.peak_cbits = in.u32();
+  return layout;
+}
+
+std::string encode_provenance(const SynthProvenance& p) {
+  util::ByteWriter out;
+  out.str(p.engine_fingerprint);
+  out.u64(p.solver_invocations);
+  out.u64(p.cache_hits);
+  out.u64(p.cache_misses);
+  out.f64(p.wall_seconds);
+  out.u32(p.prep_cnots);
+  out.u32(p.verification_measurements);
+  out.u32(p.branch_count);
+  out.u64(p.compiled_at_unix);
+  return out.take();
+}
+
+SynthProvenance decode_provenance(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  SynthProvenance p;
+  p.engine_fingerprint = in.str();
+  p.solver_invocations = in.u64();
+  p.cache_hits = in.u64();
+  p.cache_misses = in.u64();
+  p.wall_seconds = in.f64();
+  p.prep_cnots = in.u32();
+  p.verification_measurements = in.u32();
+  p.branch_count = in.u32();
+  p.compiled_at_unix = in.u64();
+  return p;
+}
+
+}  // namespace
+
+std::string artifact_key(const qec::CssCode& code, qec::LogicalBasis basis,
+                         const core::SynthesisOptions& options) {
+  std::string key = "ftsa|v1";
+  key += "|code=" + code.name();
+  key += "|basis=";
+  key += basis == qec::LogicalBasis::Zero ? "Zero" : "Plus";
+  key += "|HX=" + core::cache_key_matrix(code.hx());
+  key += "|HZ=" + core::cache_key_matrix(code.hz());
+  key += "|flags=";
+  key += options.flag_policy == core::FlagPolicy::FlagDangerous ? "D" : "L";
+  key += "|oopt=";
+  key += options.optimize_measurement_order
+             ? std::to_string(options.order_search_tries)
+             : "0";
+  key += "|prep=";
+  if (options.prep.method == core::PrepSynthOptions::Method::Heuristic) {
+    key += "H";
+    key += std::to_string(options.prep.shuffle_tries);
+    key += ".";
+    key += std::to_string(options.prep.seed);
+  } else {
+    key += "O";
+    key += std::to_string(options.prep.max_cnots);
+  }
+  key += "|vmax=" + std::to_string(options.verification.max_measurements);
+  key += "|cmax=" + std::to_string(options.correction.max_measurements);
+  key += "|eng=" + options.verification.engine.fingerprint();
+  return key;
+}
+
+ProtocolArtifact ProtocolCompiler::compile(const qec::CssCode& code,
+                                           qec::LogicalBasis basis) const {
+  auto& cache = core::SynthCache::instance();
+  const std::uint64_t hits0 = cache.hits();
+  const std::uint64_t misses0 = cache.misses();
+  const std::uint64_t solver0 = sat::engine_solver_invocations();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  core::Protocol protocol = core::synthesize_protocol(code, basis, options_);
+
+  SynthProvenance provenance;
+  provenance.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  provenance.solver_invocations = sat::engine_solver_invocations() - solver0;
+  provenance.cache_hits = cache.hits() - hits0;
+  provenance.cache_misses = cache.misses() - misses0;
+  return package(std::move(protocol), std::move(provenance));
+}
+
+ProtocolArtifact ProtocolCompiler::package(core::Protocol protocol,
+                                           SynthProvenance provenance) const {
+  ProtocolArtifact artifact;
+  artifact.key = artifact_key(*protocol.code, protocol.basis, options_);
+  artifact.x_decoder_table =
+      decoder::LookupDecoder(*protocol.code, qec::PauliType::X).table();
+  artifact.z_decoder_table =
+      decoder::LookupDecoder(*protocol.code, qec::PauliType::Z).table();
+  artifact.layout = core::compute_frame_batch_layout(protocol);
+
+  provenance.engine_fingerprint =
+      options_.verification.engine.fingerprint();
+  provenance.prep_cnots =
+      static_cast<std::uint32_t>(protocol.prep.cnot_count());
+  std::uint32_t verif = 0;
+  std::uint32_t branches = 0;
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (layer->has_value()) {
+      verif += static_cast<std::uint32_t>((*layer)->verification.count());
+      branches += static_cast<std::uint32_t>((*layer)->branches.size());
+    }
+  }
+  provenance.verification_measurements = verif;
+  provenance.branch_count = branches;
+  if (provenance.compiled_at_unix == 0) {
+    provenance.compiled_at_unix = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  artifact.provenance = std::move(provenance);
+  artifact.protocol = std::move(protocol);
+  return artifact;
+}
+
+std::string encode_artifact(const ProtocolArtifact& artifact) {
+  std::vector<Section> sections;
+
+  util::ByteWriter meta;
+  meta.str(artifact.key);
+  meta.str(artifact.protocol.code->name());
+  meta.u8(artifact.protocol.basis == qec::LogicalBasis::Zero ? 0 : 1);
+  sections.push_back(
+      {static_cast<std::uint32_t>(SectionId::Meta), meta.take()});
+
+  sections.push_back({static_cast<std::uint32_t>(SectionId::Protocol),
+                      core::save_protocol_binary(artifact.protocol)});
+
+  util::ByteWriter dx;
+  core::encode_decoder_table(dx, qec::PauliType::X, artifact.x_decoder_table);
+  sections.push_back(
+      {static_cast<std::uint32_t>(SectionId::DecoderX), dx.take()});
+
+  util::ByteWriter dz;
+  core::encode_decoder_table(dz, qec::PauliType::Z, artifact.z_decoder_table);
+  sections.push_back(
+      {static_cast<std::uint32_t>(SectionId::DecoderZ), dz.take()});
+
+  sections.push_back({static_cast<std::uint32_t>(SectionId::Layout),
+                      encode_layout(artifact.layout)});
+  sections.push_back({static_cast<std::uint32_t>(SectionId::Provenance),
+                      encode_provenance(artifact.provenance)});
+  return pack_container(sections);
+}
+
+ProtocolArtifact decode_artifact(std::string_view bytes) {
+  const std::vector<Section> sections = unpack_container(bytes);
+  ProtocolArtifact artifact;
+  try {
+    {
+      util::ByteReader meta(find_section(sections, SectionId::Meta));
+      artifact.key = meta.str();
+      // Code name and basis are repeated in the protocol section; the
+      // meta copy exists so index rebuilds don't need a full decode.
+      (void)meta.str();
+      (void)meta.u8();
+    }
+    artifact.protocol = core::load_protocol_binary(
+        find_section(sections, SectionId::Protocol));
+    {
+      util::ByteReader in(find_section(sections, SectionId::DecoderX));
+      artifact.x_decoder_table = core::decode_decoder_table(in);
+    }
+    {
+      util::ByteReader in(find_section(sections, SectionId::DecoderZ));
+      artifact.z_decoder_table = core::decode_decoder_table(in);
+    }
+    artifact.layout =
+        decode_layout(find_section(sections, SectionId::Layout));
+    artifact.provenance =
+        decode_provenance(find_section(sections, SectionId::Provenance));
+  } catch (const ArtifactFormatError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ArtifactFormatError(std::string("artifact: section decode: ") +
+                              e.what());
+  }
+  return artifact;
+}
+
+decoder::PerfectDecoder make_artifact_decoder(
+    const ProtocolArtifact& artifact) {
+  return decoder::PerfectDecoder(*artifact.protocol.code,
+                                 artifact.x_decoder_table,
+                                 artifact.z_decoder_table);
+}
+
+}  // namespace ftsp::compile

@@ -1,0 +1,284 @@
+#include "compile/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ftsp::compile {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::invalid_argument("json: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      throw std::invalid_argument(std::string("json: expected '") + c +
+                                  "' at offset " + std::to_string(pos_ - 1));
+    }
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t length = 0;
+    while (literal[length] != '\0') {
+      ++length;
+    }
+    if (text_.compare(pos_, length, literal) == 0) {
+      pos_ += length;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              throw std::invalid_argument("json: bad \\u escape");
+            }
+          }
+          // Requests are ASCII by protocol; encode BMP code points as
+          // UTF-8 so nothing is silently dropped.
+          if (value < 0x80) {
+            out.push_back(static_cast<char>(value));
+          } else if (value < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (value >> 6)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (value >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          }
+          break;
+        }
+        default:
+          throw std::invalid_argument("json: bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue value;
+    const char c = peek();
+    if (c == '"') {
+      value.kind = JsonValue::Kind::String;
+      value.text = parse_string();
+      return value;
+    }
+    if (c == '{' || c == '[') {
+      throw std::invalid_argument("json: nested containers not supported");
+    }
+    // Literals also keep their source token in `text` so callers that
+    // echo values verbatim (request ids) need no kind dispatch.
+    if (consume_literal("true")) {
+      value.kind = JsonValue::Kind::Bool;
+      value.boolean = true;
+      value.text = "true";
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.kind = JsonValue::Kind::Bool;
+      value.text = "false";
+      return value;
+    }
+    if (consume_literal("null")) {
+      value.text = "null";
+      return value;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::invalid_argument("json: bad value");
+    }
+    value.kind = JsonValue::Kind::Number;
+    value.text = text_.substr(start, pos_ - start);
+    const char* begin = value.text.data();
+    const char* end = begin + value.text.size();
+    const auto result = std::from_chars(begin, end, value.number);
+    if (result.ec != std::errc{} || result.ptr != end) {
+      throw std::invalid_argument("json: bad number " + value.text);
+    }
+    return value;
+  }
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonObject parse_json_object(const std::string& line) {
+  Cursor cursor(line);
+  cursor.skip_ws();
+  cursor.expect('{');
+  JsonObject object;
+  cursor.skip_ws();
+  if (cursor.peek() == '}') {
+    cursor.take();
+  } else {
+    for (;;) {
+      cursor.skip_ws();
+      std::string key = cursor.parse_string();
+      cursor.skip_ws();
+      cursor.expect(':');
+      object[std::move(key)] = cursor.parse_value();
+      cursor.skip_ws();
+      const char c = cursor.take();
+      if (c == '}') {
+        break;
+      }
+      if (c != ',') {
+        throw std::invalid_argument("json: expected ',' or '}'");
+      }
+    }
+  }
+  if (!cursor.at_end()) {
+    throw std::invalid_argument("json: trailing characters");
+  }
+  return object;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::begin_field(const std::string& name) {
+  if (!body_.empty()) {
+    body_ += ',';
+  }
+  body_ += '"';
+  body_ += json_escape(name);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::field(const std::string& name,
+                              const std::string& value) {
+  begin_field(name);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, double value) {
+  begin_field(name);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, std::uint64_t value) {
+  begin_field(name);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& name, bool value) {
+  begin_field(name);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_field(const std::string& name,
+                                  const std::string& json) {
+  begin_field(name);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  std::string out = "{";
+  out += body_;
+  out += "}";
+  body_.clear();
+  return out;
+}
+
+}  // namespace ftsp::compile

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ftsp::compile {
+
+/// Minimal JSON support for the serving front-end: flat objects of
+/// scalar values — exactly the shape of a batch request line. No
+/// external dependency; nested containers are rejected (requests are
+/// flat by protocol).
+struct JsonValue {
+  enum class Kind { String, Number, Bool, Null };
+  Kind kind = Kind::Null;
+  std::string text;      ///< String payload (unescaped) for Kind::String.
+  double number = 0.0;   ///< For Kind::Number.
+  bool boolean = false;  ///< For Kind::Bool.
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object. Throws std::invalid_argument on
+/// malformed input (including nested arrays/objects).
+JsonObject parse_json_object(const std::string& line);
+
+/// Escapes a string for embedding between JSON quotes.
+std::string json_escape(const std::string& s);
+
+/// Builds a flat JSON object (insertion order preserved).
+class JsonWriter {
+ public:
+  JsonWriter& field(const std::string& name, const std::string& value);
+  JsonWriter& field(const std::string& name, const char* value) {
+    return field(name, std::string(value));
+  }
+  JsonWriter& field(const std::string& name, double value);
+  JsonWriter& field(const std::string& name, std::uint64_t value);
+  JsonWriter& field(const std::string& name, bool value);
+  /// Pre-rendered JSON (arrays, nested objects) — appended verbatim.
+  JsonWriter& raw_field(const std::string& name, const std::string& json);
+
+  std::string take();
+
+ private:
+  void begin_field(const std::string& name);
+  std::string body_;
+};
+
+}  // namespace ftsp::compile

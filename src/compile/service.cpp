@@ -1,0 +1,531 @@
+#include "compile/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "compile/json.hpp"
+#include "core/qasm_export.hpp"
+#include "core/samplers.hpp"
+#include "core/serialize.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace ftsp::compile {
+
+namespace {
+
+/// Hard per-request shot cap: bounds a request's trajectory buffer to
+/// ~200 MB so no client can OOM the server with one line.
+constexpr std::uint64_t kMaxShotsPerRequest = std::uint64_t{1} << 22;
+constexpr std::uint64_t kMaxThreadsPerRequest = 256;
+
+std::string error_response(const std::string& id, const std::string& what) {
+  JsonWriter out;
+  if (!id.empty()) {
+    out.raw_field("id", id);
+  }
+  out.field("ok", false);
+  out.field("error", what);
+  return out.take();
+}
+
+double number_param(const JsonObject& request, const std::string& name,
+                    double fallback) {
+  const auto it = request.find(name);
+  if (it == request.end()) {
+    return fallback;
+  }
+  if (it->second.kind != JsonValue::Kind::Number ||
+      !std::isfinite(it->second.number)) {
+    throw std::invalid_argument("parameter '" + name +
+                                "' must be a finite number");
+  }
+  return it->second.number;
+}
+
+/// Client-supplied integer with explicit range enforcement: rejecting
+/// (never clamping or casting blind) keeps a bad request an error
+/// instead of UB or a multi-gigabyte allocation.
+std::uint64_t integer_param(const JsonObject& request,
+                            const std::string& name, std::uint64_t fallback,
+                            std::uint64_t max) {
+  const double value = number_param(request, name,
+                                    static_cast<double>(fallback));
+  if (value < 0.0 || value > static_cast<double>(max) ||
+      value != std::floor(value)) {
+    throw std::invalid_argument("parameter '" + name +
+                                "' must be an integer in [0, " +
+                                std::to_string(max) + "]");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string string_param(const JsonObject& request, const std::string& name,
+                         const std::string& fallback) {
+  const auto it = request.find(name);
+  if (it == request.end()) {
+    return fallback;
+  }
+  if (it->second.kind != JsonValue::Kind::String) {
+    throw std::invalid_argument("parameter '" + name + "' must be a string");
+  }
+  return it->second.text;
+}
+
+}  // namespace
+
+std::string ProtocolService::serving_name(const core::Protocol& protocol) {
+  std::string name = protocol.code->name();
+  if (protocol.basis == qec::LogicalBasis::Plus) {
+    name += "/plus";
+  }
+  return name;
+}
+
+std::size_t ProtocolService::load_store(const ArtifactStore& store) {
+  for (const std::string& key : store.keys()) {
+    if (auto artifact = store.get(key)) {
+      add(std::move(*artifact));
+    }
+  }
+  return entries_.size();
+}
+
+void ProtocolService::add(ProtocolArtifact artifact) {
+  auto entry = std::make_unique<Entry>(std::move(artifact));
+  const std::string name = serving_name(entry->artifact.protocol);
+  entries_[name] = std::move(entry);
+}
+
+std::vector<std::string> ProtocolService::code_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const ProtocolService::Entry* ProtocolService::find(
+    const std::string& code_name) const {
+  const auto it = entries_.find(code_name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::string ProtocolService::handle_request(
+    const std::string& json_line) const {
+  std::string id;
+  try {
+    const JsonObject request = parse_json_object(json_line);
+    if (const auto it = request.find("id"); it != request.end()) {
+      // Echo verbatim: numbers/bools/null keep their source token,
+      // strings are re-quoted.
+      if (it->second.kind == JsonValue::Kind::String) {
+        id.push_back('"');
+        id.append(json_escape(it->second.text));
+        id.push_back('"');
+      } else {
+        id = it->second.text;
+      }
+    }
+    const std::string op = string_param(request, "op", "");
+    JsonWriter out;
+    if (!id.empty()) {
+      out.raw_field("id", id);
+    }
+
+    if (op == "codes") {
+      std::string array = "[";
+      for (const auto& name : code_names()) {
+        if (array.size() > 1) {
+          array += ',';
+        }
+        array += '"' + json_escape(name) + '"';
+      }
+      array += ']';
+      out.field("ok", true);
+      out.raw_field("codes", array);
+      return out.take();
+    }
+
+    if (op != "info" && op != "sample" && op != "rate" && op != "circuit") {
+      throw std::invalid_argument(
+          "unknown op '" + op + "' (codes|info|sample|rate|circuit)");
+    }
+    const std::string code_name = string_param(request, "code", "");
+    const Entry* entry = find(code_name);
+    if (entry == nullptr) {
+      std::string message = "unknown code '";
+      message += code_name;
+      message += "' (try {\"op\":\"codes\"})";
+      throw std::invalid_argument(message);
+    }
+    const ProtocolArtifact& artifact = entry->artifact;
+
+    if (op == "info") {
+      const auto& code = *artifact.protocol.code;
+      out.field("ok", true);
+      out.field("code", code.name());
+      out.field("basis", artifact.protocol.basis == qec::LogicalBasis::Zero
+                             ? "zero"
+                             : "plus");
+      out.field("n", static_cast<std::uint64_t>(code.num_qubits()));
+      out.field("k", static_cast<std::uint64_t>(code.num_logical()));
+      out.field("d", static_cast<std::uint64_t>(code.distance()));
+      out.field("key", artifact.key);
+      out.field("engine", artifact.provenance.engine_fingerprint);
+      out.field("prep_cnots",
+                std::uint64_t{artifact.provenance.prep_cnots});
+      out.field("verification_measurements",
+                std::uint64_t{artifact.provenance.verification_measurements});
+      out.field("branches", std::uint64_t{artifact.provenance.branch_count});
+      out.field("solver_invocations",
+                artifact.provenance.solver_invocations);
+      out.field("compile_wall_seconds", artifact.provenance.wall_seconds);
+      return out.take();
+    }
+
+    if (op == "sample" || op == "rate") {
+      const double p = number_param(request, "p", 0.01);
+      const auto shots = static_cast<std::size_t>(
+          integer_param(request, "shots", 20000, kMaxShotsPerRequest));
+      const std::uint64_t seed =
+          integer_param(request, "seed", 1, std::uint64_t{1} << 53);
+      core::SamplerOptions sampler;
+      sampler.num_threads = static_cast<std::size_t>(
+          integer_param(request, "threads", 1, kMaxThreadsPerRequest));
+      sampler.layout = &artifact.layout;
+      const auto batch = core::sample_protocol_batch(
+          entry->executor, entry->decoder, p, shots, seed, sampler);
+      const auto estimate = core::estimate_logical_rate({batch}, p);
+      out.field("ok", true);
+      out.field("code", code_name);
+      out.field("p", p);
+      out.field("shots", static_cast<std::uint64_t>(shots));
+      out.field("p_logical", estimate.mean);
+      out.field("std_error", estimate.std_error);
+      if (op == "sample") {
+        std::uint64_t x_fails = 0;
+        std::uint64_t z_fails = 0;
+        std::uint64_t hooks = 0;
+        std::uint64_t faults = 0;
+        for (const auto& t : batch.trajectories) {
+          x_fails += t.x_fail;
+          z_fails += t.z_fail;
+          hooks += t.hook_terminated;
+          faults += t.total_faults();
+        }
+        out.field("seed", seed);
+        out.field("x_fails", x_fails);
+        out.field("z_fails", z_fails);
+        out.field("hook_terminated", hooks);
+        out.field("total_faults", faults);
+      }
+      return out.take();
+    }
+
+    if (op == "circuit") {
+      const std::string format = string_param(request, "format", "qasm");
+      std::string body;
+      if (format == "qasm") {
+        body = core::protocol_to_qasm(artifact.protocol);
+      } else if (format == "text") {
+        body = core::save_protocol(artifact.protocol);
+      } else {
+        throw std::invalid_argument("unknown format '" + format +
+                                    "' (qasm|text)");
+      }
+      out.field("ok", true);
+      out.field("code", code_name);
+      out.field("format", format);
+      out.field("body", body);
+      return out.take();
+    }
+
+    throw std::logic_error("unreachable: op was validated above");
+  } catch (const std::exception& e) {
+    return error_response(id, e.what());
+  }
+}
+
+namespace {
+
+/// Shared engine of both servers: a worker pool computing responses
+/// concurrently while a writer thread emits them strictly in submission
+/// order — output is deterministic for a given request sequence at any
+/// thread count, mirroring the sampler's shard contract.
+class OrderedRequestPipeline {
+ public:
+  /// Backpressure bound: submit() blocks once this many requests are in
+  /// flight (queued, computing, or awaiting ordered write-out), so a
+  /// client that streams requests without draining responses stalls its
+  /// own reader instead of growing server memory without bound.
+  static constexpr std::size_t kMaxBacklog = 1024;
+
+  OrderedRequestPipeline(const ProtocolService& service, std::size_t threads,
+                         std::function<void(const std::string&)> write)
+      : service_(service), write_(std::move(write)) {
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    pool_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool_.emplace_back([this] { work(); });
+    }
+    writer_ = std::thread([this] { drain(); });
+  }
+
+  ~OrderedRequestPipeline() { finish(); }
+
+  void submit(std::string line) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      backlog_free_.wait(lock, [&] {
+        return submitted_ - next_to_write_ < kMaxBacklog;
+      });
+      pending_.emplace_back(submitted_++, std::move(line));
+    }
+    work_ready_.notify_one();
+  }
+
+  /// Stops accepting work, waits until every submitted request has been
+  /// computed and written, and joins all threads. Idempotent.
+  void finish() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (done_) {
+        return;
+      }
+      done_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& thread : pool_) {
+      thread.join();
+    }
+    result_ready_.notify_all();
+    writer_.join();
+  }
+
+  std::size_t submitted() const { return submitted_; }
+
+ private:
+  void work() {
+    for (;;) {
+      std::pair<std::size_t, std::string> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] { return !pending_.empty() || done_; });
+        if (pending_.empty()) {
+          return;
+        }
+        job = std::move(pending_.front());
+        pending_.pop_front();
+        ++in_flight_;
+      }
+      std::string response = service_.handle_request(job.second);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        completed_.emplace(job.first, std::move(response));
+        --in_flight_;
+      }
+      result_ready_.notify_one();
+    }
+  }
+
+  void drain() {
+    for (;;) {
+      std::string response;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        result_ready_.wait(lock, [&] {
+          return completed_.count(next_to_write_) != 0 ||
+                 (done_ && pending_.empty() && in_flight_ == 0 &&
+                  completed_.empty());
+        });
+        const auto it = completed_.find(next_to_write_);
+        if (it == completed_.end()) {
+          return;  // Fully drained after finish().
+        }
+        response = std::move(it->second);
+        completed_.erase(it);
+        ++next_to_write_;
+      }
+      backlog_free_.notify_one();
+      write_(response);
+    }
+  }
+
+  const ProtocolService& service_;
+  std::function<void(const std::string&)> write_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable result_ready_;
+  std::condition_variable backlog_free_;
+  std::deque<std::pair<std::size_t, std::string>> pending_;
+  std::map<std::size_t, std::string> completed_;
+  std::size_t in_flight_ = 0;
+  std::size_t submitted_ = 0;
+  std::size_t next_to_write_ = 0;
+  bool done_ = false;
+  std::vector<std::thread> pool_;
+  std::thread writer_;
+};
+
+}  // namespace
+
+std::size_t serve_lines(const ProtocolService& service, std::istream& in,
+                        std::ostream& out, const ServeOptions& options) {
+  OrderedRequestPipeline pipeline(
+      service, options.num_threads,
+      [&out](const std::string& response) {
+        out << response << '\n' << std::flush;
+      });
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      pipeline.submit(std::move(line));
+      line.clear();
+    }
+  }
+  pipeline.finish();
+  return pipeline.submitted();
+}
+
+#ifndef _WIN32
+
+std::size_t serve_socket(const ProtocolService& service,
+                         const std::string& socket_path,
+                         const ServeOptions& options,
+                         std::size_t max_connections) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw std::runtime_error("serve_socket: socket() failed");
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    ::close(listener);
+    throw std::runtime_error("serve_socket: path too long");
+  }
+  socket_path.copy(address.sun_path, socket_path.size());
+  ::unlink(socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    ::close(listener);
+    throw std::runtime_error("serve_socket: cannot bind " + socket_path);
+  }
+
+  // Connection threads carry a done flag so the accept loop can reap
+  // finished ones as it goes — a long-lived server does not accumulate
+  // one zombie thread handle per connection ever served.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections;
+  const auto reap = [&connections](bool all) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (all || it->done->load()) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  std::size_t handled = 0;
+  while (max_connections == 0 || handled < max_connections) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      break;
+    }
+    ++handled;
+    reap(/*all=*/false);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Connection connection;
+    connection.done = done;
+    connection.thread = std::thread([&service, &options, fd, done] {
+      // Per-connection ordered pipeline: requests on one connection are
+      // answered concurrently (options.num_threads workers) but written
+      // back in arrival order.
+      OrderedRequestPipeline pipeline(
+          service, options.num_threads, [fd](const std::string& response) {
+            // MSG_NOSIGNAL: a peer that closed before reading must
+            // surface as EPIPE here (handled), not as a SIGPIPE that
+            // kills the whole server and every other connection.
+#ifdef MSG_NOSIGNAL
+            constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+            constexpr int kSendFlags = 0;
+#endif
+            std::string framed = response;
+            framed += '\n';
+            std::size_t written = 0;
+            while (written < framed.size()) {
+              const auto sent = ::send(fd, framed.data() + written,
+                                       framed.size() - written, kSendFlags);
+              if (sent <= 0) {
+                return;  // Peer went away; drop remaining output.
+              }
+              written += static_cast<std::size_t>(sent);
+            }
+          });
+      std::string buffer;
+      char chunk[4096];
+      for (;;) {
+        const auto got = ::read(fd, chunk, sizeof(chunk));
+        if (got <= 0) {
+          break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        std::size_t start = 0;
+        for (;;) {
+          const auto newline = buffer.find('\n', start);
+          if (newline == std::string::npos) {
+            break;
+          }
+          std::string line = buffer.substr(start, newline - start);
+          start = newline + 1;
+          if (!line.empty()) {
+            pipeline.submit(std::move(line));
+          }
+        }
+        buffer.erase(0, start);
+      }
+      pipeline.finish();
+      ::close(fd);
+      done->store(true);
+    });
+    connections.push_back(std::move(connection));
+  }
+  reap(/*all=*/true);
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  return handled;
+}
+
+#else
+
+std::size_t serve_socket(const ProtocolService&, const std::string&,
+                         const ServeOptions&, std::size_t) {
+  throw std::runtime_error("serve_socket: not supported on this platform");
+}
+
+#endif
+
+}  // namespace ftsp::compile

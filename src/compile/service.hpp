@@ -1,0 +1,97 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/artifact.hpp"
+#include "compile/store.hpp"
+#include "core/executor.hpp"
+
+namespace ftsp::compile {
+
+/// Answers protocol queries from precompiled artifacts — the *online*
+/// half of the compile/serve split. Loading builds the executor,
+/// rehydrated decoder and sampler layout per artifact once; every
+/// query after that is pure simulation/export with zero SAT work.
+///
+/// `handle_request` is safe to call from many threads concurrently: all
+/// per-artifact state is immutable after load.
+class ProtocolService {
+ public:
+  /// Serving name of a protocol: the code name, with "/plus" appended
+  /// for |+>_L preparations — so both bases of one code are servable
+  /// side by side instead of silently shadowing each other.
+  static std::string serving_name(const core::Protocol& protocol);
+
+  /// Loads the artifact for every key in the store. Returns the number
+  /// of protocols now servable. Artifacts sharing a serving name (same
+  /// code and basis compiled under different options) overwrite each
+  /// other — last key in store order wins.
+  std::size_t load_store(const ArtifactStore& store);
+
+  /// Adds one artifact directly (tests, in-process pipelines).
+  void add(ProtocolArtifact artifact);
+
+  std::vector<std::string> code_names() const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Handles one newline-delimited JSON request:
+  ///   {"op":"codes"}
+  ///   {"op":"info","code":"Steane"}
+  ///   {"op":"sample","code":"Steane","p":0.01,"shots":20000,"seed":1}
+  ///   {"op":"rate","code":"Steane","p":0.001,"shots":100000}
+  ///   {"op":"circuit","code":"Steane","format":"qasm"}
+  /// "code" is a serving name (see `serving_name`). An "id" field, when
+  /// present, is echoed into the response verbatim. Integer parameters
+  /// are range-checked (shots capped at 2^22 per request, threads at
+  /// 256) — out-of-range values are rejected, not clamped. Never
+  /// throws: malformed requests produce {"ok":false,"error":...}.
+  std::string handle_request(const std::string& json_line) const;
+
+ private:
+  /// Immutable per-protocol serving state; heap-allocated so executor /
+  /// decoder self-references survive map rehashing.
+  struct Entry {
+    ProtocolArtifact artifact;
+    decoder::PerfectDecoder decoder;
+    core::Executor executor;
+
+    explicit Entry(ProtocolArtifact a)
+        : artifact(std::move(a)),
+          decoder(make_artifact_decoder(artifact)),
+          executor(artifact.protocol) {}
+  };
+
+  const Entry* find(const std::string& code_name) const;
+
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+struct ServeOptions {
+  /// Worker threads for the request loop; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+};
+
+/// Multi-threaded batch-request loop over newline-delimited JSON:
+/// requests are read from `in`, dispatched to a worker pool, and the
+/// responses written to `out` in request order (deterministic output
+/// for a given input stream regardless of thread count). Returns the
+/// number of requests served.
+std::size_t serve_lines(const ProtocolService& service, std::istream& in,
+                        std::ostream& out, const ServeOptions& options = {});
+
+/// Unix-domain-socket server: binds `socket_path` (unlinking a stale
+/// file first) and serves each connection with the line protocol above,
+/// one thread per connection, until the process is terminated or
+/// `max_connections` connections have been handled (0 = no limit —
+/// loop forever). Returns the number of connections handled, or throws
+/// std::runtime_error on socket errors.
+std::size_t serve_socket(const ProtocolService& service,
+                         const std::string& socket_path,
+                         const ServeOptions& options = {},
+                         std::size_t max_connections = 0);
+
+}  // namespace ftsp::compile

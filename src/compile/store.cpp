@@ -1,0 +1,227 @@
+#include "compile/store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "compile/format.hpp"
+#include "core/synth_cache.hpp"
+#include "util/binio.hpp"
+
+namespace ftsp::compile {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kIndexName = "index.tsv";
+constexpr const char* kSatCacheDir = "satcache";
+
+std::string hash_name(const std::string& key, const char* extension) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx%s",
+                static_cast<unsigned long long>(core::cache_key_hash(key)),
+                extension);
+  return name;
+}
+
+/// satcache entry file: length-prefixed key (ByteWriter::str framing),
+/// then the value bytes to EOF. The key is stored (not just its hash)
+/// so collisions degrade to a miss, never to a wrong value. Written via
+/// temp-file + rename so a concurrent reader sees either the old
+/// complete entry or the new one, never a torn half-write.
+void write_kv_file(const std::string& path, const std::string& key,
+                   const std::string& value) {
+  util::ByteWriter entry;
+  entry.str(key);
+  entry.raw(value);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return;  // Best effort: a failed write-through must not fail synthesis.
+    }
+    out.write(entry.bytes().data(),
+              static_cast<std::streamsize>(entry.bytes().size()));
+    if (!out) {
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);  // Best effort, atomic when it succeeds.
+}
+
+std::optional<std::string> read_kv_file(const std::string& path,
+                                        const std::string& key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  const std::string content = bytes.str();
+  try {
+    util::ByteReader reader(content);
+    if (reader.str() != key) {
+      return std::nullopt;  // Hash collision: treat as a miss.
+    }
+    return std::string(reader.raw(reader.remaining()));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;  // Truncated/corrupt entry degrades to a miss.
+  }
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / kSatCacheDir, ec);
+  if (ec) {
+    throw ArtifactFormatError("store: cannot create " + dir_ + ": " +
+                              ec.message());
+  }
+  load_index();
+}
+
+std::string ArtifactStore::artifact_path(const std::string& filename) const {
+  return (fs::path(dir_) / filename).string();
+}
+
+void ArtifactStore::load_index() {
+  std::ifstream in((fs::path(dir_) / kIndexName).string());
+  if (!in) {
+    return;  // Fresh store.
+  }
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+      throw ArtifactFormatError("store: malformed index line " +
+                                std::to_string(line_number));
+    }
+    index_.emplace(line.substr(tab + 1), line.substr(0, tab));
+  }
+}
+
+void ArtifactStore::save_index_locked() const {
+  const std::string path = (fs::path(dir_) / kIndexName).string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw ArtifactFormatError("store: cannot write index in " + dir_);
+    }
+    for (const auto& [key, filename] : index_) {
+      out << filename << '\t' << key << '\n';
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw ArtifactFormatError("store: cannot replace index: " +
+                              ec.message());
+  }
+}
+
+void ArtifactStore::put(const ProtocolArtifact& artifact) {
+  if (artifact.key.empty()) {
+    throw ArtifactFormatError("store: artifact has an empty key");
+  }
+  const std::string filename = hash_name(artifact.key, ".ftsa");
+  const std::string bytes = encode_artifact(artifact);
+  // Temp-file + rename: concurrent readers (the documented-safe case)
+  // see either the previous complete artifact or the new one, never a
+  // truncated container.
+  const std::string path = artifact_path(filename);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ArtifactFormatError("store: cannot write " + filename);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw ArtifactFormatError("store: short write to " + filename);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw ArtifactFormatError("store: cannot replace " + filename + ": " +
+                              ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_[artifact.key] = filename;
+  save_index_locked();
+}
+
+std::optional<ProtocolArtifact> ArtifactStore::get(
+    const std::string& key) const {
+  std::string filename;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      return std::nullopt;
+    }
+    filename = it->second;
+  }
+  std::ifstream in(artifact_path(filename), std::ios::binary);
+  if (!in) {
+    throw ArtifactFormatError("store: indexed artifact missing: " +
+                              filename);
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  ProtocolArtifact artifact = decode_artifact(bytes.str());
+  if (artifact.key != key) {
+    throw ArtifactFormatError("store: key mismatch in " + filename);
+  }
+  return artifact;
+}
+
+bool ArtifactStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+std::vector<std::string> ArtifactStore::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, filename] : index_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::size_t ArtifactStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+void ArtifactStore::attach_synth_cache() const {
+  const std::string cache_dir = (fs::path(dir_) / kSatCacheDir).string();
+  core::SynthCache::instance().set_backing(
+      [cache_dir](const std::string& key) -> std::optional<std::string> {
+        return read_kv_file(
+            (fs::path(cache_dir) / hash_name(key, ".kv")).string(), key);
+      },
+      [cache_dir](const std::string& key, const std::string& value) {
+        write_kv_file(
+            (fs::path(cache_dir) / hash_name(key, ".kv")).string(), key,
+            value);
+      });
+}
+
+void ArtifactStore::detach_synth_cache() {
+  core::SynthCache::instance().set_backing({}, {});
+}
+
+}  // namespace ftsp::compile

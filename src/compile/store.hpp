@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compile/artifact.hpp"
+
+namespace ftsp::compile {
+
+/// Versioned on-disk collection of compiled protocol artifacts.
+///
+/// Layout (all paths under the store directory):
+///   index.tsv         one line per artifact: "<filename>\t<key>"
+///   <keyhash>.ftsa    artifact container files (see format.md)
+///   satcache/         persisted SynthCache entries (read/write-through)
+///
+/// The index is keyed by the same canonical strings the in-memory
+/// `SynthCache` uses (matrices + options + engine fingerprint), so a
+/// lookup is an exact-inputs match — a stale hit is impossible. A cold
+/// process that `get`s an artifact starts sampling with zero SAT calls.
+///
+/// Thread-safe: `put`/`get`/`contains` may race freely. Process-safe to
+/// read concurrently; concurrent *writers* to one directory are not
+/// coordinated (last writer wins per key, the index is rewritten whole).
+class ArtifactStore {
+ public:
+  /// Opens (creating if needed) a store rooted at `dir` and loads the
+  /// index. Throws `ArtifactFormatError` if the directory cannot be
+  /// created or the index is malformed.
+  explicit ArtifactStore(std::string dir);
+
+  const std::string& directory() const { return dir_; }
+
+  /// Persists an artifact (container file + index entry), overwriting
+  /// any previous artifact with the same key.
+  void put(const ProtocolArtifact& artifact);
+
+  /// Loads and fully decodes the artifact for `key`; nullopt when the
+  /// key is not in the index. Decode/integrity failures throw.
+  std::optional<ProtocolArtifact> get(const std::string& key) const;
+
+  bool contains(const std::string& key) const;
+  std::vector<std::string> keys() const;
+  std::size_t size() const;
+
+  /// Attaches this store's satcache/ directory as the persistent
+  /// backing of the process-wide `core::SynthCache` (read-through +
+  /// write-through). The callbacks capture the directory path, not
+  /// `this`, so they stay valid after the store object is destroyed.
+  /// Call `detach_synth_cache()` to remove them.
+  void attach_synth_cache() const;
+  static void detach_synth_cache();
+
+ private:
+  void load_index();
+  void save_index_locked() const;
+  std::string artifact_path(const std::string& filename) const;
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> index_;  ///< key -> filename.
+};
+
+}  // namespace ftsp::compile

@@ -70,6 +70,26 @@ KindCounts count_kinds(const circuit::Circuit& c) {
   return counts;
 }
 
+/// Invokes `fn` on every compiled circuit segment of the protocol in the
+/// canonical layout order: prep, then per layer the verification circuit
+/// followed by the branches in outcome-key order. This order is shared
+/// with `FrameBatchLayout` (and with the artifact codec), which is what
+/// lets a stored layout be re-associated with a loaded protocol.
+template <typename Fn>
+void for_each_segment(const Protocol& protocol, Fn&& fn) {
+  fn(protocol.prep);
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    fn((*layer)->verif);
+    for (const auto& [key, branch] : (*layer)->branches) {
+      (void)key;
+      fn(branch.circ);
+    }
+  }
+}
+
 /// Per-kind fault-site totals of every protocol segment. Every lane that
 /// runs a segment executes the same sites, so the per-lane `sites`
 /// bookkeeping reduces to one table lookup per segment instead of one
@@ -77,17 +97,32 @@ KindCounts count_kinds(const circuit::Circuit& c) {
 struct SegmentCounts {
   std::unordered_map<const circuit::Circuit*, KindCounts> by_circuit;
 
-  explicit SegmentCounts(const Protocol& protocol) {
-    by_circuit.emplace(&protocol.prep, count_kinds(protocol.prep));
-    for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
-      if (!layer->has_value()) {
-        continue;
+  /// With a precomputed layout the counts come from the table (validated
+  /// against each segment's dimensions); without one they are recounted
+  /// from the gates.
+  SegmentCounts(const Protocol& protocol, const FrameBatchLayout* layout) {
+    if (layout == nullptr) {
+      for_each_segment(protocol, [&](const circuit::Circuit& c) {
+        by_circuit.emplace(&c, count_kinds(c));
+      });
+      return;
+    }
+    std::size_t index = 0;
+    for_each_segment(protocol, [&](const circuit::Circuit& c) {
+      if (index >= layout->segments.size()) {
+        throw std::invalid_argument(
+            "sample_protocol_batch: layout has too few segments");
       }
-      by_circuit.emplace(&(*layer)->verif, count_kinds((*layer)->verif));
-      for (const auto& [key, branch] : (*layer)->branches) {
-        (void)key;
-        by_circuit.emplace(&branch.circ, count_kinds(branch.circ));
+      const FrameBatchLayout::Segment& seg = layout->segments[index++];
+      if (seg.num_qubits != c.num_qubits() || seg.num_cbits != c.num_cbits()) {
+        throw std::invalid_argument(
+            "sample_protocol_batch: layout does not match protocol");
       }
+      by_circuit.emplace(&c, seg.site_counts);
+    });
+    if (index != layout->segments.size()) {
+      throw std::invalid_argument(
+          "sample_protocol_batch: layout has too many segments");
     }
   }
 };
@@ -185,7 +220,8 @@ class ShardRunner {
   ShardRunner(const Executor& executor, const sim::NoiseParams& q,
               const SegmentCounts& counts, const DecodeTables& tables,
               const KindMaskTables& masks, std::size_t shots,
-              std::uint64_t seed, Trajectory* out)
+              std::uint64_t seed, Trajectory* out,
+              const FrameBatchLayout* layout = nullptr)
       : executor_(executor),
         q_(q),
         counts_(counts),
@@ -197,7 +233,12 @@ class ShardRunner {
         rng_(seed),
         n_(executor.protocol().num_data_qubits()),
         data_x_(n_ * words_, 0),
-        data_z_(n_ * words_, 0) {}
+        data_z_(n_ * words_, 0) {
+    if (layout != nullptr) {
+      verif_frame_.reserve(layout->peak_qubits, layout->peak_cbits, shots);
+      branch_frame_.reserve(layout->peak_qubits, layout->peak_cbits, shots);
+    }
+  }
 
   void run() {
     const Protocol& protocol = executor_.protocol();
@@ -497,6 +538,20 @@ class ShardRunner {
 
 }  // namespace
 
+FrameBatchLayout compute_frame_batch_layout(const Protocol& protocol) {
+  FrameBatchLayout layout;
+  for_each_segment(protocol, [&](const circuit::Circuit& c) {
+    FrameBatchLayout::Segment seg;
+    seg.num_qubits = static_cast<std::uint32_t>(c.num_qubits());
+    seg.num_cbits = static_cast<std::uint32_t>(c.num_cbits());
+    seg.site_counts = count_kinds(c);
+    layout.peak_qubits = std::max(layout.peak_qubits, seg.num_qubits);
+    layout.peak_cbits = std::max(layout.peak_cbits, seg.num_cbits);
+    layout.segments.push_back(seg);
+  });
+  return layout;
+}
+
 TrajectoryBatch sample_protocol_batch(const Executor& executor,
                                       const decoder::PerfectDecoder& decoder,
                                       const sim::NoiseParams& q,
@@ -515,7 +570,7 @@ TrajectoryBatch sample_protocol_batch(const Executor& executor,
     return batch;
   }
 
-  const SegmentCounts counts(executor.protocol());
+  const SegmentCounts counts(executor.protocol(), options.layout);
   const DecodeTables tables(decoder);
   const KindMaskTables masks(q);
   const std::size_t shard = options.shard_shots;
@@ -525,7 +580,7 @@ TrajectoryBatch sample_protocol_batch(const Executor& executor,
     const std::size_t count = std::min(shard, shots - begin);
     ShardRunner runner(executor, q, counts, tables, masks, count,
                       shard_seed(seed, index),
-                      batch.trajectories.data() + begin);
+                      batch.trajectories.data() + begin, options.layout);
     runner.run();
   };
 

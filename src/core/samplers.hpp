@@ -42,6 +42,27 @@ struct TrajectoryBatch {
   std::vector<Trajectory> trajectories;
 };
 
+/// Precomputed per-segment dimensions and fault-site counts of a
+/// protocol, in canonical segment order: prep, then per layer the
+/// verification circuit followed by its correction branches in
+/// outcome-key order. Computed once per protocol (and shipped inside
+/// protocol artifacts) so a serving process can size its frame batches
+/// and per-shot site bookkeeping without re-walking every gate of every
+/// segment; also a cheap structural fingerprint for artifact validation.
+struct FrameBatchLayout {
+  struct Segment {
+    std::uint32_t num_qubits = 0;
+    std::uint32_t num_cbits = 0;
+    /// Fault locations per `sim::LocationKind`.
+    std::array<std::uint32_t, sim::kNumLocationKinds> site_counts{};
+  };
+  std::vector<Segment> segments;
+  std::uint32_t peak_qubits = 0;  ///< Max over segments (batch sizing).
+  std::uint32_t peak_cbits = 0;
+};
+
+FrameBatchLayout compute_frame_batch_layout(const Protocol& protocol);
+
 /// Controls for the batched sampler. Shots are split into fixed-size
 /// shards; each shard derives its RNG stream from (seed, shard index)
 /// alone and writes a disjoint slice of the output, so the sampled batch
@@ -54,6 +75,12 @@ struct SamplerOptions {
   /// the sampling function: changing it changes which RNG stream each
   /// shot sees.
   std::size_t shard_shots = 4096;
+  /// Optional precomputed layout (artifact-driven construction). When
+  /// set it must describe this protocol — segment dimensions are
+  /// validated and a mismatch throws — and the sampler skips the
+  /// per-call gate walk, pre-sizing its scratch batches to the peak
+  /// dimensions instead. Never changes sampled bits.
+  const FrameBatchLayout* layout = nullptr;
 };
 
 /// Samples `shots` protocol runs at the (typically elevated) fault rates

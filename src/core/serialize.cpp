@@ -1,5 +1,6 @@
 #include "core/serialize.hpp"
 
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
@@ -69,6 +70,307 @@ std::string save_protocol(const Protocol& protocol) {
     write_layer(out, *protocol.layer2, 2);
   }
   return out.str();
+}
+
+namespace {
+
+// Binary codec framing.
+constexpr std::uint32_t kBinaryMagic = 0x42505446u;  // "FTPB" little-endian.
+constexpr std::uint16_t kBinaryVersion = 1;
+
+void encode_matrix(util::ByteWriter& out, const f2::BitMatrix& m) {
+  out.u32(static_cast<std::uint32_t>(m.rows()));
+  out.u32(static_cast<std::uint32_t>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    encode_bitvec(out, m.row(r));
+  }
+}
+
+f2::BitMatrix decode_matrix(util::ByteReader& in) {
+  const std::uint32_t rows = in.u32();
+  const std::uint32_t cols = in.u32();
+  // Built row by row (not pre-allocated from the header counts): a
+  // crafted rows/cols pair cannot force a large allocation — decoding
+  // simply runs out of bytes and throws.
+  f2::BitMatrix m;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    f2::BitVec row = decode_bitvec(in);
+    if (row.size() != cols) {
+      throw std::invalid_argument("decode_matrix: row width mismatch");
+    }
+    m.append_row(std::move(row));
+  }
+  if (m.empty() && cols != 0) {
+    throw std::invalid_argument("decode_matrix: zero rows");
+  }
+  return m;
+}
+
+PauliType decode_pauli_type(util::ByteReader& in) {
+  const std::uint8_t raw = in.u8();
+  if (raw > 1) {
+    throw std::invalid_argument("load_protocol_binary: bad Pauli type");
+  }
+  return raw == 0 ? PauliType::X : PauliType::Z;
+}
+
+void encode_pauli_type(util::ByteWriter& out, PauliType t) {
+  out.u8(t == PauliType::X ? 0 : 1);
+}
+
+void encode_layer_binary(util::ByteWriter& out, const CompiledLayer& layer) {
+  encode_pauli_type(out, layer.error_type);
+  encode_circuit(out, layer.verif);
+  encode_bitvec(out, layer.flag_mask);
+  out.u32(static_cast<std::uint32_t>(layer.gadgets.size()));
+  for (const auto& g : layer.gadgets) {
+    encode_pauli_type(out, g.stabilizer_type);
+    encode_bitvec(out, g.support);
+    out.u32(static_cast<std::uint32_t>(g.order.size()));
+    for (std::size_t q : g.order) {
+      out.u32(static_cast<std::uint32_t>(q));
+    }
+    out.u8(g.flagged ? 1 : 0);
+    out.u32(static_cast<std::uint32_t>(g.ancilla));
+    out.u32(static_cast<std::uint32_t>(g.flag_qubit));
+    out.u32(static_cast<std::uint32_t>(g.outcome_bit));
+    out.u32(static_cast<std::uint32_t>(g.flag_bit));
+  }
+  out.u32(static_cast<std::uint32_t>(layer.verification.stabilizers.size()));
+  for (const auto& s : layer.verification.stabilizers) {
+    encode_bitvec(out, s);
+  }
+  out.u32(static_cast<std::uint32_t>(layer.branches.size()));
+  for (const auto& [key, branch] : layer.branches) {
+    encode_bitvec(out, key);
+    encode_pauli_type(out, branch.corrected_type);
+    out.u8(branch.is_hook_branch ? 1 : 0);
+    encode_circuit(out, branch.circ);
+    out.u32(static_cast<std::uint32_t>(branch.plan.measurements.size()));
+    for (const auto& m : branch.plan.measurements) {
+      encode_bitvec(out, m);
+    }
+    out.u32(static_cast<std::uint32_t>(branch.plan.recoveries.size()));
+    for (const auto& [pattern, recovery] : branch.plan.recoveries) {
+      encode_bitvec(out, pattern);
+      encode_bitvec(out, recovery);
+    }
+  }
+}
+
+CompiledLayer decode_layer_binary(util::ByteReader& in) {
+  CompiledLayer layer;
+  layer.error_type = decode_pauli_type(in);
+  layer.verif = decode_circuit(in);
+  layer.flag_mask = decode_bitvec(in);
+  const std::uint32_t gadgets = in.u32();
+  for (std::uint32_t g = 0; g < gadgets; ++g) {
+    circuit::GadgetLayout gadget;
+    gadget.stabilizer_type = decode_pauli_type(in);
+    gadget.support = decode_bitvec(in);
+    const std::uint32_t order = in.u32();
+    for (std::uint32_t i = 0; i < order; ++i) {
+      gadget.order.push_back(in.u32());
+    }
+    gadget.flagged = in.u8() != 0;
+    gadget.ancilla = in.u32();
+    gadget.flag_qubit = in.u32();
+    gadget.outcome_bit = static_cast<int>(in.u32());
+    gadget.flag_bit = static_cast<int>(in.u32());
+    layer.gadgets.push_back(std::move(gadget));
+  }
+  const std::uint32_t stabilizers = in.u32();
+  for (std::uint32_t i = 0; i < stabilizers; ++i) {
+    layer.verification.stabilizers.push_back(decode_bitvec(in));
+  }
+  const std::uint32_t branches = in.u32();
+  for (std::uint32_t b = 0; b < branches; ++b) {
+    BitVec key = decode_bitvec(in);
+    CompiledBranch branch;
+    branch.corrected_type = decode_pauli_type(in);
+    branch.is_hook_branch = in.u8() != 0;
+    branch.circ = decode_circuit(in);
+    const std::uint32_t measurements = in.u32();
+    for (std::uint32_t m = 0; m < measurements; ++m) {
+      branch.plan.measurements.push_back(decode_bitvec(in));
+    }
+    const std::uint32_t recoveries = in.u32();
+    for (std::uint32_t r = 0; r < recoveries; ++r) {
+      BitVec pattern = decode_bitvec(in);
+      BitVec recovery = decode_bitvec(in);
+      branch.plan.recoveries.emplace(std::move(pattern), std::move(recovery));
+    }
+    layer.branches.emplace(std::move(key), std::move(branch));
+  }
+  return layer;
+}
+
+}  // namespace
+
+void encode_bitvec(util::ByteWriter& out, const f2::BitVec& v) {
+  out.u32(static_cast<std::uint32_t>(v.size()));
+  for (std::size_t i = 0; i < v.size(); i += 8) {
+    std::uint8_t byte = 0;
+    for (std::size_t b = 0; b < 8 && i + b < v.size(); ++b) {
+      byte |= static_cast<std::uint8_t>(v.get(i + b)) << b;
+    }
+    out.u8(byte);
+  }
+}
+
+f2::BitVec decode_bitvec(util::ByteReader& in) {
+  const std::uint32_t size = in.u32();
+  // The payload must hold ceil(size/8) bytes; checking before the
+  // BitVec allocation keeps a crafted length from forcing a huge
+  // allocation ahead of the truncation error.
+  if (std::size_t{size} / 8 > in.remaining()) {
+    throw std::invalid_argument("decode_bitvec: truncated payload");
+  }
+  f2::BitVec v(size);
+  for (std::uint32_t i = 0; i < size; i += 8) {
+    const std::uint8_t byte = in.u8();
+    for (std::uint32_t b = 0; b < 8 && i + b < size; ++b) {
+      if ((byte >> b) & 1) {
+        v.set(i + b);
+      }
+    }
+  }
+  return v;
+}
+
+void encode_circuit(util::ByteWriter& out, const circuit::Circuit& c) {
+  out.u32(static_cast<std::uint32_t>(c.num_qubits()));
+  out.u32(static_cast<std::uint32_t>(c.num_cbits()));
+  out.u32(static_cast<std::uint32_t>(c.gates().size()));
+  for (const auto& g : c.gates()) {
+    out.u8(static_cast<std::uint8_t>(g.kind));
+    out.u32(static_cast<std::uint32_t>(g.q0));
+    out.u32(static_cast<std::uint32_t>(g.q1));
+    out.u32(static_cast<std::uint32_t>(g.cbit));
+  }
+}
+
+circuit::Circuit decode_circuit(util::ByteReader& in) {
+  const std::uint32_t num_qubits = in.u32();
+  const std::uint32_t num_cbits = in.u32();
+  const std::uint32_t num_gates = in.u32();
+  circuit::Circuit c(num_qubits);
+  for (std::uint32_t i = 0; i < num_gates; ++i) {
+    const std::uint8_t kind = in.u8();
+    const std::uint32_t q0 = in.u32();
+    const std::uint32_t q1 = in.u32();
+    const int cbit = static_cast<int>(in.u32());
+    int allocated = -1;
+    switch (static_cast<circuit::GateKind>(kind)) {
+      case circuit::GateKind::Cnot:
+        c.cnot(q0, q1);
+        break;
+      case circuit::GateKind::H:
+        c.h(q0);
+        break;
+      case circuit::GateKind::PrepZ:
+        c.prep_z(q0);
+        break;
+      case circuit::GateKind::PrepX:
+        c.prep_x(q0);
+        break;
+      case circuit::GateKind::MeasZ:
+        allocated = c.measure_z(q0);
+        break;
+      case circuit::GateKind::MeasX:
+        allocated = c.measure_x(q0);
+        break;
+      default:
+        throw std::invalid_argument("decode_circuit: unknown gate kind");
+    }
+    if (allocated != cbit && allocated != -1) {
+      throw std::invalid_argument(
+          "decode_circuit: classical bits out of allocation order");
+    }
+  }
+  if (c.num_cbits() != num_cbits) {
+    throw std::invalid_argument("decode_circuit: classical bit count");
+  }
+  return c;
+}
+
+void encode_decoder_table(util::ByteWriter& out, qec::PauliType type,
+                          const std::vector<f2::BitVec>& table) {
+  encode_pauli_type(out, type);
+  out.u32(static_cast<std::uint32_t>(std::countr_zero(table.size())));
+  for (const auto& entry : table) {
+    encode_bitvec(out, entry);
+  }
+}
+
+std::vector<f2::BitVec> decode_decoder_table(util::ByteReader& in) {
+  (void)decode_pauli_type(in);
+  const std::uint32_t syndrome_bits = in.u32();
+  const std::size_t count = std::size_t{1} << syndrome_bits;
+  // Each entry takes at least its 4-byte length prefix; reject counts
+  // the payload cannot possibly hold before reserving anything.
+  if (syndrome_bits > 20 || count > in.remaining() / 4) {
+    throw std::invalid_argument("decode_decoder_table: syndrome space");
+  }
+  std::vector<f2::BitVec> table;
+  table.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    table.push_back(decode_bitvec(in));
+  }
+  return table;
+}
+
+std::string save_protocol_binary(const Protocol& protocol) {
+  util::ByteWriter out;
+  out.u32(kBinaryMagic);
+  out.u16(kBinaryVersion);
+  out.u8(protocol.basis == qec::LogicalBasis::Zero ? 0 : 1);
+  out.str(protocol.code->name());
+  encode_matrix(out, protocol.code->hx());
+  encode_matrix(out, protocol.code->hz());
+  encode_circuit(out, protocol.prep);
+  out.u8(static_cast<std::uint8_t>(
+      (protocol.layer1.has_value() ? 1 : 0) |
+      (protocol.layer2.has_value() ? 2 : 0)));
+  if (protocol.layer1.has_value()) {
+    encode_layer_binary(out, *protocol.layer1);
+  }
+  if (protocol.layer2.has_value()) {
+    encode_layer_binary(out, *protocol.layer2);
+  }
+  return out.take();
+}
+
+Protocol load_protocol_binary(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  if (in.u32() != kBinaryMagic) {
+    throw std::invalid_argument("load_protocol_binary: bad magic");
+  }
+  if (in.u16() != kBinaryVersion) {
+    throw std::invalid_argument("load_protocol_binary: unsupported version");
+  }
+  Protocol protocol;
+  protocol.basis =
+      in.u8() == 0 ? qec::LogicalBasis::Zero : qec::LogicalBasis::Plus;
+  std::string name = in.str();
+  f2::BitMatrix hx = decode_matrix(in);
+  f2::BitMatrix hz = decode_matrix(in);
+  protocol.code = std::make_shared<const qec::CssCode>(
+      std::move(name), std::move(hx), std::move(hz));
+  protocol.state = std::make_shared<const qec::StateContext>(
+      *protocol.code, protocol.basis);
+  protocol.prep = decode_circuit(in);
+  const std::uint8_t layers = in.u8();
+  if (layers & 1) {
+    protocol.layer1 = decode_layer_binary(in);
+  }
+  if (layers & 2) {
+    protocol.layer2 = decode_layer_binary(in);
+  }
+  if (!in.done()) {
+    throw std::invalid_argument("load_protocol_binary: trailing bytes");
+  }
+  return protocol;
 }
 
 Protocol load_protocol(const std::string& text) {

@@ -2,8 +2,12 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/protocol.hpp"
+#include "decoder/lookup_decoder.hpp"
+#include "util/binio.hpp"
 
 namespace ftsp::core {
 
@@ -22,5 +26,34 @@ std::string save_protocol(const Protocol& protocol);
 /// Parses a document produced by `save_protocol`. Throws
 /// std::invalid_argument on malformed input.
 Protocol load_protocol(const std::string& text);
+
+// ---------------------------------------------------------------------
+// Binary codecs — the payload encoders of the compiled-artifact store
+// (`compile/`). Unlike the text format above, the binary protocol codec
+// stores every compiled circuit *verbatim* (gate for gate), so a loaded
+// protocol is field-identical to the compiled one: the batched sampler
+// consumes the exact same gate sequence and produces bit-identical shots
+// for the same seed. All integers little-endian via `util::ByteWriter`;
+// malformed or truncated input throws (std::invalid_argument /
+// std::out_of_range), never yields a partially-initialized object.
+
+void encode_bitvec(util::ByteWriter& out, const f2::BitVec& v);
+f2::BitVec decode_bitvec(util::ByteReader& in);
+
+void encode_circuit(util::ByteWriter& out, const circuit::Circuit& c);
+circuit::Circuit decode_circuit(util::ByteReader& in);
+
+/// Syndrome-indexed lookup-decoder table: `table` must hold 2^r
+/// correction vectors (r inferred from the size). Encode from the raw
+/// table (a live decoder's `table()` or an artifact's stored copy).
+void encode_decoder_table(util::ByteWriter& out, qec::PauliType type,
+                          const std::vector<f2::BitVec>& table);
+std::vector<f2::BitVec> decode_decoder_table(util::ByteReader& in);
+
+/// Self-contained binary protocol document: code, basis, prep circuit,
+/// and per layer the verification circuit, gadget bookkeeping and the
+/// full correction decision tree (branch circuits included).
+std::string save_protocol_binary(const Protocol& protocol);
+Protocol load_protocol_binary(std::string_view bytes);
 
 }  // namespace ftsp::core

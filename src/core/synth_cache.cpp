@@ -1,30 +1,33 @@
 #include "core/synth_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "sat/dimacs.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
-
-namespace {
-
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 SynthCache::SynthCache() {
   if (const char* dir = std::getenv("FTSP_SAT_DUMP_DIR")) {
     dump_dir_ = dir;
   }
+  max_entries_ = max_entries_from_env(kDefaultMaxEntries);
+}
+
+std::size_t SynthCache::max_entries_from_env(std::size_t fallback) {
+  const char* cap = std::getenv("FTSP_SAT_CACHE_MAX");
+  if (cap == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(cap, &end, 10);
+  if (end == cap || *end != '\0') {
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 SynthCache& SynthCache::instance() {
@@ -33,31 +36,125 @@ SynthCache& SynthCache::instance() {
 }
 
 std::optional<std::string> SynthCache::lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      touch_locked(it->second, key);
+      return it->second.value;
+    }
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  // Read-through outside the lock: backing loads may do file I/O and must
+  // not serialize concurrent in-memory hits behind them.
+  BackingLoad load;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    load = backing_load_;
+  }
+  if (load) {
+    if (auto value = load(key)) {
+      backing_hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      store_locked(key, *value);
+      return value;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 void SynthCache::store(const std::string& key, std::string value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.insert_or_assign(key, std::move(value));
+  BackingSave save;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_locked(key, value);
+    save = backing_save_;
+  }
+  if (save) {
+    save(key, value);
+  }
+}
+
+void SynthCache::store_locked(const std::string& key, std::string value) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = std::move(value);
+    touch_locked(it->second, key);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(value), lru_.begin()});
+  evict_to_cap_locked();
+}
+
+void SynthCache::touch_locked(Entry& entry, const std::string& key) {
+  if (entry.lru_pos != lru_.begin()) {
+    lru_.erase(entry.lru_pos);
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+  }
+}
+
+void SynthCache::evict_to_cap_locked() {
+  if (max_entries_ == 0) {
+    return;
+  }
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void SynthCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
   hits_.store(0);
   misses_.store(0);
+  evictions_.store(0);
+  backing_hits_.store(0);
+}
+
+void SynthCache::reset_stats() {
+  hits_.store(0);
+  misses_.store(0);
+  evictions_.store(0);
+  backing_hits_.store(0);
+  sat::reset_engine_solver_invocations();
+}
+
+std::uint64_t SynthCache::solver_invocations() const {
+  return sat::engine_solver_invocations();
 }
 
 std::size_t SynthCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+void SynthCache::set_max_entries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries;
+  evict_to_cap_locked();
+}
+
+std::size_t SynthCache::max_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_entries_;
+}
+
+void SynthCache::set_backing(BackingLoad load, BackingSave save) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  backing_load_ = std::move(load);
+  backing_save_ = std::move(save);
+}
+
+bool SynthCache::has_backing() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<bool>(backing_load_);
 }
 
 void SynthCache::set_dump_dir(std::string dir) {
@@ -85,7 +182,7 @@ void SynthCache::dump_cnf(const std::string& key,
   }
   char name[32];
   std::snprintf(name, sizeof(name), "%016llx.cnf",
-                static_cast<unsigned long long>(fnv1a(key)));
+                static_cast<unsigned long long>(cache_key_hash(key)));
   std::ofstream out(dir + "/" + name);
   if (!out) {
     return;
@@ -115,6 +212,15 @@ std::string cache_key_errors(const std::vector<f2::BitVec>& errors) {
     key += "|e=" + e;
   }
   return key;
+}
+
+std::uint64_t cache_key_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace ftsp::core

@@ -42,6 +42,23 @@ LookupDecoder::LookupDecoder(const qec::CssCode& code, PauliType error_type)
   assert(filled == count);
 }
 
+LookupDecoder::LookupDecoder(const qec::CssCode& code, PauliType error_type,
+                             std::vector<BitVec> table)
+    : code_(&code), type_(error_type), table_(std::move(table)) {
+  const auto& checks = code.check_matrix(other(error_type));
+  syndrome_bits_ = checks.rows();
+  if (table_.size() != (std::size_t{1} << syndrome_bits_)) {
+    throw std::invalid_argument("LookupDecoder: table size mismatch");
+  }
+  const std::size_t n = code.num_qubits();
+  for (std::size_t s = 0; s < table_.size(); ++s) {
+    if (table_[s].size() != n || pack(checks.multiply(table_[s])) != s) {
+      throw std::invalid_argument(
+          "LookupDecoder: table entry inconsistent with code");
+    }
+  }
+}
+
 const BitVec& LookupDecoder::decode(const BitVec& syndrome) const {
   if (syndrome.size() != syndrome_bits_) {
     throw std::invalid_argument("LookupDecoder::decode: syndrome size");

@@ -21,8 +21,18 @@ class LookupDecoder {
  public:
   LookupDecoder(const qec::CssCode& code, qec::PauliType error_type);
 
+  /// Rehydrates a decoder from a previously computed table (the artifact
+  /// load path: the weight-BFS enumeration above is skipped entirely).
+  /// Validates dimensions and per-entry syndrome consistency, so a
+  /// corrupted table fails loud instead of silently mis-decoding.
+  LookupDecoder(const qec::CssCode& code, qec::PauliType error_type,
+                std::vector<f2::BitVec> table);
+
   qec::PauliType error_type() const { return type_; }
   std::size_t syndrome_bits() const { return syndrome_bits_; }
+
+  /// The full syndrome-indexed correction table (artifact serialization).
+  const std::vector<f2::BitVec>& table() const { return table_; }
 
   /// Minimum-weight error consistent with `syndrome` (length = rows of the
   /// opposite-type check matrix).
@@ -63,6 +73,13 @@ class PerfectDecoder {
       : code_(&code),
         x_decoder_(code, qec::PauliType::X),
         z_decoder_(code, qec::PauliType::Z) {}
+
+  /// Rehydrates both decoders from stored tables (artifact load path).
+  PerfectDecoder(const qec::CssCode& code, std::vector<f2::BitVec> x_table,
+                 std::vector<f2::BitVec> z_table)
+      : code_(&code),
+        x_decoder_(code, qec::PauliType::X, std::move(x_table)),
+        z_decoder_(code, qec::PauliType::Z, std::move(z_table)) {}
 
   LogicalOutcome decode(const qec::Pauli& error) const;
 

@@ -320,8 +320,21 @@ std::string EngineOptions::fingerprint() const {
   return f;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_engine_invocations{0};
+}  // namespace
+
+std::uint64_t engine_solver_invocations() {
+  return g_engine_invocations.load(std::memory_order_relaxed);
+}
+
+void reset_engine_solver_invocations() {
+  g_engine_invocations.store(0, std::memory_order_relaxed);
+}
+
 std::unique_ptr<SolverBase> make_engine_solver(
     const EngineOptions& engine, std::uint64_t conflict_budget) {
+  g_engine_invocations.fetch_add(1, std::memory_order_relaxed);
   std::unique_ptr<SolverBase> solver;
   if (engine.num_configs <= 1 && engine.cube_vars == 0) {
     solver = std::make_unique<Solver>();

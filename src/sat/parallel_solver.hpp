@@ -134,7 +134,16 @@ struct EngineOptions {
 
 /// Builds the solver an `EngineOptions` describes: the sequential
 /// `Solver` for a single configuration, a `ParallelSolver` otherwise.
+/// Every call bumps the process-wide engine-invocation counter below.
 std::unique_ptr<SolverBase> make_engine_solver(const EngineOptions& engine,
                                                std::uint64_t conflict_budget);
+
+/// Process-wide count of `make_engine_solver` calls since the last reset.
+/// All SAT-backed synthesis routes through that factory, so this counter
+/// is the "did anything actually hit the solver?" probe: a warm
+/// cache/artifact path must leave it untouched (asserted in the artifact
+/// round-trip tests). Thread-safe.
+std::uint64_t engine_solver_invocations();
+void reset_engine_solver_invocations();
 
 }  // namespace ftsp::sat

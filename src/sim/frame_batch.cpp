@@ -143,6 +143,15 @@ void FrameBatch::reset(std::size_t num_qubits, std::size_t num_cbits,
   }
 }
 
+void FrameBatch::reserve(std::size_t num_qubits, std::size_t num_cbits,
+                         std::size_t num_shots) {
+  const std::size_t words =
+      (num_shots + kLanesPerWord - 1) / kLanesPerWord;
+  x_.reserve(num_qubits * words);
+  z_.reserve(num_qubits * words);
+  outcomes_.reserve(num_cbits * words);
+}
+
 void FrameBatch::clear() {
   std::fill(x_.begin(), x_.end(), 0);
   std::fill(z_.begin(), z_.end(), 0);

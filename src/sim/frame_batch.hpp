@@ -87,6 +87,12 @@ class FrameBatch {
   void apply_fault(const FaultOp& op, const circuit::Gate& gate,
                    std::size_t shot);
 
+  /// Pre-grows the row storage so later `reset` calls up to these
+  /// dimensions never reallocate — the artifact-driven samplers size one
+  /// batch at the protocol's peak segment dimensions up front.
+  void reserve(std::size_t num_qubits, std::size_t num_cbits,
+               std::size_t num_shots);
+
   /// Re-dimensions in place (reusing vector capacity) and zeroes the
   /// words [word_begin, word_end) of every row — the allocation-free way
   /// to recycle one batch across many circuit segments. Words outside

@@ -1,0 +1,312 @@
+// Artifact round-trip and store semantics: compile -> save -> load in a
+// fresh ArtifactStore must reproduce the protocol bit-for-bit (batched
+// sampler output identical at equal seed) with zero SAT solver
+// invocations on the warm path; plus the SynthCache LRU cap and the
+// store's read/write-through backing.
+#include "compile/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "compile/artifact.hpp"
+#include "core/executor.hpp"
+#include "core/ft_check.hpp"
+#include "core/samplers.hpp"
+#include "core/serialize.hpp"
+#include "core/synth_cache.hpp"
+#include "qec/code_library.hpp"
+#include "sat/parallel_solver.hpp"
+
+namespace ftsp::compile {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the system temp root, removed on destruction.
+struct TempDir {
+  fs::path path;
+
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ftsp-test-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Restores the process-wide cache to a pristine, detached state.
+void reset_cache() {
+  ArtifactStore::detach_synth_cache();
+  auto& cache = core::SynthCache::instance();
+  cache.clear();
+  cache.set_max_entries(core::SynthCache::kDefaultMaxEntries);
+  cache.reset_stats();
+}
+
+void expect_identical_batches(const core::TrajectoryBatch& a,
+                              const core::TrajectoryBatch& b) {
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    const auto& ta = a.trajectories[i];
+    const auto& tb = b.trajectories[i];
+    ASSERT_EQ(ta.sites, tb.sites) << "shot " << i;
+    ASSERT_EQ(ta.faults, tb.faults) << "shot " << i;
+    ASSERT_EQ(ta.x_fail, tb.x_fail) << "shot " << i;
+    ASSERT_EQ(ta.z_fail, tb.z_fail) << "shot " << i;
+    ASSERT_EQ(ta.hook_terminated, tb.hook_terminated) << "shot " << i;
+  }
+}
+
+TEST(ProtocolCompiler, ArtifactMatchesDirectSynthesis) {
+  reset_cache();
+  const ProtocolCompiler compiler;
+  const auto artifact = compiler.compile(qec::steane());
+
+  // Decoder tables match a from-scratch build.
+  const decoder::LookupDecoder fresh_x(*artifact.protocol.code,
+                                       qec::PauliType::X);
+  EXPECT_EQ(artifact.x_decoder_table, fresh_x.table());
+
+  // Layout matches the sampler's own recomputation.
+  const auto layout = core::compute_frame_batch_layout(artifact.protocol);
+  ASSERT_EQ(artifact.layout.segments.size(), layout.segments.size());
+  EXPECT_EQ(artifact.layout.peak_qubits, layout.peak_qubits);
+
+  // Provenance recorded real work.
+  EXPECT_GT(artifact.provenance.solver_invocations, 0u);
+  EXPECT_GT(artifact.provenance.prep_cnots, 0u);
+  EXPECT_FALSE(artifact.provenance.engine_fingerprint.empty());
+  EXPECT_GT(artifact.provenance.compiled_at_unix, 0u);
+}
+
+TEST(ProtocolCompiler, EncodeDecodeRoundTripsEveryField) {
+  reset_cache();
+  const ProtocolCompiler compiler;
+  const auto original = compiler.compile(qec::surface3());
+  const auto decoded = decode_artifact(encode_artifact(original));
+
+  EXPECT_EQ(decoded.key, original.key);
+  EXPECT_EQ(decoded.protocol.code->name(), original.protocol.code->name());
+  EXPECT_EQ(decoded.protocol.code->hx(), original.protocol.code->hx());
+  EXPECT_EQ(decoded.protocol.basis, original.protocol.basis);
+  // The binary codec stores circuits verbatim: gate-for-gate identity.
+  EXPECT_EQ(decoded.protocol.prep.to_text(), original.protocol.prep.to_text());
+  ASSERT_EQ(decoded.protocol.layer1.has_value(),
+            original.protocol.layer1.has_value());
+  if (original.protocol.layer1) {
+    EXPECT_EQ(decoded.protocol.layer1->verif.to_text(),
+              original.protocol.layer1->verif.to_text());
+    EXPECT_EQ(decoded.protocol.layer1->flag_mask,
+              original.protocol.layer1->flag_mask);
+    ASSERT_EQ(decoded.protocol.layer1->branches.size(),
+              original.protocol.layer1->branches.size());
+    auto it = decoded.protocol.layer1->branches.begin();
+    for (const auto& [key, branch] : original.protocol.layer1->branches) {
+      EXPECT_EQ(it->first, key);
+      EXPECT_EQ(it->second.circ.to_text(), branch.circ.to_text());
+      EXPECT_EQ(it->second.plan.recoveries, branch.plan.recoveries);
+      EXPECT_EQ(it->second.is_hook_branch, branch.is_hook_branch);
+      ++it;
+    }
+  }
+  EXPECT_EQ(decoded.x_decoder_table, original.x_decoder_table);
+  EXPECT_EQ(decoded.z_decoder_table, original.z_decoder_table);
+  EXPECT_EQ(decoded.layout.segments.size(), original.layout.segments.size());
+  EXPECT_EQ(decoded.provenance.engine_fingerprint,
+            original.provenance.engine_fingerprint);
+  EXPECT_EQ(decoded.provenance.solver_invocations,
+            original.provenance.solver_invocations);
+  EXPECT_EQ(decoded.provenance.compiled_at_unix,
+            original.provenance.compiled_at_unix);
+
+  // And the decoded protocol is still fault-tolerant.
+  EXPECT_TRUE(core::check_fault_tolerance(decoded.protocol).ok);
+}
+
+TEST(ArtifactStore, ColdLoadSamplesBitIdenticalWithZeroSolverCalls) {
+  reset_cache();
+  const TempDir dir("store-cold");
+
+  // Offline: compile and persist.
+  const ProtocolCompiler compiler;
+  const auto compiled = compiler.compile(qec::steane());
+  const core::Protocol& fresh = compiled.protocol;
+  {
+    ArtifactStore store(dir.path.string());
+    store.put(compiled);
+  }
+
+  // Reference sampling from the freshly synthesized protocol.
+  const core::Executor fresh_executor(fresh);
+  const decoder::PerfectDecoder fresh_decoder(*fresh.code);
+  const auto reference = core::sample_protocol_batch(
+      fresh_executor, fresh_decoder, 0.02, 4096, 1234);
+
+  // Online: a "cold process" (cleared cache, fresh store handle) loads
+  // the artifact and samples. Not a single SAT engine construction may
+  // happen anywhere on this path.
+  core::SynthCache::instance().clear();
+  core::SynthCache::instance().reset_stats();
+  ASSERT_EQ(sat::engine_solver_invocations(), 0u);
+
+  const ArtifactStore store(dir.path.string());
+  ASSERT_EQ(store.size(), 1u);
+  const auto loaded = store.get(compiled.key);
+  ASSERT_TRUE(loaded.has_value());
+
+  const core::Executor executor(loaded->protocol);
+  const decoder::PerfectDecoder decoder = make_artifact_decoder(*loaded);
+  core::SamplerOptions options;
+  options.layout = &loaded->layout;
+  const auto warm = core::sample_protocol_batch(executor, decoder, 0.02,
+                                                4096, 1234, options);
+
+  EXPECT_EQ(sat::engine_solver_invocations(), 0u)
+      << "warm path invoked the SAT engine";
+  EXPECT_EQ(core::SynthCache::instance().solver_invocations(), 0u);
+  expect_identical_batches(reference, warm);
+}
+
+TEST(ArtifactStore, IndexAndContainsSurviveReopen) {
+  reset_cache();
+  const TempDir dir("store-reopen");
+  const ProtocolCompiler compiler;
+  const auto a1 = compiler.compile(qec::steane());
+  const auto a2 = compiler.compile(qec::surface3());
+  {
+    ArtifactStore store(dir.path.string());
+    store.put(a1);
+    store.put(a2);
+    store.put(a1);  // Overwrite is idempotent.
+    EXPECT_EQ(store.size(), 2u);
+  }
+  const ArtifactStore reopened(dir.path.string());
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_TRUE(reopened.contains(a1.key));
+  EXPECT_TRUE(reopened.contains(a2.key));
+  EXPECT_FALSE(reopened.contains("no-such-key"));
+  EXPECT_FALSE(reopened.get("no-such-key").has_value());
+}
+
+TEST(ArtifactStore, BackingMakesResynthesisSolverFree) {
+  reset_cache();
+  const TempDir dir("store-backing");
+  const ArtifactStore store(dir.path.string());
+  store.attach_synth_cache();
+
+  // First synthesis: hits the solver, write-through persists results.
+  const auto protocol1 = core::synthesize_protocol(
+      qec::steane(), qec::LogicalBasis::Zero);
+  EXPECT_GT(sat::engine_solver_invocations(), 0u);
+
+  // Simulated cold process: in-memory cache wiped, stats zeroed — the
+  // persisted entries alone must carry the second synthesis.
+  core::SynthCache::instance().clear();
+  core::SynthCache::instance().reset_stats();
+  const auto protocol2 = core::synthesize_protocol(
+      qec::steane(), qec::LogicalBasis::Zero);
+  EXPECT_EQ(sat::engine_solver_invocations(), 0u);
+  EXPECT_GT(core::SynthCache::instance().backing_hits(), 0u);
+  EXPECT_EQ(core::save_protocol(protocol1), core::save_protocol(protocol2));
+
+  ArtifactStore::detach_synth_cache();
+  reset_cache();
+}
+
+TEST(SynthCache, LruCapEvictsAndCounts) {
+  reset_cache();
+  auto& cache = core::SynthCache::instance();
+  cache.set_max_entries(2);
+  cache.store("a", "1");
+  cache.store("b", "2");
+  EXPECT_TRUE(cache.lookup("a").has_value());  // Refresh "a": now b is LRU.
+  cache.store("c", "3");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.lookup("b").has_value()) << "LRU entry survived";
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+
+  // Shrinking evicts immediately; 0 lifts the cap.
+  cache.set_max_entries(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  cache.set_max_entries(0);
+  for (int i = 0; i < 100; ++i) {
+    cache.store("k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(cache.size(), 101u);
+  reset_cache();
+}
+
+TEST(SynthCache, EnvOverrideParses) {
+  ::setenv("FTSP_SAT_CACHE_MAX", "123", 1);
+  EXPECT_EQ(core::SynthCache::max_entries_from_env(7), 123u);
+  ::setenv("FTSP_SAT_CACHE_MAX", "0", 1);
+  EXPECT_EQ(core::SynthCache::max_entries_from_env(7), 0u);  // Unbounded.
+  ::setenv("FTSP_SAT_CACHE_MAX", "not-a-number", 1);
+  EXPECT_EQ(core::SynthCache::max_entries_from_env(7), 7u);
+  ::unsetenv("FTSP_SAT_CACHE_MAX");
+  EXPECT_EQ(core::SynthCache::max_entries_from_env(7), 7u);
+}
+
+TEST(Sampler, RejectsMismatchedLayout) {
+  reset_cache();
+  const ProtocolCompiler compiler;
+  const auto steane = compiler.compile(qec::steane());
+  const auto surface = compiler.compile(qec::surface3());
+  const core::Executor executor(steane.protocol);
+  const decoder::PerfectDecoder decoder = make_artifact_decoder(steane);
+  core::SamplerOptions options;
+  options.layout = &surface.layout;  // Wrong protocol's layout.
+  EXPECT_THROW(core::sample_protocol_batch(executor, decoder, 0.01, 64, 1,
+                                           options),
+               std::invalid_argument);
+}
+
+// CI golden-artifact cross-check: when FTSP_GOLDEN_STORE points at a
+// store directory produced by an *earlier build step* (possibly another
+// machine), reload every artifact, verify zero solver calls, and check
+// sampling agreement against fresh synthesis.
+TEST(ArtifactStore, GoldenStoreReload) {
+  const char* golden = std::getenv("FTSP_GOLDEN_STORE");
+  if (golden == nullptr) {
+    GTEST_SKIP() << "FTSP_GOLDEN_STORE not set";
+  }
+  reset_cache();
+  const ArtifactStore store(golden);
+  ASSERT_GT(store.size(), 0u) << "golden store is empty";
+  for (const auto& key : store.keys()) {
+    core::SynthCache::instance().reset_stats();
+    const auto artifact = store.get(key);
+    ASSERT_TRUE(artifact.has_value());
+    const core::Executor executor(artifact->protocol);
+    const decoder::PerfectDecoder decoder = make_artifact_decoder(*artifact);
+    core::SamplerOptions options;
+    options.layout = &artifact->layout;
+    const auto warm = core::sample_protocol_batch(executor, decoder, 0.02,
+                                                  2048, 99, options);
+    EXPECT_EQ(sat::engine_solver_invocations(), 0u) << key;
+
+    // Cross-check against a from-scratch synthesis of the same code.
+    const auto fresh = core::synthesize_protocol(*artifact->protocol.code,
+                                                 artifact->protocol.basis);
+    const core::Executor fresh_executor(fresh);
+    const decoder::PerfectDecoder fresh_decoder(*fresh.code);
+    const auto reference = core::sample_protocol_batch(
+        fresh_executor, fresh_decoder, 0.02, 2048, 99);
+    expect_identical_batches(reference, warm);
+  }
+  reset_cache();
+}
+
+}  // namespace
+}  // namespace ftsp::compile

@@ -1,0 +1,255 @@
+// The serving front-end: JSON parsing, request handling, the ordered
+// multi-threaded line loop, and the unix-socket server.
+#include "compile/service.hpp"
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <sstream>
+#include <thread>
+
+#include "compile/json.hpp"
+#include "qec/code_library.hpp"
+
+namespace ftsp::compile {
+namespace {
+
+TEST(Json, ParsesFlatObjects) {
+  const auto obj = parse_json_object(
+      R"({"op":"sample","code":"Steane","p":0.01,"shots":100,"ok":true,)"
+      R"("none":null,"esc":"a\"b\\c\ndA"})");
+  EXPECT_EQ(obj.at("op").text, "sample");
+  EXPECT_EQ(obj.at("code").text, "Steane");
+  EXPECT_DOUBLE_EQ(obj.at("p").number, 0.01);
+  EXPECT_DOUBLE_EQ(obj.at("shots").number, 100.0);
+  EXPECT_TRUE(obj.at("ok").boolean);
+  EXPECT_EQ(obj.at("none").kind, JsonValue::Kind::Null);
+  EXPECT_EQ(obj.at("esc").text, "a\"b\\c\nd\x41");
+  EXPECT_TRUE(parse_json_object("{}").empty());
+  EXPECT_TRUE(parse_json_object("  { }  ").empty());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json_object(""), std::invalid_argument);
+  EXPECT_THROW(parse_json_object("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json_object(R"({"a":1,})"), std::invalid_argument);
+  EXPECT_THROW(parse_json_object(R"({"a":{"b":1}})"), std::invalid_argument);
+  EXPECT_THROW(parse_json_object(R"({"a":[1]})"), std::invalid_argument);
+  EXPECT_THROW(parse_json_object(R"({"a":1} extra)"), std::invalid_argument);
+  EXPECT_THROW(parse_json_object(R"({"a":bogus})"), std::invalid_argument);
+}
+
+TEST(Json, WriterEscapesAndOrders) {
+  JsonWriter out;
+  out.field("s", "a\"b\nc");
+  out.field("n", 1.5);
+  out.field("u", std::uint64_t{42});
+  out.field("b", true);
+  out.raw_field("arr", "[1,2]");
+  EXPECT_EQ(out.take(),
+            R"({"s":"a\"b\nc","n":1.5,"u":42,"b":true,"arr":[1,2]})");
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const ProtocolCompiler compiler;
+    service_ = new ProtocolService();
+    service_->add(compiler.compile(qec::steane()));
+    service_->add(compiler.compile(qec::surface3()));
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+
+  static ProtocolService* service_;
+};
+
+ProtocolService* ServiceTest::service_ = nullptr;
+
+TEST_F(ServiceTest, ListsCodes) {
+  const auto response = service_->handle_request(R"({"op":"codes"})");
+  EXPECT_TRUE(response.find(R"("ok":true)") != std::string::npos);
+  EXPECT_TRUE(response.find("Steane") != std::string::npos);
+  EXPECT_TRUE(response.find("Surface_3") != std::string::npos);
+}
+
+TEST_F(ServiceTest, InfoReportsProvenance) {
+  const auto response =
+      service_->handle_request(R"({"op":"info","code":"Steane"})");
+  EXPECT_NE(response.find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(response.find(R"("n":7)"), std::string::npos);
+  EXPECT_NE(response.find(R"("d":3)"), std::string::npos);
+  EXPECT_NE(response.find("engine"), std::string::npos);
+}
+
+TEST_F(ServiceTest, SampleIsDeterministicPerSeed) {
+  const std::string request =
+      R"({"op":"sample","code":"Steane","p":0.02,"shots":4096,"seed":5})";
+  const auto a = service_->handle_request(request);
+  const auto b = service_->handle_request(request);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(a.find("x_fails"), std::string::npos);
+
+  const auto other = service_->handle_request(
+      R"({"op":"sample","code":"Steane","p":0.02,"shots":4096,"seed":6})");
+  EXPECT_NE(a, other) << "seed ignored";
+}
+
+TEST_F(ServiceTest, RateAndCircuitWork) {
+  const auto rate = service_->handle_request(
+      R"({"op":"rate","code":"Surface_3","p":0.01,"shots":2048})");
+  EXPECT_NE(rate.find("p_logical"), std::string::npos);
+  const auto qasm = service_->handle_request(
+      R"({"op":"circuit","code":"Steane","format":"qasm"})");
+  EXPECT_NE(qasm.find("OPENQASM"), std::string::npos);
+  const auto text = service_->handle_request(
+      R"({"op":"circuit","code":"Steane","format":"text"})");
+  EXPECT_NE(text.find("ftsp-protocol v1"), std::string::npos);
+}
+
+TEST_F(ServiceTest, ErrorsNeverThrowAndEchoId) {
+  const auto bad_op = service_->handle_request(R"({"id":7,"op":"nope"})");
+  EXPECT_NE(bad_op.find(R"("id":7)"), std::string::npos);
+  EXPECT_NE(bad_op.find(R"("ok":false)"), std::string::npos);
+  // Op validation runs before the code lookup: a typo'd op is reported
+  // as such even without a "code" field.
+  EXPECT_NE(bad_op.find("unknown op 'nope'"), std::string::npos);
+  const auto bad_code = service_->handle_request(
+      R"({"id":"x","op":"info","code":"Nope"})");
+  EXPECT_NE(bad_code.find(R"("id":"x")"), std::string::npos);
+  EXPECT_NE(bad_code.find("unknown code"), std::string::npos);
+  const auto not_json = service_->handle_request("garbage");
+  EXPECT_NE(not_json.find(R"("ok":false)"), std::string::npos);
+  // Bool/null ids are echoed as their literal tokens, not dropped.
+  const auto bool_id = service_->handle_request(R"({"id":true,"op":"nope"})");
+  EXPECT_NE(bool_id.find(R"("id":true)"), std::string::npos);
+}
+
+TEST_F(ServiceTest, RejectsOutOfRangeParameters) {
+  for (const char* request : {
+           R"({"op":"rate","code":"Steane","shots":-1})",
+           R"({"op":"rate","code":"Steane","shots":1e300})",
+           R"({"op":"rate","code":"Steane","shots":10.5})",
+           R"({"op":"sample","code":"Steane","threads":100000})",
+           R"({"op":"sample","code":"Steane","seed":"abc"})",
+       }) {
+    const auto response = service_->handle_request(request);
+    EXPECT_NE(response.find(R"("ok":false)"), std::string::npos) << request;
+  }
+}
+
+TEST_F(ServiceTest, PlusBasisServedUnderQualifiedName) {
+  const ProtocolCompiler compiler;
+  ProtocolService service;
+  service.add(compiler.compile(qec::steane(), qec::LogicalBasis::Zero));
+  service.add(compiler.compile(qec::steane(), qec::LogicalBasis::Plus));
+  ASSERT_EQ(service.size(), 2u) << "bases shadowed each other";
+  const auto codes = service.handle_request(R"({"op":"codes"})");
+  EXPECT_NE(codes.find(R"("Steane")"), std::string::npos);
+  EXPECT_NE(codes.find(R"("Steane/plus")"), std::string::npos);
+  const auto info = service.handle_request(
+      R"({"op":"info","code":"Steane/plus"})");
+  EXPECT_NE(info.find(R"("basis":"plus")"), std::string::npos);
+  const auto zero = service.handle_request(R"({"op":"info","code":"Steane"})");
+  EXPECT_NE(zero.find(R"("basis":"zero")"), std::string::npos);
+}
+
+TEST_F(ServiceTest, ServeLinesPreservesOrderAcrossThreads) {
+  std::ostringstream requests;
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    requests << R"({"id":)" << i
+             << R"(,"op":"sample","code":"Steane","p":0.02,"shots":512,)"
+             << R"("seed":)" << i << "}\n";
+  }
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  ServeOptions options;
+  options.num_threads = 8;
+  EXPECT_EQ(serve_lines(*service_, in, out, options),
+            static_cast<std::size_t>(kRequests));
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int expected = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "{\"id\":" + std::to_string(expected);
+    EXPECT_EQ(line.rfind(prefix, 0), 0u)
+        << "line " << expected << " out of order: " << line;
+    ++expected;
+  }
+  EXPECT_EQ(expected, kRequests);
+}
+
+#ifndef _WIN32
+int connect_with_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    path.copy(address.sun_path, path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+TEST_F(ServiceTest, SocketServerSurvivesEarlyDisconnectAndAnswers) {
+  const std::string path =
+      "/tmp/ftsp-test-sock-" + std::to_string(::getpid());
+  std::thread server([&] {
+    serve_socket(*service_, path, {}, /*max_connections=*/2);
+  });
+
+  // Connection 1: send a request and hang up WITHOUT reading the
+  // response. The server's write hits a closed peer — it must shrug
+  // (EPIPE), not die of SIGPIPE taking every connection with it.
+  {
+    const int fd = connect_with_retry(path);
+    ASSERT_GE(fd, 0) << "could not connect to " << path;
+    const std::string request =
+        R"({"op":"sample","code":"Steane","p":0.02,"shots":2048})"
+        "\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    ::close(fd);
+  }
+
+  // Connection 2: the server must still be alive and correct.
+  const int fd = connect_with_retry(path);
+  ASSERT_GE(fd, 0) << "server died after the rude client";
+  const std::string request = R"({"op":"info","code":"Steane"})"
+                              "\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  while (response.find('\n') == std::string::npos) {
+    const auto got = ::read(fd, buffer, sizeof(buffer));
+    ASSERT_GT(got, 0);
+    response.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  server.join();
+  EXPECT_NE(response.find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(response.find(R"("n":7)"), std::string::npos);
+}
+#endif
+
+}  // namespace
+}  // namespace ftsp::compile
