@@ -7,14 +7,29 @@
 //   ftsp_cli report  <code|@FILE>
 //   ftsp_cli qasm    <code|@FILE>
 //   ftsp_cli sim     <code|@FILE> [--p RATE] [--shots N]
+//   ftsp_cli rate    <code|@FILE> [--p RATE | --p-sweep MIN:MAX:POINTS]
+//                    [--rel-err R] [--max-shots N] [--seed S] [--sectors]
+//       Stratified fault-sector logical-error-rate estimation: exact
+//       small-fault sectors + adaptive conditional sampling — orders of
+//       magnitude fewer shots than `sim` at low p, and one --p-sweep
+//       pass prices a whole curve.
 //   ftsp_cli table   <code>           (Table-I style metrics row)
 //   ftsp_cli codes                     (list the built-in library)
 //
 //   ftsp_cli compile <code|--all> --store DIR [--basis zero|plus]
-//                    [--defer-flags] [--force]
+//                    [--defer-flags] [--force] [--engine seq|portfolio]
 //       Offline synthesis sweep: compiles protocols into artifact files
 //       under DIR (see src/compile/format.md). Already-compiled keys are
-//       skipped unless --force.
+//       skipped unless --force. `--all` defaults to the 4-config
+//       portfolio SAT engine (threads = cores, capped at 8; results and
+//       store keys are thread-count invariant) — the bulk sweep is where
+//       the portfolio pays off on multi-core machines. Single-code
+//       compiles default to the sequential engine.
+//   ftsp_cli store   --store DIR --prune [--dry-run]
+//                    [--max-cache-age-days N]
+//       Store garbage collection: removes orphaned .ftsa containers
+//       (key churn), leftover .tmp files, and corrupt or aged-out
+//       satcache entries. --dry-run lists without deleting.
 //   ftsp_cli serve   --store DIR [--threads N] [--socket PATH]
 //       Loads every artifact and answers newline-delimited JSON requests
 //       on stdin (or on a unix socket file) with zero SAT work.
@@ -23,6 +38,9 @@
 //
 // <code> is a library name (e.g. Steane) or a path to a CSS code file in
 // the code_io format; @FILE loads a previously saved protocol.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -30,6 +48,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compile/artifact.hpp"
@@ -40,12 +59,14 @@
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "core/qasm_export.hpp"
+#include "core/rate_estimator.hpp"
 #include "core/report.hpp"
 #include "core/samplers.hpp"
 #include "core/serialize.hpp"
 #include "core/synth_cache.hpp"
 #include "qec/code_io.hpp"
 #include "qec/code_library.hpp"
+#include "sat/parallel_solver.hpp"
 
 namespace {
 
@@ -80,10 +101,13 @@ core::Protocol resolve_protocol(const std::string& spec,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ftsp_cli synth|check|report|qasm|sim|table <code> "
-               "[options], ftsp_cli codes,\n"
+               "usage: ftsp_cli synth|check|report|qasm|sim|rate|table "
+               "<code> [options], ftsp_cli codes,\n"
                "       ftsp_cli compile <code|--all> --store DIR "
-               "[--basis zero|plus] [--defer-flags] [--force],\n"
+               "[--basis zero|plus] [--defer-flags] [--force] "
+               "[--engine seq|portfolio],\n"
+               "       ftsp_cli store --store DIR --prune [--dry-run] "
+               "[--max-cache-age-days N],\n"
                "       ftsp_cli serve --store DIR [--threads N] "
                "[--socket PATH],\n"
                "       ftsp_cli query --store DIR <json|->\n");
@@ -93,6 +117,7 @@ int usage() {
 int run_compile(const std::vector<std::string>& args) {
   std::string store_dir;
   std::string target;
+  std::string engine = "auto";
   qec::LogicalBasis basis = qec::LogicalBasis::Zero;
   core::SynthesisOptions options;
   bool all = false;
@@ -106,6 +131,8 @@ int run_compile(const std::vector<std::string>& args) {
       force = true;
     } else if (args[i] == "--defer-flags") {
       options.flag_policy = core::FlagPolicy::DeferToNextLayer;
+    } else if (args[i] == "--engine" && i + 1 < args.size()) {
+      engine = args[++i];
     } else if (args[i] == "--basis" && i + 1 < args.size()) {
       basis = args[++i] == "plus" ? qec::LogicalBasis::Plus
                                   : qec::LogicalBasis::Zero;
@@ -115,6 +142,25 @@ int run_compile(const std::vector<std::string>& args) {
   }
   if (store_dir.empty() || (target.empty() && !all)) {
     return usage();
+  }
+  if (engine != "auto" && engine != "seq" && engine != "portfolio") {
+    std::fprintf(stderr, "error: --engine wants seq or portfolio\n");
+    return 2;
+  }
+  // Default engine, validated on CI's multi-core runners (bench-smoke
+  // portfolio job): the bulk `--all` sweep races a 4-config portfolio on
+  // the machine's cores, single-code compiles stay sequential. The
+  // engine fingerprint (and hence every store key) excludes the thread
+  // count, so artifacts compiled anywhere remain interchangeable.
+  if (engine == "portfolio" || (engine == "auto" && all)) {
+    sat::EngineOptions portfolio;
+    portfolio.num_configs = 4;
+    portfolio.num_threads = std::min<std::size_t>(
+        std::max<std::size_t>(1, std::thread::hardware_concurrency()), 8);
+    options.verification.engine = portfolio;
+    options.correction.engine = portfolio;
+    options.prep.engine.num_configs = portfolio.num_configs;
+    options.prep.engine.num_threads = portfolio.num_threads;
   }
 
   compile::ArtifactStore store(store_dir);
@@ -148,6 +194,42 @@ int run_compile(const std::vector<std::string>& args) {
   }
   std::printf("store %s: %zu artifact(s)\n", store_dir.c_str(),
               store.size());
+  return 0;
+}
+
+int run_store(const std::vector<std::string>& args) {
+  std::string store_dir;
+  bool prune = false;
+  bool dry_run = false;
+  std::chrono::seconds max_age{0};
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--store" && i + 1 < args.size()) {
+      store_dir = args[++i];
+    } else if (args[i] == "--prune") {
+      prune = true;
+    } else if (args[i] == "--dry-run") {
+      dry_run = true;
+    } else if (args[i] == "--max-cache-age-days" && i + 1 < args.size()) {
+      max_age = std::chrono::hours{24} * std::stol(args[++i]);
+    }
+  }
+  if (store_dir.empty() || !prune) {
+    return usage();
+  }
+  const compile::ArtifactStore store(store_dir);
+  const auto report = store.prune(dry_run, max_age);
+  for (const auto& name : report.removed) {
+    std::printf("%s %s\n", dry_run ? "would remove" : "removed",
+                name.c_str());
+  }
+  std::printf(
+      "%s: %zu artifact(s) indexed; %s %zu orphaned artifact(s), %zu temp "
+      "file(s), %zu stale cache entr%s (%llu bytes)\n",
+      store_dir.c_str(), store.size(),
+      dry_run ? "would reclaim" : "reclaimed", report.orphan_artifacts,
+      report.temp_files, report.stale_cache_entries,
+      report.stale_cache_entries == 1 ? "y" : "ies",
+      static_cast<unsigned long long>(report.bytes));
   return 0;
 }
 
@@ -230,10 +312,14 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (command == "compile" || command == "serve" || command == "query") {
+    if (command == "compile" || command == "serve" || command == "query" ||
+        command == "store") {
       const std::vector<std::string> args(argv + 2, argv + argc);
       if (command == "compile") {
         return run_compile(args);
+      }
+      if (command == "store") {
+        return run_store(args);
       }
       return command == "serve" ? run_serve(args) : run_query(args);
     }
@@ -244,8 +330,13 @@ int main(int argc, char** argv) {
 
     core::SynthesisOptions options;
     std::string save_path;
+    std::string p_sweep;
     double p = 0.01;
+    double rel_err = 0.05;
     std::size_t shots = 20000;
+    std::size_t max_shots = std::size_t{1} << 20;
+    std::uint64_t seed = 1;
+    bool show_sectors = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--defer-flags") == 0) {
         options.flag_policy = core::FlagPolicy::DeferToNextLayer;
@@ -257,6 +348,16 @@ int main(int argc, char** argv) {
         p = std::stod(argv[++i]);
       } else if (std::strcmp(argv[i], "--shots") == 0 && i + 1 < argc) {
         shots = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } else if (std::strcmp(argv[i], "--p-sweep") == 0 && i + 1 < argc) {
+        p_sweep = argv[++i];
+      } else if (std::strcmp(argv[i], "--rel-err") == 0 && i + 1 < argc) {
+        rel_err = std::stod(argv[++i]);
+      } else if (std::strcmp(argv[i], "--max-shots") == 0 && i + 1 < argc) {
+        max_shots = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        seed = std::stoull(argv[++i]);
+      } else if (std::strcmp(argv[i], "--sectors") == 0) {
+        show_sectors = true;
       }
     }
 
@@ -319,6 +420,57 @@ int main(int argc, char** argv) {
       std::printf("%s @ p=%g: pL = %.4e +- %.1e (%zu shots)\n",
                   spec.c_str(), p, estimate.mean, estimate.std_error,
                   shots);
+      return 0;
+    }
+    if (command == "rate") {
+      const core::Executor executor(protocol);
+      const decoder::PerfectDecoder decoder(*protocol.code);
+      core::RateOptions rate_options;
+      rate_options.rel_err = rel_err;
+      rate_options.max_shots = max_shots;
+      rate_options.seed = seed;
+      const auto print_one = [&](double point,
+                                 const core::RateEstimate& estimate) {
+        std::printf(
+            "%-14s p=%-10.4g pL = %.4e +- %.1e  ci=[%.3e, %.3e]  "
+            "(mc %llu, exact %llu, ~%.3g naive shots)\n",
+            spec.c_str(), point, estimate.p_logical, estimate.std_error,
+            estimate.ci_low, estimate.ci_high,
+            static_cast<unsigned long long>(estimate.mc_shots),
+            static_cast<unsigned long long>(estimate.exhaustive_cases),
+            estimate.equivalent_naive_shots);
+        if (show_sectors) {
+          for (const auto& sector : estimate.sectors) {
+            std::printf(
+                "    k=%-3u w=%-12.4e f_k=%-12.4e %s%llu\n",
+                sector.num_faults, sector.weight, sector.fail_rate,
+                sector.exhaustive ? "exact cases=" : "shots=",
+                static_cast<unsigned long long>(
+                    sector.exhaustive ? sector.cases : sector.shots));
+          }
+        }
+      };
+      if (p_sweep.empty()) {
+        print_one(p, core::estimate_logical_error_rate(executor, decoder, p,
+                                                       rate_options));
+        return 0;
+      }
+      double p_min = 0.0;
+      double p_max = 0.0;
+      std::size_t points = 0;
+      if (std::sscanf(p_sweep.c_str(), "%lf:%lf:%zu", &p_min, &p_max,
+                      &points) != 3 ||
+          points == 0) {
+        std::fprintf(stderr, "error: --p-sweep wants MIN:MAX:POINTS\n");
+        return 2;
+      }
+      const std::vector<double> ps =
+          core::log_spaced_grid(p_min, p_max, points);
+      const auto estimates = core::estimate_logical_error_rate_sweep(
+          executor, decoder, ps, rate_options);
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        print_one(ps[i], estimates[i]);
+      }
       return 0;
     }
     return usage();

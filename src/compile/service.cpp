@@ -14,6 +14,7 @@
 
 #include "compile/json.hpp"
 #include "core/qasm_export.hpp"
+#include "core/rate_estimator.hpp"
 #include "core/samplers.hpp"
 #include "core/serialize.hpp"
 
@@ -83,6 +84,39 @@ std::string string_param(const JsonObject& request, const std::string& name,
     throw std::invalid_argument("parameter '" + name + "' must be a string");
   }
   return it->second.text;
+}
+
+double probability_param(const JsonObject& request, const std::string& name,
+                         double fallback) {
+  const double p = number_param(request, name, fallback);
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("parameter '" + name +
+                                "' must be in (0, 1)");
+  }
+  return p;
+}
+
+/// `%.17g` prints "inf" (invalid JSON) for the fully-exhaustive case;
+/// clamp to a finite sentinel far above any realistic shot count.
+double json_safe(double value) {
+  constexpr double kCap = 1e18;
+  return std::isfinite(value) ? std::min(value, kCap) : kCap;
+}
+
+/// Renders one stratified estimate's fields into `out` ("{...}" element
+/// of a sweep array or the body of a single-rate response).
+void write_rate_fields(JsonWriter& out, double p,
+                       const core::RateEstimate& estimate) {
+  out.field("p", p);
+  out.field("p_logical", estimate.p_logical);
+  out.field("std_error", estimate.std_error);
+  out.field("ci_low", estimate.ci_low);
+  out.field("ci_high", estimate.ci_high);
+  out.field("tail_weight", estimate.tail_weight);
+  out.field("mc_shots", estimate.mc_shots);
+  out.field("exhaustive_cases", estimate.exhaustive_cases);
+  out.field("equivalent_naive_shots",
+            json_safe(estimate.equivalent_naive_shots));
 }
 
 }  // namespace
@@ -198,8 +232,8 @@ std::string ProtocolService::handle_request(
       return out.take();
     }
 
-    if (op == "sample" || op == "rate") {
-      const double p = number_param(request, "p", 0.01);
+    if (op == "sample") {
+      const double p = probability_param(request, "p", 0.01);
       const auto shots = static_cast<std::size_t>(
           integer_param(request, "shots", 20000, kMaxShotsPerRequest));
       const std::uint64_t seed =
@@ -217,23 +251,76 @@ std::string ProtocolService::handle_request(
       out.field("shots", static_cast<std::uint64_t>(shots));
       out.field("p_logical", estimate.mean);
       out.field("std_error", estimate.std_error);
-      if (op == "sample") {
-        std::uint64_t x_fails = 0;
-        std::uint64_t z_fails = 0;
-        std::uint64_t hooks = 0;
-        std::uint64_t faults = 0;
-        for (const auto& t : batch.trajectories) {
-          x_fails += t.x_fail;
-          z_fails += t.z_fail;
-          hooks += t.hook_terminated;
-          faults += t.total_faults();
-        }
-        out.field("seed", seed);
-        out.field("x_fails", x_fails);
-        out.field("z_fails", z_fails);
-        out.field("hook_terminated", hooks);
-        out.field("total_faults", faults);
+      std::uint64_t x_fails = 0;
+      std::uint64_t z_fails = 0;
+      std::uint64_t hooks = 0;
+      std::uint64_t faults = 0;
+      for (const auto& t : batch.trajectories) {
+        x_fails += t.x_fail;
+        z_fails += t.z_fail;
+        hooks += t.hook_terminated;
+        faults += t.total_faults();
       }
+      out.field("seed", seed);
+      out.field("x_fails", x_fails);
+      out.field("z_fails", z_fails);
+      out.field("hook_terminated", hooks);
+      out.field("total_faults", faults);
+      return out.take();
+    }
+
+    if (op == "rate") {
+      // Stratified fault-sector estimation (see core/rate_estimator.hpp):
+      // exhaustive small sectors + adaptively allocated conditional
+      // sampling, served from the artifact's precomputed layout and run
+      // in bounded chunk_shots waves so one request's footprint stays
+      // flat regardless of its budget. "shots" caps the Monte-Carlo lane
+      // budget; "rel_err" is the convergence target. A p_min/p_max/
+      // p_points triple requests a log-spaced sweep answered from ONE
+      // sampling pass (sector reweighting; uniform model only).
+      core::RateOptions rate_options;
+      rate_options.max_shots = static_cast<std::size_t>(integer_param(
+          request, "shots", std::size_t{1} << 20, kMaxShotsPerRequest));
+      rate_options.seed =
+          integer_param(request, "seed", 1, std::uint64_t{1} << 53);
+      rate_options.num_threads = static_cast<std::size_t>(
+          integer_param(request, "threads", 1, kMaxThreadsPerRequest));
+      rate_options.rel_err = number_param(request, "rel_err", 0.05);
+      if (!(rate_options.rel_err > 0.0) || rate_options.rel_err > 1.0) {
+        throw std::invalid_argument("parameter 'rel_err' must be in (0, 1]");
+      }
+      rate_options.layout = &artifact.layout;
+      const auto p_points = static_cast<std::size_t>(
+          integer_param(request, "p_points", 0, 256));
+      out.field("ok", true);
+      out.field("code", code_name);
+      if (p_points == 0) {
+        const double p = probability_param(request, "p", 0.01);
+        const auto estimate = core::estimate_logical_error_rate(
+            entry->executor, entry->decoder, p, rate_options);
+        write_rate_fields(out, p, estimate);
+        return out.take();
+      }
+      const double p_min = probability_param(request, "p_min", 1e-4);
+      const double p_max = probability_param(request, "p_max", 1e-2);
+      if (p_min > p_max) {
+        throw std::invalid_argument("p_min must not exceed p_max");
+      }
+      const std::vector<double> ps =
+          core::log_spaced_grid(p_min, p_max, p_points);
+      const auto estimates = core::estimate_logical_error_rate_sweep(
+          entry->executor, entry->decoder, ps, rate_options);
+      std::string sweep = "[";
+      for (std::size_t i = 0; i < estimates.size(); ++i) {
+        if (i > 0) {
+          sweep += ',';
+        }
+        JsonWriter element;
+        write_rate_fields(element, ps[i], estimates[i]);
+        sweep += element.take();
+      }
+      sweep += ']';
+      out.raw_field("sweep", sweep);
       return out.take();
     }
 

@@ -42,8 +42,13 @@ class ProtocolService {
   ///   {"op":"codes"}
   ///   {"op":"info","code":"Steane"}
   ///   {"op":"sample","code":"Steane","p":0.01,"shots":20000,"seed":1}
-  ///   {"op":"rate","code":"Steane","p":0.001,"shots":100000}
+  ///   {"op":"rate","code":"Steane","p":0.001,"rel_err":0.05}
+  ///   {"op":"rate","code":"Steane","p_min":1e-4,"p_max":1e-2,"p_points":7}
   ///   {"op":"circuit","code":"Steane","format":"qasm"}
+  /// "sample" is plain Monte Carlo over the batched sampler; "rate" is
+  /// the stratified fault-sector estimator ("shots" caps its Monte-Carlo
+  /// budget, "rel_err" its convergence target; the p_min/p_max/p_points
+  /// form answers a whole log-spaced p-sweep from one sampling pass).
   /// "code" is a serving name (see `serving_name`). An "id" field, when
   /// present, is echoed into the response verbatim. Integer parameters
   /// are range-checked (shots capped at 2^22 per request, threads at

@@ -206,6 +206,119 @@ std::size_t ArtifactStore::size() const {
   return index_.size();
 }
 
+ArtifactStore::PruneReport ArtifactStore::prune(
+    bool dry_run, std::chrono::seconds max_cache_age) const {
+  PruneReport report;
+  report.dry_run = dry_run;
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Filenames the index references — everything else with a store
+  // extension is garbage. The on-disk index is re-read here (not just
+  // the copy loaded at construction) so artifacts a concurrent compiler
+  // indexed since this handle opened are never classified as orphans.
+  std::map<std::string, bool> referenced;
+  for (const auto& [key, filename] : index_) {
+    referenced.emplace(filename, true);
+  }
+  {
+    std::ifstream in((fs::path(dir_) / kIndexName).string());
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      if (tab != std::string::npos && tab > 0) {
+        referenced.emplace(line.substr(0, tab), true);
+      }
+    }
+  }
+
+  const auto now = fs::file_time_type::clock::now();
+  // A .tmp file younger than this is plausibly a concurrent writer's
+  // in-flight temp (put() writes <name>.tmp then renames); deleting it
+  // would silently abort that write. Anything older is a torn leftover.
+  constexpr auto kTempGracePeriod = std::chrono::minutes{10};
+  std::vector<fs::path> doomed;
+  const auto classify = [&](const fs::directory_entry& entry,
+                            bool in_satcache) {
+    if (!entry.is_regular_file()) {
+      return;
+    }
+    const std::string name = entry.path().filename().string();
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".tmp") {
+      std::error_code age_ec;
+      const auto written = fs::last_write_time(entry.path(), age_ec);
+      if (!age_ec && now - written < kTempGracePeriod) {
+        return;  // Possibly a live write: leave it for the next pass.
+      }
+      ++report.temp_files;
+    } else if (!in_satcache && ext == ".ftsa") {
+      if (referenced.count(name) != 0) {
+        return;
+      }
+      // Same race guard as for .tmp: a fresh unreferenced container may
+      // belong to a concurrent compiler that has not rewritten the
+      // index yet. Old unreferenced containers are genuine key churn.
+      std::error_code age_ec;
+      const auto written = fs::last_write_time(entry.path(), age_ec);
+      if (!age_ec && now - written < kTempGracePeriod) {
+        return;
+      }
+      ++report.orphan_artifacts;
+    } else if (in_satcache && ext == ".kv") {
+      bool stale = false;
+      if (max_cache_age.count() > 0) {
+        std::error_code ec;
+        const auto written = fs::last_write_time(entry.path(), ec);
+        stale = !ec && now - written > max_cache_age;
+      }
+      if (!stale) {
+        // Corrupt entries (torn framing, truncation) read as misses
+        // forever — reclaim them. `read_kv_file` returning nullopt for
+        // a *readable* entry means exactly that.
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        const std::string content = bytes.str();
+        try {
+          util::ByteReader reader(content);
+          (void)reader.str();
+        } catch (const std::out_of_range&) {
+          stale = true;
+        }
+      }
+      if (!stale) {
+        return;
+      }
+      ++report.stale_cache_entries;
+    } else {
+      return;  // index.tsv and anything unrecognized: never touched.
+    }
+    std::error_code ec;
+    const std::uint64_t size = entry.file_size(ec);
+    report.bytes += ec ? 0 : size;
+    report.removed.push_back(
+        fs::relative(entry.path(), fs::path(dir_)).string());
+    doomed.push_back(entry.path());
+  };
+
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    classify(entry, /*in_satcache=*/false);
+  }
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / kSatCacheDir, ec)) {
+    classify(entry, /*in_satcache=*/true);
+  }
+
+  if (!dry_run) {
+    for (const fs::path& path : doomed) {
+      std::error_code remove_ec;
+      fs::remove(path, remove_ec);  // Best effort; report what was found.
+    }
+  }
+  return report;
+}
+
 void ArtifactStore::attach_synth_cache() const {
   const std::string cache_dir = (fs::path(dir_) / kSatCacheDir).string();
   core::SynthCache::instance().set_backing(

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -45,6 +47,30 @@ class ArtifactStore {
   bool contains(const std::string& key) const;
   std::vector<std::string> keys() const;
   std::size_t size() const;
+
+  /// What `prune` found (and, unless dry-run, removed). Paths are
+  /// relative to the store directory.
+  struct PruneReport {
+    std::vector<std::string> removed;
+    std::uint64_t bytes = 0;  ///< Total size of the entries above.
+    std::size_t orphan_artifacts = 0;  ///< .ftsa not referenced by index.
+    std::size_t temp_files = 0;        ///< Leftover .tmp from torn writes.
+    std::size_t stale_cache_entries = 0;  ///< Corrupt / aged-out satcache.
+    bool dry_run = false;
+  };
+
+  /// Garbage-collects the store directory: artifact containers no index
+  /// entry points at (left behind by key churn — e.g. recompiles under
+  /// different engine options; the on-disk index is re-read first and a
+  /// 10-minute grace period shields a concurrent compiler's just-written
+  /// files), `.tmp` leftovers of interrupted writes (same grace
+  /// period), and satcache entries
+  /// that are corrupt/unreadable or — when `max_cache_age` is positive —
+  /// older than that age. Indexed artifacts are never touched.
+  /// `dry_run` reports without deleting.
+  PruneReport prune(bool dry_run = false,
+                    std::chrono::seconds max_cache_age =
+                        std::chrono::seconds{0}) const;
 
   /// Attaches this store's satcache/ directory as the persistent
   /// backing of the process-wide `core::SynthCache` (read-through +

@@ -1,0 +1,634 @@
+#pragma once
+
+// Internal engine of the batched protocol runners. Not part of the
+// public API: `core/samplers.cpp` instantiates it with Bernoulli fault
+// injection (Monte-Carlo sampling) and `core/rate_estimator.cpp` with
+// planted per-lane fault lists (exhaustive fault-sector enumeration and
+// conditional sector sampling). Both share the exact same word-parallel
+// propagation, branch regrouping and table-driven decode — so the
+// estimator's planted runs are bit-compatible with the sampler's
+// semantics by construction.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/executor.hpp"
+#include "core/samplers.hpp"
+#include "decoder/lookup_decoder.hpp"
+#include "sim/frame_batch.hpp"
+
+namespace ftsp::core::detail {
+
+/// Work-stealing index loop shared by the batched sampler (shards) and
+/// the rate estimator (waves): invokes `fn(i)` for i in [0, tasks) over
+/// `threads` workers (0 = hardware concurrency). Each task writes only
+/// its own slot, so results are thread-count invariant by construction.
+template <typename Fn>
+void run_indexed_parallel(std::size_t tasks, std::size_t threads, Fn&& fn) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, tasks);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < tasks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= tasks) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+}
+
+using KindCounts = std::array<std::uint32_t, sim::kNumLocationKinds>;
+
+inline KindCounts count_kinds(const circuit::Circuit& c) {
+  KindCounts counts{};
+  for (const auto& g : c.gates()) {
+    ++counts[static_cast<std::size_t>(sim::location_kind(g.kind))];
+  }
+  return counts;
+}
+
+/// SplitMix64 finalizer: decorrelates the per-shard seeds derived from
+/// (user seed, shard index).
+inline std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t x = seed + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Invokes `fn` on every compiled circuit segment of the protocol in the
+/// canonical layout order: prep, then per layer the verification circuit
+/// followed by the branches in outcome-key order. This order is shared
+/// with `FrameBatchLayout` (and with the artifact codec), which is what
+/// lets a stored layout be re-associated with a loaded protocol — and
+/// what defines the global fault-site numbering of the rate estimator.
+template <typename Fn>
+void for_each_segment(const Protocol& protocol, Fn&& fn) {
+  fn(protocol.prep);
+  for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+    if (!layer->has_value()) {
+      continue;
+    }
+    fn((*layer)->verif);
+    for (const auto& [key, branch] : (*layer)->branches) {
+      (void)key;
+      fn(branch.circ);
+    }
+  }
+}
+
+/// Per-kind fault-site totals of every protocol segment. Every lane that
+/// runs a segment executes the same sites, so the per-lane `sites`
+/// bookkeeping reduces to one table lookup per segment instead of one
+/// increment per location per shot.
+struct SegmentCounts {
+  std::unordered_map<const circuit::Circuit*, KindCounts> by_circuit;
+
+  /// With a precomputed layout the counts come from the table (validated
+  /// against each segment's dimensions); without one they are recounted
+  /// from the gates.
+  SegmentCounts(const Protocol& protocol, const FrameBatchLayout* layout) {
+    if (layout == nullptr) {
+      for_each_segment(protocol, [&](const circuit::Circuit& c) {
+        by_circuit.emplace(&c, count_kinds(c));
+      });
+      return;
+    }
+    std::size_t index = 0;
+    for_each_segment(protocol, [&](const circuit::Circuit& c) {
+      if (index >= layout->segments.size()) {
+        throw std::invalid_argument(
+            "sample_protocol_batch: layout has too few segments");
+      }
+      const FrameBatchLayout::Segment& seg = layout->segments[index++];
+      if (seg.num_qubits != c.num_qubits() || seg.num_cbits != c.num_cbits()) {
+        throw std::invalid_argument(
+            "sample_protocol_batch: layout does not match protocol");
+      }
+      by_circuit.emplace(&c, seg.site_counts);
+    });
+    if (index != layout->segments.size()) {
+      throw std::invalid_argument(
+          "sample_protocol_batch: layout has too many segments");
+    }
+  }
+};
+
+/// Batched decode tables for one error type: everything needed to turn
+/// the packed data-error rows into per-lane logical-flip bits without
+/// per-lane BitVec work. Syndrome and logical parities are word-parallel
+/// XORs of data rows; the per-syndrome correction parities come from the
+/// lookup decoder's table once, up front.
+struct ErrorDecodeTables {
+  /// Qubit supports of the opposite-type check rows (syndrome bits).
+  std::vector<std::vector<std::size_t>> check_support;
+  /// Qubit supports of the logicals this error type can flip.
+  std::vector<std::vector<std::size_t>> logical_support;
+  /// Bit i = parity(correction(s) & logical i), indexed by packed
+  /// syndrome s.
+  std::vector<std::uint64_t> correction_parity;
+};
+
+inline ErrorDecodeTables build_error_tables(const qec::CssCode& code,
+                                            const decoder::LookupDecoder& dec,
+                                            qec::PauliType t) {
+  ErrorDecodeTables tables;
+  const auto& checks = code.check_matrix(qec::other(t));
+  const auto& logicals = code.logicals(qec::other(t));
+  for (std::size_t i = 0; i < checks.rows(); ++i) {
+    tables.check_support.push_back(checks.row(i).ones());
+  }
+  for (std::size_t i = 0; i < logicals.rows(); ++i) {
+    tables.logical_support.push_back(logicals.row(i).ones());
+  }
+  tables.correction_parity.assign(std::size_t{1} << checks.rows(), 0);
+  for (std::size_t s = 0; s < tables.correction_parity.size(); ++s) {
+    const f2::BitVec& correction = dec.decode_packed(s);
+    for (std::size_t i = 0; i < logicals.rows(); ++i) {
+      if (correction.dot(logicals.row(i))) {
+        tables.correction_parity[s] |= std::uint64_t{1} << i;
+      }
+    }
+  }
+  return tables;
+}
+
+struct DecodeTables {
+  ErrorDecodeTables x;  ///< X errors -> x_fail (flip of some Z logical).
+  ErrorDecodeTables z;
+
+  explicit DecodeTables(const decoder::PerfectDecoder& decoder)
+      : x(build_error_tables(decoder.code(), decoder.x_decoder(),
+                             qec::PauliType::X)),
+        z(build_error_tables(decoder.code(), decoder.z_decoder(),
+                             qec::PauliType::Z)) {}
+};
+
+template <typename Word>
+bool mask_any(const std::vector<Word>& mask) {
+  for (const Word& w : mask) {
+    if (sim::WordOps<Word>::any(w)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Iterates the set lanes of `mask` in ascending shot order (u64
+/// sub-word at a time, which is ascending-lane for every word width).
+template <typename Word, typename Fn>
+void for_each_lane(const std::vector<Word>& mask, Fn&& fn) {
+  constexpr std::size_t kSub = sim::WordOps<Word>::kU64PerWord;
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    for (std::size_t s = 0; s < kSub; ++s) {
+      std::uint64_t bits = sim::WordOps<Word>::sub(mask[w], s);
+      while (bits != 0) {
+        fn((w * kSub + s) * 64 +
+           static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+}
+
+/// Word whose lanes [0, tail) are set (tail in (0, kBits]).
+template <typename Word>
+Word tail_mask_word(std::size_t tail) {
+  Word word = sim::WordOps<Word>::zero();
+  for (std::size_t s = 0; s < sim::WordOps<Word>::kU64PerWord && tail != 0;
+       ++s) {
+    const std::size_t lanes = tail < 64 ? tail : 64;
+    sim::WordOps<Word>::sub(word, s) = ~std::uint64_t{0} >> (64 - lanes);
+    tail -= lanes;
+  }
+  return word;
+}
+
+/// One inverse-CDF Bernoulli-mask table per location kind, shared by all
+/// shards of a sampling call.
+struct KindMaskTables {
+  std::vector<sim::BernoulliWordTable> by_kind;
+
+  explicit KindMaskTables(const sim::NoiseParams& q) {
+    by_kind.reserve(sim::kNumLocationKinds);
+    for (double rate : q.rates) {
+      by_kind.emplace_back(rate);
+    }
+  }
+};
+
+/// I.i.d. Bernoulli fault injection (the Monte-Carlo sampler): one mask
+/// draw per nonzero u64 sub-word per site, then a uniform op draw per
+/// faulted lane. The sub-word draw order is ascending for every word
+/// width, so the same seed produces the same faults at 64 and 256 bits.
+struct BernoulliInjector {
+  const sim::NoiseParams& q;
+  const KindMaskTables& masks;
+  Trajectory* out;
+  std::mt19937_64 rng;
+
+  BernoulliInjector(const sim::NoiseParams& q_in,
+                    const KindMaskTables& masks_in, Trajectory* out_in,
+                    std::uint64_t seed)
+      : q(q_in), masks(masks_in), out(out_in), rng(seed) {}
+
+  template <typename Word>
+  void inject(sim::BasicFrameBatch<Word>& frame, const circuit::Circuit&,
+              std::size_t, const sim::FaultSite& site,
+              const circuit::Gate& gate, const std::vector<Word>& mask,
+              std::size_t w0, std::size_t w1) {
+    const auto kind = static_cast<std::size_t>(sim::location_kind(gate.kind));
+    if (q.rates[kind] <= 0.0) {
+      return;  // No draws: the site can never fault.
+    }
+    const auto& ops = site.ops;
+    const sim::BernoulliWordTable& table = masks.by_kind[kind];
+    constexpr std::size_t kSub = sim::WordOps<Word>::kU64PerWord;
+    for (std::size_t w = w0; w < w1; ++w) {
+      for (std::size_t s = 0; s < kSub; ++s) {
+        const std::uint64_t m = sim::WordOps<Word>::sub(mask[w], s);
+        if (m == 0) {
+          continue;  // Sparse branch groups: skip fully inactive sub-words.
+        }
+        std::uint64_t faulted = table.draw(rng) & m;
+        while (faulted != 0) {
+          const auto lane =
+              static_cast<std::size_t>(std::countr_zero(faulted));
+          faulted &= faulted - 1;
+          const std::size_t shot = (w * kSub + s) * 64 + lane;
+          // Lemire's multiply-shift bounded draw (no division).
+          const auto op = static_cast<std::size_t>(
+              (static_cast<unsigned __int128>(rng()) * ops.size()) >> 64);
+          frame.apply_fault(ops[op], gate, shot);
+          ++out[shot].faults[kind];
+        }
+      }
+    }
+  }
+};
+
+/// One prescribed fault of a planted lane: which fault operator of the
+/// owning site to inject.
+struct PlantedFault {
+  std::uint32_t lane = 0;
+  std::uint32_t op = 0;
+};
+
+/// Deterministic per-lane fault plans keyed by *global site index* (the
+/// canonical `for_each_segment` numbering). A planted fault only fires
+/// when its lane actually executes the owning segment — faults planted
+/// on never-taken branches are dead by the principle of deferred
+/// decisions, which is exactly what makes fault-count sectors
+/// well-defined for adaptive protocols.
+struct PlantedInjector {
+  /// site global index -> faults, in any lane order.
+  const std::unordered_map<std::uint32_t, std::vector<PlantedFault>>& plan;
+  /// segment -> first global site index of that segment.
+  const std::unordered_map<const circuit::Circuit*, std::uint32_t>& base;
+
+  template <typename Word>
+  void inject(sim::BasicFrameBatch<Word>& frame, const circuit::Circuit& c,
+              std::size_t gate_index, const sim::FaultSite& site,
+              const circuit::Gate& gate, const std::vector<Word>& mask,
+              std::size_t, std::size_t) {
+    const auto it =
+        plan.find(base.at(&c) + static_cast<std::uint32_t>(gate_index));
+    if (it == plan.end()) {
+      return;
+    }
+    for (const PlantedFault& fault : it->second) {
+      if (sim::get_lane(mask.data(), fault.lane)) {
+        frame.apply_fault(site.ops[fault.op], gate, fault.lane);
+      }
+    }
+  }
+};
+
+/// Executes one shard of shots bit-packed: prep and verification segments
+/// run word-parallel over all live lanes; lanes whose verification
+/// outcome is nonzero are regrouped by outcome vector and each group runs
+/// its correction branch word-parallel too. Mirrors `Executor::run`
+/// lane-for-lane (Fig. 3 control flow, hook termination included). Fault
+/// injection is delegated to the `Injector` policy after every gate.
+template <typename Word, typename Injector>
+class ShardRunner {
+ public:
+  static constexpr std::size_t kLanesPerWord = sim::WordOps<Word>::kBits;
+
+  ShardRunner(const Executor& executor, const SegmentCounts& counts,
+              const DecodeTables& tables, std::size_t shots,
+              Trajectory* out, Injector& injector,
+              const FrameBatchLayout* layout = nullptr)
+      : executor_(executor),
+        counts_(counts),
+        tables_(tables),
+        shots_(shots),
+        words_((shots + kLanesPerWord - 1) / kLanesPerWord),
+        out_(out),
+        injector_(injector),
+        n_(executor.protocol().num_data_qubits()),
+        data_x_(n_ * words_, sim::WordOps<Word>::zero()),
+        data_z_(n_ * words_, sim::WordOps<Word>::zero()) {
+    if (layout != nullptr) {
+      verif_frame_.reserve(layout->peak_qubits, layout->peak_cbits, shots);
+      branch_frame_.reserve(layout->peak_qubits, layout->peak_cbits, shots);
+    }
+  }
+
+  void run() {
+    const Protocol& protocol = executor_.protocol();
+    std::vector<Word> active(words_, sim::WordOps<Word>::ones());
+    if (const std::size_t tail = shots_ % kLanesPerWord; tail != 0) {
+      active[words_ - 1] = tail_mask_word<Word>(tail);
+    }
+
+    run_segment(protocol.prep, active, verif_frame_);
+    for (const auto* layer : {&protocol.layer1, &protocol.layer2}) {
+      if (!layer->has_value() || !mask_any(active)) {
+        continue;
+      }
+      run_layer(**layer, active);
+    }
+    decode_all();
+  }
+
+ private:
+  /// Runs segment `c` over the lanes in `mask`: copies the accumulated
+  /// data error in, propagates all words gate by gate with policy-driven
+  /// fault injection, then copies the data error back out — masked, so
+  /// lanes outside `mask` are untouched (their word lanes compute garbage
+  /// that is simply discarded).
+  void run_segment(const circuit::Circuit& c, const std::vector<Word>& mask,
+                   sim::BasicFrameBatch<Word>& frame) {
+    // Restrict all word loops (including the reset) to the nonzero span
+    // of the lane mask: a correction branch taken by a handful of lanes
+    // costs words proportional to where those lanes sit, not the whole
+    // shard.
+    std::size_t w0 = 0;
+    std::size_t w1 = words_;
+    while (w0 < w1 && !sim::WordOps<Word>::any(mask[w0])) {
+      ++w0;
+    }
+    while (w1 > w0 && !sim::WordOps<Word>::any(mask[w1 - 1])) {
+      --w1;
+    }
+    const std::size_t span = w1 - w0;
+    frame.reset(c.num_qubits(), c.num_cbits(), shots_, w0, w1);
+    for (std::size_t q = 0; q < n_; ++q) {
+      std::memcpy(frame.x_row(q) + w0, data_x_.data() + q * words_ + w0,
+                  span * sizeof(Word));
+      std::memcpy(frame.z_row(q) + w0, data_z_.data() + q * words_ + w0,
+                  span * sizeof(Word));
+    }
+
+    const auto& sites = executor_.fault_sites(c);
+    const auto& gates = c.gates();
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      frame.apply_gate(gates[g], w0, w1);
+      injector_.inject(frame, c, g, sites[g], gates[g], mask, w0, w1);
+    }
+
+    const KindCounts& segment_sites = counts_.by_circuit.at(&c);
+    for_each_lane(mask, [&](std::size_t shot) {
+      for (std::size_t k = 0; k < sim::kNumLocationKinds; ++k) {
+        out_[shot].sites[k] += segment_sites[k];
+      }
+    });
+
+    for (std::size_t q = 0; q < n_; ++q) {
+      Word* dx = data_x_.data() + q * words_;
+      Word* dz = data_z_.data() + q * words_;
+      const Word* fx = frame.x_row(q);
+      const Word* fz = frame.z_row(q);
+      for (std::size_t w = w0; w < w1; ++w) {
+        dx[w] = (dx[w] & ~mask[w]) | (fx[w] & mask[w]);
+        dz[w] = (dz[w] & ~mask[w]) | (fz[w] & mask[w]);
+      }
+    }
+  }
+
+  /// Groups the lanes of `lanes` by their full outcome vector in
+  /// `frame` and invokes `fn(outcome, group_mask)` per distinct outcome,
+  /// in deterministic (lex) order. Outcome vectors fit one word for
+  /// every realistic protocol, so the grouping key is a packed uint64
+  /// (no per-lane heap traffic) with a BitVec fallback beyond 64 bits.
+  template <typename Fn>
+  void for_each_outcome_group(const sim::BasicFrameBatch<Word>& frame,
+                              const std::vector<Word>& lanes, Fn&& fn) {
+    const std::size_t cbits = frame.num_cbits();
+    if (cbits <= 64) {
+      std::map<std::uint64_t, std::vector<Word>> groups;
+      for_each_lane(lanes, [&](std::size_t shot) {
+        std::uint64_t key = 0;
+        for (std::size_t c = 0; c < cbits; ++c) {
+          key |= std::uint64_t{frame.outcome_bit(c, shot)} << c;
+        }
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted) {
+          it->second.assign(words_, sim::WordOps<Word>::zero());
+        }
+        sim::set_lane(it->second.data(), shot);
+      });
+      for (const auto& [key, group_mask] : groups) {
+        f2::BitVec outcome(cbits);
+        for (std::size_t c = 0; c < cbits; ++c) {
+          if ((key >> c) & 1) {
+            outcome.set(c);
+          }
+        }
+        fn(outcome, group_mask);
+      }
+    } else {
+      std::map<f2::BitVec, std::vector<Word>, f2::BitVecLexLess> groups;
+      for_each_lane(lanes, [&](std::size_t shot) {
+        f2::BitVec outcome(cbits);
+        for (std::size_t c = 0; c < cbits; ++c) {
+          if (frame.outcome_bit(c, shot)) {
+            outcome.set(c);
+          }
+        }
+        auto [it, inserted] = groups.try_emplace(std::move(outcome));
+        if (inserted) {
+          it->second.assign(words_, sim::WordOps<Word>::zero());
+        }
+        sim::set_lane(it->second.data(), shot);
+      });
+      for (const auto& [outcome, group_mask] : groups) {
+        fn(outcome, group_mask);
+      }
+    }
+  }
+
+  void run_layer(const CompiledLayer& layer, std::vector<Word>& active) {
+    sim::BasicFrameBatch<Word>& frame = verif_frame_;
+    run_segment(layer.verif, active, frame);
+    const std::size_t cbits = layer.verif.num_cbits();
+
+    std::vector<Word> triggered(words_, sim::WordOps<Word>::zero());
+    for (std::size_t c = 0; c < cbits; ++c) {
+      const Word* row = frame.outcome_row(c);
+      for (std::size_t w = 0; w < words_; ++w) {
+        triggered[w] |= row[w];
+      }
+    }
+    for (std::size_t w = 0; w < words_; ++w) {
+      triggered[w] &= active[w];
+    }
+    if (!mask_any(triggered)) {
+      return;
+    }
+
+    // Regroup triggered lanes by full outcome vector; each distinct
+    // outcome selects (at most) one branch, exactly like the scalar
+    // executor's branch-table lookup. Group iteration is in
+    // deterministic (lex) order, which keeps the shard's RNG stream
+    // deterministic.
+    std::vector<Word> hooked(words_, sim::WordOps<Word>::zero());
+    for_each_outcome_group(
+        frame, triggered,
+        [&](const f2::BitVec& outcome, const std::vector<Word>& group_mask) {
+          const bool hook = (outcome & layer.flag_mask).any();
+          if (const auto it = layer.branches.find(outcome);
+              it != layer.branches.end()) {
+            run_branch(it->second, group_mask);
+          }
+          if (hook) {
+            for (std::size_t w = 0; w < words_; ++w) {
+              hooked[w] |= group_mask[w];
+            }
+          }
+        });
+    if (mask_any(hooked)) {
+      for_each_lane(hooked, [&](std::size_t shot) {
+        out_[shot].hook_terminated = true;
+      });
+      for (std::size_t w = 0; w < words_; ++w) {
+        active[w] &= ~hooked[w];
+      }
+    }
+  }
+
+  void run_branch(const CompiledBranch& branch,
+                  const std::vector<Word>& group_mask) {
+    sim::BasicFrameBatch<Word>& frame = branch_frame_;
+    run_segment(branch.circ, group_mask, frame);
+    std::vector<Word>& data =
+        branch.corrected_type == qec::PauliType::X ? data_x_ : data_z_;
+    // One recovery lookup per distinct extended syndrome, not per lane.
+    for_each_outcome_group(
+        frame, group_mask,
+        [&](const f2::BitVec& extended, const std::vector<Word>& mask) {
+          if (const auto rec = branch.plan.recoveries.find(extended);
+              rec != branch.plan.recoveries.end()) {
+            // Word-parallel: XOR the recovery into every group lane.
+            for (std::size_t q : rec->second.ones()) {
+              Word* row = data.data() + q * words_;
+              for (std::size_t w = 0; w < words_; ++w) {
+                row[w] ^= mask[w];
+              }
+            }
+          }
+        });
+  }
+
+  /// Per-lane logical flips of one error type, fully word-parallel:
+  /// syndrome rows and logical parities are XORs of data rows; the only
+  /// per-lane work is gathering a handful of bits and one table lookup.
+  template <typename Store>
+  void compute_fails(const ErrorDecodeTables& tables,
+                     const std::vector<Word>& data, Store&& store) {
+    const std::size_t checks = tables.check_support.size();
+    const std::size_t logicals = tables.logical_support.size();
+    std::vector<Word> syndrome(checks * words_, sim::WordOps<Word>::zero());
+    std::vector<Word> parity(logicals * words_, sim::WordOps<Word>::zero());
+    for (std::size_t i = 0; i < checks; ++i) {
+      Word* row = syndrome.data() + i * words_;
+      for (std::size_t q : tables.check_support[i]) {
+        const Word* src = data.data() + q * words_;
+        for (std::size_t w = 0; w < words_; ++w) {
+          row[w] ^= src[w];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < logicals; ++i) {
+      Word* row = parity.data() + i * words_;
+      for (std::size_t q : tables.logical_support[i]) {
+        const Word* src = data.data() + q * words_;
+        for (std::size_t w = 0; w < words_; ++w) {
+          row[w] ^= src[w];
+        }
+      }
+    }
+    for (std::size_t shot = 0; shot < shots_; ++shot) {
+      std::size_t packed = 0;
+      for (std::size_t i = 0; i < checks; ++i) {
+        packed |= std::size_t{sim::get_lane(syndrome.data() + i * words_,
+                                            shot)}
+                  << i;
+      }
+      std::uint64_t flips = tables.correction_parity[packed];
+      for (std::size_t i = 0; i < logicals; ++i) {
+        flips ^= std::uint64_t{sim::get_lane(parity.data() + i * words_,
+                                             shot)}
+                 << i;
+      }
+      store(shot, flips != 0);
+    }
+  }
+
+  void decode_all() {
+    compute_fails(tables_.x, data_x_, [&](std::size_t shot, bool fail) {
+      out_[shot].x_fail = fail;
+    });
+    compute_fails(tables_.z, data_z_, [&](std::size_t shot, bool fail) {
+      out_[shot].z_fail = fail;
+    });
+  }
+
+  const Executor& executor_;
+  const SegmentCounts& counts_;
+  const DecodeTables& tables_;
+  std::size_t shots_;
+  std::size_t words_;
+  Trajectory* out_;
+  Injector& injector_;
+  std::size_t n_;
+  // Accumulated data-qubit error between segments, row per qubit.
+  std::vector<Word> data_x_;
+  std::vector<Word> data_z_;
+  // Scratch batches recycled across segments (branch runs happen while
+  // the verification frame's outcomes are still being consumed, hence
+  // two).
+  sim::BasicFrameBatch<Word> verif_frame_{0, 0, 0};
+  sim::BasicFrameBatch<Word> branch_frame_{0, 0, 0};
+};
+
+}  // namespace ftsp::core::detail

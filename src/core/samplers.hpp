@@ -63,6 +63,17 @@ struct FrameBatchLayout {
 
 FrameBatchLayout compute_frame_batch_layout(const Protocol& protocol);
 
+/// Batch word width of the word-parallel engines. The wide (256-bit)
+/// path moves 4x the shots per kernel op and is bit-identical to the
+/// u64 path for equal (seed, shard_shots) — the Bernoulli fault masks
+/// are drawn one u64 sub-word at a time in ascending lane order at
+/// every width (cross-checked in `test_samplers` / CI).
+enum class WordWidth {
+  Auto,  ///< Currently W256 (the fast path).
+  W64,
+  W256,
+};
+
 /// Controls for the batched sampler. Shots are split into fixed-size
 /// shards; each shard derives its RNG stream from (seed, shard index)
 /// alone and writes a disjoint slice of the output, so the sampled batch
@@ -81,16 +92,20 @@ struct SamplerOptions {
   /// per-call gate walk, pre-sizing its scratch batches to the peak
   /// dimensions instead. Never changes sampled bits.
   const FrameBatchLayout* layout = nullptr;
+  /// Batch word width. Never changes sampled bits either — only how many
+  /// lanes each kernel op advances.
+  WordWidth width = WordWidth::Auto;
 };
 
 /// Samples `shots` protocol runs at the (typically elevated) fault rates
 /// `q`. This is the stand-in for the paper's Dynamic Subset Sampling: one
 /// batch serves a whole p-sweep via importance re-weighting.
 ///
-/// Runs on the bit-packed `sim::FrameBatch` engine: 64 shots per machine
-/// word through the always-executed segments, with triggered lanes
-/// regrouped per correction branch — orders of magnitude faster than the
-/// scalar reference below at equal statistics.
+/// Runs on the bit-packed `sim::BasicFrameBatch` engine (256-bit words
+/// by default, see `WordWidth`): a full batch word of shots per kernel
+/// op through the always-executed segments, with triggered lanes
+/// regrouped per correction branch — orders of magnitude faster than
+/// the scalar reference below at equal statistics.
 TrajectoryBatch sample_protocol_batch(const Executor& executor,
                                       const decoder::PerfectDecoder& decoder,
                                       const sim::NoiseParams& q,

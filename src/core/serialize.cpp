@@ -294,17 +294,18 @@ circuit::Circuit decode_circuit(util::ByteReader& in) {
   return c;
 }
 
-void encode_decoder_table(util::ByteWriter& out, qec::PauliType type,
-                          const std::vector<f2::BitVec>& table) {
-  encode_pauli_type(out, type);
-  out.u32(static_cast<std::uint32_t>(std::countr_zero(table.size())));
-  for (const auto& entry : table) {
-    encode_bitvec(out, entry);
-  }
-}
+namespace {
 
-std::vector<f2::BitVec> decode_decoder_table(util::ByteReader& in) {
-  (void)decode_pauli_type(in);
+/// Version marker of the sparse decoder-table encoding. The legacy
+/// (dense) payload opens with the Pauli type byte, which is 0 or 1 —
+/// so this single leading byte cleanly disambiguates the two framings
+/// and pre-v2 artifacts keep loading byte-for-byte unchanged.
+constexpr std::uint8_t kSparseTableVersion = 2;
+/// Per-entry tag: 0..254 = number of set-bit indices following;
+/// 255 = dense fallback (ceil(width/8) raw bytes).
+constexpr std::uint8_t kDenseEntryTag = 255;
+
+std::vector<f2::BitVec> decode_decoder_table_dense(util::ByteReader& in) {
   const std::uint32_t syndrome_bits = in.u32();
   const std::size_t count = std::size_t{1} << syndrome_bits;
   // Each entry takes at least its 4-byte length prefix; reject counts
@@ -316,6 +317,104 @@ std::vector<f2::BitVec> decode_decoder_table(util::ByteReader& in) {
   table.reserve(count);
   for (std::size_t s = 0; s < count; ++s) {
     table.push_back(decode_bitvec(in));
+  }
+  return table;
+}
+
+}  // namespace
+
+void encode_decoder_table(util::ByteWriter& out, qec::PauliType type,
+                          const std::vector<f2::BitVec>& table) {
+  // Sparse v2 framing: lookup-table entries are minimum-weight
+  // corrections — near-empty bitvecs — so each entry stores its set-bit
+  // indices, with the (shared) bit width hoisted into the header
+  // instead of repeated per entry. Entries that would not shrink fall
+  // back to dense bytes per entry, so the encoding never loses.
+  out.u8(kSparseTableVersion);
+  encode_pauli_type(out, type);
+  out.u32(static_cast<std::uint32_t>(std::countr_zero(table.size())));
+  const std::uint32_t width =
+      table.empty() ? 0 : static_cast<std::uint32_t>(table.front().size());
+  out.u32(width);
+  const std::size_t dense_bytes = (width + 7) / 8;
+  const std::size_t index_bytes = width <= 256 ? 1 : 2;
+  for (const auto& entry : table) {
+    if (entry.size() != width) {
+      throw std::invalid_argument(
+          "encode_decoder_table: ragged entry widths");
+    }
+    const std::vector<std::size_t> ones = entry.ones();
+    if (ones.size() < kDenseEntryTag &&
+        ones.size() * index_bytes < dense_bytes && width <= 65536) {
+      out.u8(static_cast<std::uint8_t>(ones.size()));
+      for (std::size_t index : ones) {
+        if (index_bytes == 1) {
+          out.u8(static_cast<std::uint8_t>(index));
+        } else {
+          out.u16(static_cast<std::uint16_t>(index));
+        }
+      }
+    } else {
+      out.u8(kDenseEntryTag);
+      for (std::size_t i = 0; i < width; i += 8) {
+        std::uint8_t byte = 0;
+        for (std::size_t b = 0; b < 8 && i + b < width; ++b) {
+          byte |= static_cast<std::uint8_t>(entry.get(i + b)) << b;
+        }
+        out.u8(byte);
+      }
+    }
+  }
+}
+
+std::vector<f2::BitVec> decode_decoder_table(util::ByteReader& in) {
+  const std::uint8_t lead = in.u8();
+  if (lead <= 1) {
+    // Legacy dense payload: the lead byte *is* the Pauli type.
+    return decode_decoder_table_dense(in);
+  }
+  if (lead != kSparseTableVersion) {
+    throw std::invalid_argument("decode_decoder_table: unknown version " +
+                                std::to_string(lead));
+  }
+  (void)decode_pauli_type(in);
+  const std::uint32_t syndrome_bits = in.u32();
+  const std::size_t count = std::size_t{1} << syndrome_bits;
+  // Every entry takes at least its 1-byte tag.
+  if (syndrome_bits > 20 || count > in.remaining()) {
+    throw std::invalid_argument("decode_decoder_table: syndrome space");
+  }
+  const std::uint32_t width = in.u32();
+  const std::size_t index_bytes = width <= 256 ? 1 : 2;
+  std::vector<f2::BitVec> table;
+  table.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    f2::BitVec entry(width);
+    const std::uint8_t tag = in.u8();
+    if (tag == kDenseEntryTag) {
+      for (std::uint32_t i = 0; i < width; i += 8) {
+        const std::uint8_t byte = in.u8();
+        for (std::uint32_t b = 0; b < 8 && i + b < width; ++b) {
+          if ((byte >> b) & 1) {
+            entry.set(i + b);
+          }
+        }
+      }
+    } else {
+      std::size_t previous = 0;
+      for (std::uint8_t i = 0; i < tag; ++i) {
+        const std::size_t index = index_bytes == 1 ? in.u8() : in.u16();
+        // Strictly ascending (the encoder writes `ones()` order): any
+        // other shape is corruption, not a repairable quirk.
+        if (index >= width || (i > 0 && index <= previous)) {
+          throw std::invalid_argument(
+              "decode_decoder_table: bad sparse index");
+        }
+        previous = index;
+        entry.set(index);
+      }
+    }
+    table.push_back(std::move(entry));
   }
   return table;
 }

@@ -1,0 +1,256 @@
+#include "sim/fault_sectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ftsp::sim {
+
+namespace {
+
+/// Continued-fraction kernel of the incomplete beta function (Lentz's
+/// method, as in Numerical Recipes' betacf).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) {
+    d = kTiny;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return h;
+}
+
+/// Quantile of Beta(a, b) by bisection on the regularized incomplete
+/// beta (monotone, so 80 halvings pin the answer to ~1 ulp of [0,1]).
+double beta_quantile(double a, double b, double q) {
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (regularized_incomplete_beta(a, b, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x >= 1.0) {
+    return 1.0;
+  }
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the continued fraction on the side where it converges fast.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+BinomialInterval clopper_pearson(std::uint64_t successes,
+                                 std::uint64_t trials, double alpha) {
+  if (trials == 0) {
+    return {0.0, 1.0};  // No data: the vacuous interval.
+  }
+  if (successes > trials) {
+    throw std::invalid_argument("clopper_pearson: successes > trials");
+  }
+  const double s = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  BinomialInterval interval;
+  interval.low = successes == 0
+                     ? 0.0
+                     : beta_quantile(s, n - s + 1.0, alpha / 2.0);
+  interval.high = successes == trials
+                      ? 1.0
+                      : beta_quantile(s + 1.0, n - s, 1.0 - alpha / 2.0);
+  return interval;
+}
+
+SectorModel::SectorModel(const KindCounts& counts, const NoiseParams& rates)
+    : counts_(counts), rates_(rates) {
+  double log_clean = 0.0;
+  for (std::size_t j = 0; j < kNumLocationKinds; ++j) {
+    const double p = rates.rates[j];
+    // Negated comparison so NaN fails validation too.
+    if (!(p >= 0.0) || p >= 1.0) {
+      throw std::invalid_argument("SectorModel: rates must be in [0,1)");
+    }
+    odds_[j] = p / (1.0 - p);
+    total_ += counts_[j];
+    log_clean += static_cast<double>(counts_[j]) * std::log1p(-p);
+  }
+  all_clean_ = std::exp(log_clean);
+  esym_.push_back(1.0);  // e_0.
+}
+
+bool SectorModel::uniform_rates() const {
+  double rate = -1.0;
+  for (std::size_t j = 0; j < kNumLocationKinds; ++j) {
+    if (counts_[j] == 0) {
+      continue;
+    }
+    if (rate < 0.0) {
+      rate = rates_.rates[j];
+    } else if (rates_.rates[j] != rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> SectorModel::kind_coefficients(std::uint64_t n,
+                                                   double r,
+                                                   std::size_t k_max) {
+  const std::size_t top = std::min<std::uint64_t>(n, k_max);
+  std::vector<double> coeffs(top + 1, 0.0);
+  coeffs[0] = 1.0;
+  for (std::size_t k = 1; k <= top; ++k) {
+    // C(n,k) r^k = C(n,k-1) r^{k-1} * r (n-k+1)/k.
+    coeffs[k] = coeffs[k - 1] * r *
+                static_cast<double>(n - k + 1) / static_cast<double>(k);
+  }
+  return coeffs;
+}
+
+void SectorModel::grow_coefficients(std::size_t k_max) const {
+  if (esym_.size() > k_max) {
+    return;
+  }
+  const std::size_t top = std::min<std::uint64_t>(total_, k_max);
+  std::vector<double> poly{1.0};
+  for (std::size_t j = 0; j < kNumLocationKinds; ++j) {
+    if (counts_[j] == 0 || odds_[j] == 0.0) {
+      continue;
+    }
+    const std::vector<double> kind = kind_coefficients(counts_[j], odds_[j],
+                                                       top);
+    std::vector<double> next(std::min(poly.size() + kind.size() - 1,
+                                      top + 1),
+                             0.0);
+    for (std::size_t a = 0; a < poly.size(); ++a) {
+      for (std::size_t b = 0; b < kind.size() && a + b <= top; ++b) {
+        next[a + b] += poly[a] * kind[b];
+      }
+    }
+    poly = std::move(next);
+  }
+  poly.resize(k_max + 1, 0.0);  // e_k = 0 beyond the location count.
+  esym_ = std::move(poly);
+}
+
+double SectorModel::elementary_symmetric(std::size_t k) const {
+  grow_coefficients(k);
+  return esym_[k];
+}
+
+std::vector<double> SectorModel::weights(std::size_t k_max) const {
+  grow_coefficients(k_max);
+  std::vector<double> w(k_max + 1, 0.0);
+  for (std::size_t k = 0; k <= k_max; ++k) {
+    w[k] = esym_[k] * all_clean_;
+  }
+  return w;
+}
+
+double SectorModel::tail(std::size_t k_max) const {
+  double covered = 0.0;
+  for (double w : weights(k_max)) {
+    covered += w;
+  }
+  return std::clamp(1.0 - covered, 0.0, 1.0);
+}
+
+std::vector<SectorModel::KindSplit> SectorModel::kind_split_cdf(
+    std::size_t k) const {
+  std::array<std::vector<double>, kNumLocationKinds> kind_coeffs;
+  for (std::size_t j = 0; j < kNumLocationKinds; ++j) {
+    kind_coeffs[j] = kind_coefficients(counts_[j], odds_[j], k);
+  }
+  std::vector<KindSplit> cdf;
+  double total = 0.0;
+  std::array<std::uint32_t, kNumLocationKinds> split{};
+  // Enumerate compositions k = k_0 + k_1 + k_2 + k_3 with k_j <= n_j.
+  for (std::size_t k0 = 0; k0 < kind_coeffs[0].size() && k0 <= k; ++k0) {
+    for (std::size_t k1 = 0; k1 < kind_coeffs[1].size() && k0 + k1 <= k;
+         ++k1) {
+      for (std::size_t k2 = 0;
+           k2 < kind_coeffs[2].size() && k0 + k1 + k2 <= k; ++k2) {
+        const std::size_t k3 = k - k0 - k1 - k2;
+        if (k3 >= kind_coeffs[3].size()) {
+          continue;
+        }
+        const double weight = kind_coeffs[0][k0] * kind_coeffs[1][k1] *
+                              kind_coeffs[2][k2] * kind_coeffs[3][k3];
+        if (weight <= 0.0) {
+          continue;
+        }
+        total += weight;
+        split = {static_cast<std::uint32_t>(k0),
+                 static_cast<std::uint32_t>(k1),
+                 static_cast<std::uint32_t>(k2),
+                 static_cast<std::uint32_t>(k3)};
+        cdf.push_back({split, total});
+      }
+    }
+  }
+  if (cdf.empty()) {
+    throw std::invalid_argument(
+        "SectorModel: sector " + std::to_string(k) +
+        " is unreachable (not enough faultable locations)");
+  }
+  for (KindSplit& entry : cdf) {
+    entry.cumulative /= total;
+  }
+  cdf.back().cumulative = 1.0;  // Guard against rounding at the top end.
+  return cdf;
+}
+
+}  // namespace ftsp::sim

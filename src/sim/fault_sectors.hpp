@@ -1,0 +1,99 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/faults.hpp"
+
+namespace ftsp::sim {
+
+/// Two-sided Clopper-Pearson confidence interval for a binomial
+/// proportion at level `1 - alpha` — the exact (conservative) interval,
+/// well-defined even at 0 or n observed successes, which is the regime
+/// rare-event estimation lives in.
+struct BinomialInterval {
+  double low = 0.0;
+  double high = 1.0;
+};
+BinomialInterval clopper_pearson(std::uint64_t successes,
+                                 std::uint64_t trials, double alpha = 0.05);
+
+/// Regularized incomplete beta function I_x(a, b) (continued-fraction
+/// evaluation; the CDF of Beta(a, b)). Exposed for tests.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Fault-count sector decomposition of a fixed fault-location set under
+/// the per-kind independent-fault model: every location of kind j fails
+/// independently with probability `rates[j]`. The total fault count K
+/// then has
+///
+///   P(K = k) = e_k(odds) * prod_i (1 - p_i),
+///
+/// where e_k is the elementary symmetric polynomial of the per-location
+/// odds multiset (odds r_j = p_j / (1 - p_j), n_j locations of kind j),
+/// and conditioned on K = k the faulty set S is drawn with probability
+/// prod_{i in S} r_i / e_k — uniform over all k-subsets when the rates
+/// are uniform (the paper's E1_1 model), in which case the conditional
+/// is *independent of p* and one set of per-sector estimates serves a
+/// whole p-sweep by reweighting P(K = k) alone.
+///
+/// The location set is *fixed* — it covers every fault site of every
+/// protocol segment, executed or not. By the principle of deferred
+/// decisions this induces exactly the protocol's adaptive-execution
+/// fault distribution: faults planted on never-executed branches are
+/// simply never read.
+class SectorModel {
+ public:
+  using KindCounts = std::array<std::uint64_t, kNumLocationKinds>;
+
+  /// Rates must be in [0, 1); throws std::invalid_argument otherwise.
+  SectorModel(const KindCounts& counts, const NoiseParams& rates);
+
+  const KindCounts& counts() const { return counts_; }
+  const NoiseParams& rates() const { return rates_; }
+  std::uint64_t total_locations() const { return total_; }
+  double odds(LocationKind kind) const {
+    return odds_[static_cast<std::size_t>(kind)];
+  }
+
+  /// True when every kind with at least one location shares one rate —
+  /// the condition under which per-sector estimates are reusable across
+  /// a rate sweep (see class comment).
+  bool uniform_rates() const;
+
+  /// e_k(odds): coefficient of x^k in prod_j (1 + r_j x)^{n_j}.
+  double elementary_symmetric(std::size_t k) const;
+
+  /// P(K = k) for k = 0..k_max (inclusive).
+  std::vector<double> weights(std::size_t k_max) const;
+
+  /// P(K > k_max), clamped to [0, 1].
+  double tail(std::size_t k_max) const;
+
+  /// Cumulative conditional distribution of the per-kind fault split
+  /// given K = k: every composition (k_0..k_3) with sum k and k_j <=
+  /// n_j, with P proportional to prod_j C(n_j, k_j) r_j^{k_j}. Sampling
+  /// is one uniform draw + binary search on `cumulative`.
+  struct KindSplit {
+    std::array<std::uint32_t, kNumLocationKinds> split{};
+    double cumulative = 0.0;
+  };
+  std::vector<KindSplit> kind_split_cdf(std::size_t k) const;
+
+ private:
+  /// Extends the cached e_k coefficients to index k_max.
+  void grow_coefficients(std::size_t k_max) const;
+  /// C(n_j, k) r_j^k for one kind (truncated coefficient array).
+  static std::vector<double> kind_coefficients(std::uint64_t n, double r,
+                                               std::size_t k_max);
+
+  KindCounts counts_{};
+  NoiseParams rates_;
+  std::array<double, kNumLocationKinds> odds_{};
+  std::uint64_t total_ = 0;
+  double all_clean_ = 1.0;  ///< prod_i (1 - p_i).
+  mutable std::vector<double> esym_;  ///< Cached e_0..e_{size-1}.
+};
+
+}  // namespace ftsp::sim

@@ -7,75 +7,73 @@
 #include "circuit/circuit.hpp"
 #include "sim/faults.hpp"
 #include "sim/pauli_frame.hpp"
+#include "sim/simd_word.hpp"
 
 namespace ftsp::sim {
 
-/// Bit-packed batch of Pauli frames, Stim-style: 64 shots share one
-/// machine word, and each qubit (resp. classical bit) owns a contiguous
-/// row of words. Lane `l` of word `w` is shot `w * 64 + l`.
+/// Bit-packed batch of Pauli frames, Stim-style, templated on the batch
+/// word: `kLanesPerWord` shots share one machine word, and each qubit
+/// (resp. classical bit) owns a contiguous row of words. Lane `l` of
+/// word `w` is shot `w * kLanesPerWord + l`.
 ///
 /// Gate kernels are straight word-wise XOR/swap loops over the affected
 /// rows, so one `apply_gate` advances all shots of the batch at once —
-/// the same exact frame propagation as the scalar `PauliFrame`, just 64+
-/// frames per instruction. Fault injection is per-lane (faults are sparse)
-/// via `apply_fault`; batched samplers draw the lanes to fault with
-/// `bernoulli_word`.
-class FrameBatch {
+/// the same exact frame propagation as the scalar `PauliFrame`, just
+/// `kLanesPerWord` frames per instruction. The 256-bit `SimdWord`
+/// instantiation moves 4x the shots per op of the u64 one and is
+/// bit-identical to it (see `simd_word.hpp` for the lane layout
+/// contract). Fault injection is per-lane (faults are sparse) via
+/// `apply_fault`; batched samplers draw the lanes to fault with
+/// `bernoulli_word` one u64 sub-word at a time.
+template <typename Word>
+class BasicFrameBatch {
  public:
-  static constexpr std::size_t kLanesPerWord = 64;
+  static constexpr std::size_t kLanesPerWord = WordOps<Word>::kBits;
 
-  FrameBatch(std::size_t num_qubits, std::size_t num_cbits,
-             std::size_t num_shots);
-  explicit FrameBatch(const circuit::Circuit& c, std::size_t num_shots)
-      : FrameBatch(c.num_qubits(), c.num_cbits(), num_shots) {}
+  BasicFrameBatch(std::size_t num_qubits, std::size_t num_cbits,
+                  std::size_t num_shots);
+  explicit BasicFrameBatch(const circuit::Circuit& c, std::size_t num_shots)
+      : BasicFrameBatch(c.num_qubits(), c.num_cbits(), num_shots) {}
 
   std::size_t num_qubits() const { return num_qubits_; }
   std::size_t num_cbits() const { return num_cbits_; }
   std::size_t num_shots() const { return num_shots_; }
-  /// Words per row: ceil(num_shots / 64).
+  /// Words per row: ceil(num_shots / kLanesPerWord).
   std::size_t num_words() const { return words_; }
 
   /// Row pointers (one word array per qubit / classical bit).
-  std::uint64_t* x_row(std::size_t q) { return x_.data() + q * words_; }
-  std::uint64_t* z_row(std::size_t q) { return z_.data() + q * words_; }
-  std::uint64_t* outcome_row(std::size_t c) {
-    return outcomes_.data() + c * words_;
-  }
-  const std::uint64_t* x_row(std::size_t q) const {
-    return x_.data() + q * words_;
-  }
-  const std::uint64_t* z_row(std::size_t q) const {
-    return z_.data() + q * words_;
-  }
-  const std::uint64_t* outcome_row(std::size_t c) const {
+  Word* x_row(std::size_t q) { return x_.data() + q * words_; }
+  Word* z_row(std::size_t q) { return z_.data() + q * words_; }
+  Word* outcome_row(std::size_t c) { return outcomes_.data() + c * words_; }
+  const Word* x_row(std::size_t q) const { return x_.data() + q * words_; }
+  const Word* z_row(std::size_t q) const { return z_.data() + q * words_; }
+  const Word* outcome_row(std::size_t c) const {
     return outcomes_.data() + c * words_;
   }
 
   /// Single-lane accessors (tests, sparse fault handling).
   bool x_bit(std::size_t q, std::size_t shot) const {
-    return (x_row(q)[shot / 64] >> (shot % 64)) & 1;
+    return get_lane(x_row(q), shot);
   }
   bool z_bit(std::size_t q, std::size_t shot) const {
-    return (z_row(q)[shot / 64] >> (shot % 64)) & 1;
+    return get_lane(z_row(q), shot);
   }
   bool outcome_bit(std::size_t c, std::size_t shot) const {
-    return (outcome_row(c)[shot / 64] >> (shot % 64)) & 1;
+    return get_lane(outcome_row(c), shot);
   }
   void flip_x_bit(std::size_t q, std::size_t shot) {
-    x_row(q)[shot / 64] ^= std::uint64_t{1} << (shot % 64);
+    flip_lane(x_row(q), shot);
   }
   void flip_z_bit(std::size_t q, std::size_t shot) {
-    z_row(q)[shot / 64] ^= std::uint64_t{1} << (shot % 64);
+    flip_lane(z_row(q), shot);
   }
   void flip_outcome_bit(std::size_t c, std::size_t shot) {
-    outcome_row(c)[shot / 64] ^= std::uint64_t{1} << (shot % 64);
+    flip_lane(outcome_row(c), shot);
   }
 
   /// Advances every lane across one gate (same semantics as the scalar
   /// `sim::apply_gate`, word-parallel).
-  void apply_gate(const circuit::Gate& gate) {
-    apply_gate(gate, 0, words_);
-  }
+  void apply_gate(const circuit::Gate& gate) { apply_gate(gate, 0, words_); }
   /// Restricts the kernel to words [word_begin, word_end) — samplers use
   /// this to run sparse lane groups without touching the whole batch.
   void apply_gate(const circuit::Gate& gate, std::size_t word_begin,
@@ -122,10 +120,19 @@ class FrameBatch {
   std::size_t num_cbits_;
   std::size_t num_shots_;
   std::size_t words_;
-  std::vector<std::uint64_t> x_;
-  std::vector<std::uint64_t> z_;
-  std::vector<std::uint64_t> outcomes_;
+  std::vector<Word> x_;
+  std::vector<Word> z_;
+  std::vector<Word> outcomes_;
 };
+
+extern template class BasicFrameBatch<std::uint64_t>;
+extern template class BasicFrameBatch<SimdWord>;
+
+/// The historical u64 batch — the bit-for-bit oracle the wide batch is
+/// checked against.
+using FrameBatch = BasicFrameBatch<std::uint64_t>;
+/// 256-bit batch: 4x the shots per kernel op.
+using WideFrameBatch = BasicFrameBatch<SimdWord>;
 
 /// One word of 64 independent Bernoulli(p) draws (bit l set with
 /// probability p). Uses geometric gap sampling, so the cost is
@@ -143,8 +150,12 @@ std::uint64_t bernoulli_word_from_log1mp(std::mt19937_64& rng,
 /// inverse-CDF Binomial(64, p) table (one RNG draw, a short scan), then
 /// places the set bits uniformly — no transcendentals anywhere in the
 /// per-word path. Exactly the 64-fold Bernoulli(p) product distribution.
+/// Always draws one 64-lane sub-word; wide batch words consume one draw
+/// per u64 sub-word, in ascending sub-word order.
 class BernoulliWordTable {
  public:
+  static constexpr std::size_t kLanes = 64;
+
   explicit BernoulliWordTable(double p);
 
   std::uint64_t draw(std::mt19937_64& rng) const {
@@ -156,7 +167,7 @@ class BernoulliWordTable {
     // would fault all 64 lanes at once).
     const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
     std::size_t count = 0;
-    while (count < FrameBatch::kLanesPerWord && u >= cdf_[count]) {
+    while (count < kLanes && u >= cdf_[count]) {
       ++count;
     }
     std::uint64_t mask = 0;
@@ -176,7 +187,7 @@ class BernoulliWordTable {
  private:
   // cdf_[k] = P(popcount <= k); the scan returns the smallest k with
   // u < cdf_[k].
-  std::array<double, FrameBatch::kLanesPerWord> cdf_{};
+  std::array<double, kLanes> cdf_{};
   bool always_zero_ = false;
 };
 

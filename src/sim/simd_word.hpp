@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ftsp::sim {
+
+/// Portable 256-bit batch word: four `uint64_t` sub-words advanced in
+/// lock-step. The frame-batch kernels are straight XOR/AND/OR loops, so
+/// a plain fixed-size array auto-vectorizes to full vector registers on
+/// every target the compiler knows (AVX2, NEON, SVE) without any
+/// intrinsics — and degrades to four scalar ops where it doesn't.
+///
+/// Lane layout is the natural little-endian extension of the u64 word:
+/// lane `l` lives in sub-word `l / 64`, bit `l % 64`. Sub-word order is
+/// load-bearing: the Bernoulli fault masks are drawn one u64 sub-word at
+/// a time in ascending order, which is what makes the 256-bit sampler
+/// path consume the exact same RNG stream as the u64 path (bit-for-bit
+/// identical batches, tested).
+struct SimdWord {
+  static constexpr std::size_t kU64Count = 4;
+  std::uint64_t v[kU64Count];
+
+  SimdWord& operator^=(const SimdWord& o) {
+    for (std::size_t i = 0; i < kU64Count; ++i) {
+      v[i] ^= o.v[i];
+    }
+    return *this;
+  }
+  SimdWord& operator&=(const SimdWord& o) {
+    for (std::size_t i = 0; i < kU64Count; ++i) {
+      v[i] &= o.v[i];
+    }
+    return *this;
+  }
+  SimdWord& operator|=(const SimdWord& o) {
+    for (std::size_t i = 0; i < kU64Count; ++i) {
+      v[i] |= o.v[i];
+    }
+    return *this;
+  }
+  friend SimdWord operator^(SimdWord a, const SimdWord& b) { return a ^= b; }
+  friend SimdWord operator&(SimdWord a, const SimdWord& b) { return a &= b; }
+  friend SimdWord operator|(SimdWord a, const SimdWord& b) { return a |= b; }
+  friend SimdWord operator~(SimdWord a) {
+    for (std::size_t i = 0; i < kU64Count; ++i) {
+      a.v[i] = ~a.v[i];
+    }
+    return a;
+  }
+  friend bool operator==(const SimdWord&, const SimdWord&) = default;
+
+  bool any() const {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kU64Count; ++i) {
+      acc |= v[i];
+    }
+    return acc != 0;
+  }
+};
+
+/// Compile-time dispatch surface of the batch kernels: everything the
+/// frame batch and the batched samplers need to know about a word type.
+/// Bit-level (per-lane) access goes through the u64 sub-word view so the
+/// sparse paths — fault injection, outcome grouping, per-shot decode —
+/// share one implementation across widths.
+template <typename Word>
+struct WordOps;
+
+template <>
+struct WordOps<std::uint64_t> {
+  static constexpr std::size_t kU64PerWord = 1;
+  static constexpr std::size_t kBits = 64;
+  static constexpr std::uint64_t zero() { return 0; }
+  static constexpr std::uint64_t ones() { return ~std::uint64_t{0}; }
+  static bool any(std::uint64_t w) { return w != 0; }
+  static std::uint64_t& sub(std::uint64_t& w, std::size_t) { return w; }
+  static const std::uint64_t& sub(const std::uint64_t& w, std::size_t) {
+    return w;
+  }
+};
+
+template <>
+struct WordOps<SimdWord> {
+  static constexpr std::size_t kU64PerWord = SimdWord::kU64Count;
+  static constexpr std::size_t kBits = 64 * kU64PerWord;
+  static constexpr SimdWord zero() { return SimdWord{}; }
+  static constexpr SimdWord ones() {
+    SimdWord w{};
+    for (std::size_t i = 0; i < kU64PerWord; ++i) {
+      w.v[i] = ~std::uint64_t{0};
+    }
+    return w;
+  }
+  static bool any(const SimdWord& w) { return w.any(); }
+  static std::uint64_t& sub(SimdWord& w, std::size_t i) { return w.v[i]; }
+  static const std::uint64_t& sub(const SimdWord& w, std::size_t i) {
+    return w.v[i];
+  }
+};
+
+/// u64 sub-word `i` of a row of `Word`s (i counts u64s, not Words).
+template <typename Word>
+inline std::uint64_t& subword(Word* row, std::size_t i) {
+  return WordOps<Word>::sub(row[i / WordOps<Word>::kU64PerWord],
+                            i % WordOps<Word>::kU64PerWord);
+}
+template <typename Word>
+inline const std::uint64_t& subword(const Word* row, std::size_t i) {
+  return WordOps<Word>::sub(row[i / WordOps<Word>::kU64PerWord],
+                            i % WordOps<Word>::kU64PerWord);
+}
+
+template <typename Word>
+inline bool get_lane(const Word* row, std::size_t lane) {
+  return (subword(row, lane / 64) >> (lane % 64)) & 1;
+}
+template <typename Word>
+inline void flip_lane(Word* row, std::size_t lane) {
+  subword(row, lane / 64) ^= std::uint64_t{1} << (lane % 64);
+}
+template <typename Word>
+inline void set_lane(Word* row, std::size_t lane) {
+  subword(row, lane / 64) |= std::uint64_t{1} << (lane % 64);
+}
+
+}  // namespace ftsp::sim

@@ -9,8 +9,10 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "compile/artifact.hpp"
 #include "core/executor.hpp"
@@ -270,6 +272,86 @@ TEST(Sampler, RejectsMismatchedLayout) {
   EXPECT_THROW(core::sample_protocol_batch(executor, decoder, 0.01, 64, 1,
                                            options),
                std::invalid_argument);
+}
+
+TEST(ArtifactStore, PruneRemovesOrphansAndKeepsIndexedArtifacts) {
+  reset_cache();
+  TempDir dir("prune");
+  const ProtocolCompiler compiler;
+  const auto artifact = compiler.compile(qec::steane());
+  {
+    ArtifactStore store(dir.path.string());
+    store.put(artifact);
+  }
+
+  // Plant garbage: an orphaned container, torn temp files, a corrupt
+  // satcache entry, and a valid satcache entry that must survive.
+  const auto write_file = [](const fs::path& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+  };
+  write_file(dir.path / "feedfacefeedface.ftsa", "not a container");
+  write_file(dir.path / "whatever.tmp", "torn");
+  write_file(dir.path / "satcache" / "torn.tmp", "torn");
+  write_file(dir.path / "satcache" / "corrupt.kv", "xy");  // Bad framing.
+  // Fresh .tmp files are protected by the live-writer grace period;
+  // these are backdated to look like genuine torn leftovers. A brand
+  // new one must survive the prune.
+  const auto stale_time =
+      fs::file_time_type::clock::now() - std::chrono::hours{1};
+  fs::last_write_time(dir.path / "feedfacefeedface.ftsa", stale_time);
+  fs::last_write_time(dir.path / "whatever.tmp", stale_time);
+  fs::last_write_time(dir.path / "satcache" / "torn.tmp", stale_time);
+  write_file(dir.path / "inflight.tmp", "live write");
+  // A fresh unreferenced container could be a concurrent compiler's
+  // just-written artifact (index rewrite pending): also protected.
+  write_file(dir.path / "0123456789abcdef.ftsa", "fresh container");
+  {
+    util::ByteWriter valid;
+    valid.str("some-key");
+    valid.raw("some-value");
+    write_file(dir.path / "satcache" / "valid.kv", valid.bytes());
+  }
+
+  ArtifactStore store(dir.path.string());
+  const auto dry = store.prune(/*dry_run=*/true);
+  EXPECT_TRUE(dry.dry_run);
+  EXPECT_EQ(dry.orphan_artifacts, 1u);
+  EXPECT_EQ(dry.temp_files, 2u);
+  EXPECT_EQ(dry.stale_cache_entries, 1u);
+  EXPECT_EQ(dry.removed.size(), 4u);
+  EXPECT_GT(dry.bytes, 0u);
+  // Dry run deleted nothing.
+  EXPECT_TRUE(fs::exists(dir.path / "feedfacefeedface.ftsa"));
+  EXPECT_TRUE(fs::exists(dir.path / "satcache" / "corrupt.kv"));
+
+  const auto report = store.prune(/*dry_run=*/false);
+  EXPECT_EQ(report.orphan_artifacts, 1u);
+  EXPECT_EQ(report.temp_files, 2u);
+  EXPECT_EQ(report.stale_cache_entries, 1u);
+  EXPECT_FALSE(fs::exists(dir.path / "feedfacefeedface.ftsa"));
+  EXPECT_FALSE(fs::exists(dir.path / "whatever.tmp"));
+  EXPECT_FALSE(fs::exists(dir.path / "satcache" / "torn.tmp"));
+  EXPECT_FALSE(fs::exists(dir.path / "satcache" / "corrupt.kv"));
+  // Untouched: the index, the indexed artifact, the healthy cache
+  // entry, and the fresh (possibly in-flight) temp file.
+  EXPECT_TRUE(fs::exists(dir.path / "index.tsv"));
+  EXPECT_TRUE(fs::exists(dir.path / "satcache" / "valid.kv"));
+  EXPECT_TRUE(fs::exists(dir.path / "inflight.tmp"));
+  EXPECT_TRUE(fs::exists(dir.path / "0123456789abcdef.ftsa"));
+  ASSERT_TRUE(store.get(artifact.key).has_value());
+
+  // Age-based collection takes the healthy entry too once it is older
+  // than the horizon (everything here is brand new, so a 1-second
+  // horizon keeps it and a "negative age" horizon of 0 disables aging).
+  const auto aged = store.prune(/*dry_run=*/true,
+                                std::chrono::seconds{3600});
+  EXPECT_EQ(aged.stale_cache_entries, 0u);
+
+  // Idempotent: a second pass finds a clean store.
+  const auto again = store.prune(/*dry_run=*/false);
+  EXPECT_TRUE(again.removed.empty());
+  EXPECT_EQ(again.bytes, 0u);
 }
 
 // CI golden-artifact cross-check: when FTSP_GOLDEN_STORE points at a

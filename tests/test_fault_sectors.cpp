@@ -1,0 +1,186 @@
+#include "sim/fault_sectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace ftsp::sim {
+namespace {
+
+// ------------------------------------------------ incomplete beta / CP
+
+TEST(IncompleteBeta, ClosedForms) {
+  // I_x(1, b) = 1 - (1-x)^b and I_x(a, 1) = x^a.
+  for (const double x : {0.01, 0.3, 0.5, 0.9}) {
+    for (const double s : {1.0, 2.5, 7.0}) {
+      EXPECT_NEAR(regularized_incomplete_beta(1.0, s, x),
+                  1.0 - std::pow(1.0 - x, s), 1e-12);
+      EXPECT_NEAR(regularized_incomplete_beta(s, 1.0, x), std::pow(x, s),
+                  1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3.0, 4.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3.0, 4.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, MatchesBinomialTail) {
+  // I_p(k, n-k+1) = P(Binomial(n, p) >= k).
+  const int n = 12;
+  const double p = 0.3;
+  for (int k = 1; k <= n; ++k) {
+    double tail = 0.0;
+    for (int j = k; j <= n; ++j) {
+      tail += std::exp(std::lgamma(n + 1.0) - std::lgamma(j + 1.0) -
+                       std::lgamma(n - j + 1.0)) *
+              std::pow(p, j) * std::pow(1.0 - p, n - j);
+    }
+    EXPECT_NEAR(regularized_incomplete_beta(k, n - k + 1.0, p), tail, 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(ClopperPearson, KnownEndpoints) {
+  // 0 successes out of n: low = 0, high = 1 - (alpha/2)^(1/n).
+  const auto zero = clopper_pearson(0, 10, 0.05);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_NEAR(zero.high, 1.0 - std::pow(0.025, 0.1), 1e-9);
+  // All successes: mirrored.
+  const auto all = clopper_pearson(10, 10, 0.05);
+  EXPECT_NEAR(all.low, std::pow(0.025, 0.1), 1e-9);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  // No data: vacuous.
+  const auto none = clopper_pearson(0, 0, 0.05);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_DOUBLE_EQ(none.high, 1.0);
+  EXPECT_THROW(clopper_pearson(3, 2, 0.05), std::invalid_argument);
+}
+
+TEST(ClopperPearson, CoversTheMean) {
+  const auto interval = clopper_pearson(17, 100, 0.05);
+  EXPECT_LT(interval.low, 0.17);
+  EXPECT_GT(interval.high, 0.17);
+  // Tighter at lower confidence.
+  const auto loose = clopper_pearson(17, 100, 0.5);
+  EXPECT_GT(loose.low, interval.low);
+  EXPECT_LT(loose.high, interval.high);
+}
+
+// ------------------------------------------------------- sector model
+
+/// Brute-force P(K = k) over all subsets of a tiny location multiset.
+std::vector<double> brute_force_weights(const SectorModel::KindCounts& counts,
+                                        const NoiseParams& rates) {
+  std::vector<double> location_rates;
+  for (std::size_t j = 0; j < kNumLocationKinds; ++j) {
+    for (std::uint64_t i = 0; i < counts[j]; ++i) {
+      location_rates.push_back(rates.rates[j]);
+    }
+  }
+  const std::size_t n = location_rates.size();
+  std::vector<double> weights(n + 1, 0.0);
+  for (std::size_t subset = 0; subset < (std::size_t{1} << n); ++subset) {
+    double probability = 1.0;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((subset >> i) & 1) {
+        probability *= location_rates[i];
+        ++k;
+      } else {
+        probability *= 1.0 - location_rates[i];
+      }
+    }
+    weights[k] += probability;
+  }
+  return weights;
+}
+
+TEST(SectorModel, WeightsMatchBruteForce) {
+  const SectorModel::KindCounts counts{3, 2, 0, 1};
+  const auto rates = NoiseParams::biased(0.1, 0.02, 0.3, 0.005);
+  const SectorModel model(counts, rates);
+  const auto expected = brute_force_weights(counts, rates);
+  const auto actual = model.weights(6);
+  ASSERT_EQ(actual.size(), 7u);
+  for (std::size_t k = 0; k <= 6; ++k) {
+    EXPECT_NEAR(actual[k], expected[k], 1e-12) << "k=" << k;
+  }
+  EXPECT_NEAR(model.tail(6), 0.0, 1e-12);
+  EXPECT_NEAR(model.tail(1), 1.0 - expected[0] - expected[1], 1e-12);
+  EXPECT_EQ(model.total_locations(), 6u);
+  EXPECT_FALSE(model.uniform_rates());
+}
+
+TEST(SectorModel, UniformWeightsAreBinomial) {
+  const SectorModel::KindCounts counts{10, 20, 5, 5};
+  const double p = 0.01;
+  const SectorModel model(counts, NoiseParams::e1_1(p));
+  EXPECT_TRUE(model.uniform_rates());
+  const auto weights = model.weights(8);
+  const double n = 40.0;
+  for (std::size_t k = 0; k <= 8; ++k) {
+    const double binom =
+        std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                 std::lgamma(n - k + 1.0)) *
+        std::pow(p, static_cast<double>(k)) *
+        std::pow(1.0 - p, n - static_cast<double>(k));
+    EXPECT_NEAR(weights[k], binom, 1e-14) << "k=" << k;
+  }
+}
+
+TEST(SectorModel, KindSplitConditionalMatchesBruteForce) {
+  const SectorModel::KindCounts counts{3, 2, 0, 1};
+  const auto rates = NoiseParams::biased(0.1, 0.02, 0.3, 0.005);
+  const SectorModel model(counts, rates);
+  const std::size_t k = 2;
+  const auto cdf = model.kind_split_cdf(k);
+
+  // Brute-force conditional: P(split | K = 2) over all 2-subsets.
+  std::vector<double> location_rates;
+  std::vector<std::size_t> location_kind;
+  for (std::size_t j = 0; j < kNumLocationKinds; ++j) {
+    for (std::uint64_t i = 0; i < counts[j]; ++i) {
+      location_rates.push_back(rates.rates[j]);
+      location_kind.push_back(j);
+    }
+  }
+  std::map<std::array<std::uint32_t, kNumLocationKinds>, double> expected;
+  double total = 0.0;
+  for (std::size_t a = 0; a < location_rates.size(); ++a) {
+    for (std::size_t b = a + 1; b < location_rates.size(); ++b) {
+      const double odds_product =
+          location_rates[a] / (1.0 - location_rates[a]) *
+          location_rates[b] / (1.0 - location_rates[b]);
+      std::array<std::uint32_t, kNumLocationKinds> split{};
+      ++split[location_kind[a]];
+      ++split[location_kind[b]];
+      expected[split] += odds_product;
+      total += odds_product;
+    }
+  }
+  double previous = 0.0;
+  for (const auto& entry : cdf) {
+    const double probability = entry.cumulative - previous;
+    previous = entry.cumulative;
+    ASSERT_TRUE(expected.count(entry.split) != 0);
+    EXPECT_NEAR(probability, expected[entry.split] / total, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(SectorModel, RejectsBadRates) {
+  const SectorModel::KindCounts counts{1, 1, 1, 1};
+  EXPECT_THROW(SectorModel(counts, NoiseParams::e1_1(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(SectorModel(counts, NoiseParams::biased(-0.1, 0.1, 0.1, 0.1)),
+               std::invalid_argument);
+  // Unreachable sector: more faults than locations.
+  const SectorModel model(counts, NoiseParams::e1_1(0.1));
+  EXPECT_THROW(model.kind_split_cdf(5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(model.elementary_symmetric(5), 0.0);
+}
+
+}  // namespace
+}  // namespace ftsp::sim

@@ -158,6 +158,41 @@ TEST_F(SamplerTest, BatchedDeterministicAcrossThreadCounts) {
   }
 }
 
+TEST_F(SamplerTest, WideWordPathBitIdenticalToU64Path) {
+  // The 256-bit SimdWord engine must produce the exact same batch as
+  // the u64 oracle path for equal (seed, shard_shots): fault masks are
+  // drawn one u64 sub-word at a time in ascending lane order at every
+  // width. This is the runtime check CI leans on for the compile-time
+  // word dispatch.
+  SamplerOptions narrow;
+  narrow.width = WordWidth::W64;
+  narrow.num_threads = 1;
+  narrow.shard_shots = 300;  // Forces partial words at both widths.
+  SamplerOptions wide = narrow;
+  wide.width = WordWidth::W256;
+  for (const std::size_t shots : {1ul, 130ul, 1000ul}) {
+    const auto a =
+        sample_protocol_batch(*executor_, *decoder_, 0.07, shots, 5, narrow);
+    const auto b =
+        sample_protocol_batch(*executor_, *decoder_, 0.07, shots, 5, wide);
+    ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+    for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+      ASSERT_TRUE(same_trajectory(a.trajectories[i], b.trajectories[i]))
+          << "shots " << shots << " shot " << i;
+    }
+  }
+  // The default (Auto) path is one of the two checked widths.
+  SamplerOptions auto_width = narrow;
+  auto_width.width = WordWidth::Auto;
+  const auto c =
+      sample_protocol_batch(*executor_, *decoder_, 0.07, 1000, 5, auto_width);
+  const auto a =
+      sample_protocol_batch(*executor_, *decoder_, 0.07, 1000, 5, narrow);
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    ASSERT_TRUE(same_trajectory(a.trajectories[i], c.trajectories[i]));
+  }
+}
+
 TEST_F(SamplerTest, BatchedMatchesScalarOracleStatistics) {
   // The batched engine and the scalar reference sample the same
   // distribution; their logical-rate estimates must agree within error,

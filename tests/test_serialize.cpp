@@ -148,5 +148,103 @@ TEST(Serialize, HeaderVersionPinned) {
   EXPECT_EQ(text.rfind("ftsp-protocol v1", 0), 0u);
 }
 
+// ------------------------------------- decoder tables (sparse v2 codec)
+
+TEST(DecoderTableCodec, SparseRoundTripsAndShrinks) {
+  for (const char* name : {"Steane", "Shor", "Surface_3"}) {
+    const auto code = qec::library_code_by_name(name);
+    const decoder::LookupDecoder decoder(code, qec::PauliType::X);
+
+    util::ByteWriter sparse;
+    encode_decoder_table(sparse, qec::PauliType::X, decoder.table());
+
+    // The legacy dense framing, byte for byte: type, syndrome bits,
+    // length-prefixed dense bitvecs.
+    util::ByteWriter dense;
+    dense.u8(0);
+    dense.u32(static_cast<std::uint32_t>(decoder.syndrome_bits()));
+    for (const auto& entry : decoder.table()) {
+      encode_bitvec(dense, entry);
+    }
+
+    EXPECT_LT(sparse.bytes().size(), dense.bytes().size()) << name;
+
+    util::ByteReader reader(sparse.bytes());
+    const auto decoded = decode_decoder_table(reader);
+    ASSERT_EQ(decoded.size(), decoder.table().size()) << name;
+    for (std::size_t s = 0; s < decoded.size(); ++s) {
+      EXPECT_EQ(decoded[s], decoder.table()[s]) << name << " syndrome " << s;
+    }
+  }
+}
+
+TEST(DecoderTableCodec, LegacyDensePayloadStillDecodes) {
+  // Pre-v2 artifacts carry the dense framing; the reader must keep
+  // accepting it unchanged (the lead byte is the Pauli type, 0 or 1).
+  const auto code = qec::library_code_by_name("Steane");
+  const decoder::LookupDecoder decoder(code, qec::PauliType::Z);
+  util::ByteWriter dense;
+  dense.u8(1);  // PauliType::Z in the legacy lead position.
+  dense.u32(static_cast<std::uint32_t>(decoder.syndrome_bits()));
+  for (const auto& entry : decoder.table()) {
+    encode_bitvec(dense, entry);
+  }
+  util::ByteReader reader(dense.bytes());
+  const auto decoded = decode_decoder_table(reader);
+  ASSERT_EQ(decoded.size(), decoder.table().size());
+  for (std::size_t s = 0; s < decoded.size(); ++s) {
+    EXPECT_EQ(decoded[s], decoder.table()[s]);
+  }
+}
+
+TEST(DecoderTableCodec, CorruptionFailsLoud) {
+  // Surface_3 (n = 9 > 8) is the smallest library code whose nonzero
+  // entries actually take the sparse (index-list) branch.
+  const auto code = qec::library_code_by_name("Surface_3");
+  const decoder::LookupDecoder decoder(code, qec::PauliType::X);
+  const std::size_t width = code.num_qubits();
+  util::ByteWriter writer;
+  encode_decoder_table(writer, qec::PauliType::X, decoder.table());
+  const std::string good = writer.bytes();
+
+  {
+    std::string bad = good;
+    bad[0] = 7;  // Unknown version byte.
+    util::ByteReader reader(bad);
+    EXPECT_THROW(decode_decoder_table(reader), std::invalid_argument);
+  }
+  {
+    std::string truncated = good.substr(0, good.size() - 1);
+    util::ByteReader reader(truncated);
+    EXPECT_THROW(decode_decoder_table(reader), std::out_of_range);
+  }
+  {
+    // An out-of-range sparse index must be rejected, not silently
+    // clipped. Walk the entry stream to the first index-list entry and
+    // poison its first index.
+    std::string bad = good;
+    std::size_t pos = 1 + 1 + 4 + 4;  // version, type, r, width.
+    const std::size_t dense_bytes = (width + 7) / 8;
+    bool poisoned = false;
+    while (pos < bad.size()) {
+      const auto tag = static_cast<unsigned char>(bad[pos]);
+      if (tag == 255) {
+        pos += 1 + dense_bytes;
+        continue;
+      }
+      if (tag == 0) {
+        pos += 1;
+        continue;
+      }
+      bad[pos + 1] = static_cast<char>(250);  // >= width = 9.
+      poisoned = true;
+      break;
+    }
+    ASSERT_TRUE(poisoned) << "no sparse entry found to poison";
+    util::ByteReader reader(bad);
+    EXPECT_THROW(decode_decoder_table(reader), std::invalid_argument);
+  }
+}
+
 }  // namespace
 }  // namespace ftsp::core
