@@ -2,7 +2,8 @@
 // compile/serve/query trio of the precompiled-artifact pipeline.
 //
 //   ftsp_cli synth   <code> [--basis zero|plus] [--defer-flags]
-//                    [--save FILE]
+//                    [--save FILE] [--coupling <name|file>]
+//                    [--gadget-reach N]
 //   ftsp_cli check   <code|@FILE>
 //   ftsp_cli report  <code|@FILE>
 //   ftsp_cli qasm    <code|@FILE>
@@ -18,6 +19,7 @@
 //
 //   ftsp_cli compile <code|--all> --store DIR [--basis zero|plus]
 //                    [--defer-flags] [--force] [--engine seq|portfolio]
+//                    [--coupling <name|file>] [--gadget-reach N]
 //       Offline synthesis sweep: compiles protocols into artifact files
 //       under DIR (see src/compile/format.md). Already-compiled keys are
 //       skipped unless --force. `--all` defaults to the 4-config
@@ -25,6 +27,11 @@
 //       store keys are thread-count invariant) — the bulk sweep is where
 //       the portfolio pays off on multi-core machines. Single-code
 //       compiles default to the sequential engine.
+//       --coupling targets a device topology (builtin name or map file;
+//       implies SAT-optimal prep); --gadget-reach bounds measurement-
+//       ancilla transport (0 = unbounded, 1 = strict neighbor walk).
+//       Device artifacts serve under "<code>@<map>" names; `query`
+//       accepts --coupling NAME to retarget a request's "code" field.
 //   ftsp_cli store   --store DIR --prune [--dry-run]
 //                    [--max-cache-age-days N]
 //       Store garbage collection: removes orphaned .ftsa containers
@@ -39,9 +46,11 @@
 // <code> is a library name (e.g. Steane) or a path to a CSS code file in
 // the code_io format; @FILE loads a previously saved protocol.
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +61,7 @@
 #include <vector>
 
 #include "compile/artifact.hpp"
+#include "compile/json.hpp"
 #include "compile/service.hpp"
 #include "compile/store.hpp"
 #include "core/executor.hpp"
@@ -72,6 +82,61 @@ namespace {
 
 using namespace ftsp;
 
+/// A malformed command line (unknown value, missing flag argument).
+/// Caught in main: prints the message plus the usage text and exits 2 —
+/// distinct from runtime failures, which exit 1.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Checked numeric parsing: the whole token must be consumed and in
+/// range. Replaces the bare std::stoul/stod/stoull calls, which aborted
+/// the process with an uncaught exception on input like `--shots abc`.
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    throw UsageError(flag + " wants a non-negative integer, got '" + text +
+                     "'");
+  }
+  return value;
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  return static_cast<std::size_t>(parse_u64(flag, text));
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || *end != '\0' || errno == ERANGE) {
+    throw UsageError(flag + " wants a number, got '" + text + "'");
+  }
+  return value;
+}
+
+/// The value of a flag in a subcommand argument vector; advances `i`.
+/// A flag in last position has no value — that used to read past the
+/// vector (or be silently ignored); now it is a usage error.
+const std::string& flag_value(const std::vector<std::string>& args,
+                              std::size_t& i) {
+  if (i + 1 >= args.size()) {
+    throw UsageError(args[i] + " needs a value");
+  }
+  return args[++i];
+}
+
+/// Same for the raw argv loop of the synth-family commands.
+std::string flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    throw UsageError(std::string(argv[i]) + " needs a value");
+  }
+  return argv[++i];
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -80,6 +145,42 @@ std::string read_file(const std::string& path) {
   std::ostringstream text;
   text << in.rdbuf();
   return text.str();
+}
+
+/// `--coupling <name|file>`: a built-in topology name, or a path to a
+/// coupling-map file in the code_io format.
+qec::CouplingSpec parse_coupling_spec(const std::string& value) {
+  qec::CouplingSpec spec;
+  if (qec::CouplingMap::is_builtin_name(value)) {
+    spec.name = value;
+    return spec;
+  }
+  if (!std::filesystem::exists(value)) {
+    throw UsageError(
+        "--coupling wants a builtin map (all, linear, ring, grid, "
+        "heavy-hex) or a coupling-map file, got '" +
+        value + "'");
+  }
+  auto map = std::make_shared<const qec::CouplingMap>(
+      qec::parse_coupling_map(read_file(value)));
+  spec.name = map->name();
+  spec.custom = std::move(map);
+  return spec;
+}
+
+/// Applies a coupling spec to synthesis options. Constrained maps force
+/// SAT-optimal preparation: the heuristic usually cannot satisfy a
+/// restricted map and would error out, while the SAT search encodes the
+/// allowed pairs directly.
+void apply_coupling(core::SynthesisOptions& options,
+                    const std::string& value) {
+  // Flag order is free: keep a --gadget-reach that was parsed first.
+  const std::size_t reach = options.coupling.gadget_reach;
+  options.coupling = parse_coupling_spec(value);
+  options.coupling.gadget_reach = reach;
+  if (!options.coupling.is_all_to_all()) {
+    options.prep.method = core::PrepSynthOptions::Method::Optimal;
+  }
 }
 
 qec::CssCode resolve_code(const std::string& spec) {
@@ -105,12 +206,16 @@ int usage() {
                "<code> [options], ftsp_cli codes,\n"
                "       ftsp_cli compile <code|--all> --store DIR "
                "[--basis zero|plus] [--defer-flags] [--force] "
-               "[--engine seq|portfolio],\n"
+               "[--engine seq|portfolio] [--coupling <name|file>] "
+               "[--gadget-reach N],\n"
                "       ftsp_cli store --store DIR --prune [--dry-run] "
                "[--max-cache-age-days N],\n"
                "       ftsp_cli serve --store DIR [--threads N] "
                "[--socket PATH],\n"
-               "       ftsp_cli query --store DIR <json|->\n");
+               "       ftsp_cli query --store DIR [--coupling NAME] "
+               "<json|->\n"
+               "coupling maps: all, linear, ring, grid, heavy-hex, or a "
+               "coupling-map file (see README)\n");
   return 2;
 }
 
@@ -123,29 +228,42 @@ int run_compile(const std::vector<std::string>& args) {
   bool all = false;
   bool force = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--store" && i + 1 < args.size()) {
-      store_dir = args[++i];
+    if (args[i] == "--store") {
+      store_dir = flag_value(args, i);
     } else if (args[i] == "--all") {
       all = true;
     } else if (args[i] == "--force") {
       force = true;
     } else if (args[i] == "--defer-flags") {
       options.flag_policy = core::FlagPolicy::DeferToNextLayer;
-    } else if (args[i] == "--engine" && i + 1 < args.size()) {
-      engine = args[++i];
-    } else if (args[i] == "--basis" && i + 1 < args.size()) {
-      basis = args[++i] == "plus" ? qec::LogicalBasis::Plus
-                                  : qec::LogicalBasis::Zero;
-    } else if (target.empty() && args[i][0] != '-') {
+    } else if (args[i] == "--engine") {
+      engine = flag_value(args, i);
+    } else if (args[i] == "--coupling") {
+      apply_coupling(options, flag_value(args, i));
+    } else if (args[i] == "--gadget-reach") {
+      options.coupling.gadget_reach =
+          parse_size("--gadget-reach", flag_value(args, i));
+    } else if (args[i] == "--basis") {
+      const std::string& value = flag_value(args, i);
+      if (value != "zero" && value != "plus") {
+        throw UsageError("--basis wants zero or plus, got '" + value + "'");
+      }
+      basis = value == "plus" ? qec::LogicalBasis::Plus
+                              : qec::LogicalBasis::Zero;
+    } else if (target.empty() && !args[i].empty() && args[i][0] != '-') {
       target = args[i];
+    } else {
+      // A typo'd flag must not silently compile a differently-configured
+      // artifact.
+      throw UsageError("unknown argument '" + args[i] + "'");
     }
   }
   if (store_dir.empty() || (target.empty() && !all)) {
     return usage();
   }
   if (engine != "auto" && engine != "seq" && engine != "portfolio") {
-    std::fprintf(stderr, "error: --engine wants seq or portfolio\n");
-    return 2;
+    throw UsageError("--engine wants seq or portfolio, got '" + engine +
+                     "'");
   }
   // Default engine, validated on CI's multi-core runners (bench-smoke
   // portfolio job): the bulk `--all` sweep races a 4-config portfolio on
@@ -186,11 +304,16 @@ int run_compile(const std::vector<std::string>& args) {
     store.put(artifact);
     std::printf(
         "%-14s compiled in %.2fs (%llu solver calls, %u prep CNOTs, "
-        "%u branches)\n",
+        "%u branches%s%s)\n",
         code.name().c_str(), artifact.provenance.wall_seconds,
         static_cast<unsigned long long>(
             artifact.provenance.solver_invocations),
-        artifact.provenance.prep_cnots, artifact.provenance.branch_count);
+        artifact.provenance.prep_cnots, artifact.provenance.branch_count,
+        artifact.coupling != nullptr
+            ? (", coupling " + artifact.coupling->name()).c_str()
+            : "",
+        artifact.provenance.prep_fallback ? ", HEURISTIC PREP FALLBACK"
+                                          : "");
   }
   std::printf("store %s: %zu artifact(s)\n", store_dir.c_str(),
               store.size());
@@ -203,14 +326,24 @@ int run_store(const std::vector<std::string>& args) {
   bool dry_run = false;
   std::chrono::seconds max_age{0};
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--store" && i + 1 < args.size()) {
-      store_dir = args[++i];
+    if (args[i] == "--store") {
+      store_dir = flag_value(args, i);
     } else if (args[i] == "--prune") {
       prune = true;
     } else if (args[i] == "--dry-run") {
       dry_run = true;
-    } else if (args[i] == "--max-cache-age-days" && i + 1 < args.size()) {
-      max_age = std::chrono::hours{24} * std::stol(args[++i]);
+    } else if (args[i] == "--max-cache-age-days") {
+      const std::uint64_t days =
+          parse_u64("--max-cache-age-days", flag_value(args, i));
+      // Bounded so hours{24} * days cannot overflow (and a fat-fingered
+      // huge value cannot silently read as "no age limit").
+      if (days > 36500) {
+        throw UsageError("--max-cache-age-days wants at most 36500, got " +
+                         std::to_string(days));
+      }
+      max_age = std::chrono::hours{24} * static_cast<long>(days);
+    } else {
+      throw UsageError("unknown argument '" + args[i] + "'");
     }
   }
   if (store_dir.empty() || !prune) {
@@ -248,13 +381,15 @@ int run_serve(const std::vector<std::string>& args) {
   std::string socket_path;
   compile::ServeOptions serve_options;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--store" && i + 1 < args.size()) {
-      store_dir = args[++i];
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+    if (args[i] == "--store") {
+      store_dir = flag_value(args, i);
+    } else if (args[i] == "--threads") {
       serve_options.num_threads =
-          static_cast<std::size_t>(std::stoul(args[++i]));
-    } else if (args[i] == "--socket" && i + 1 < args.size()) {
-      socket_path = args[++i];
+          parse_size("--threads", flag_value(args, i));
+    } else if (args[i] == "--socket") {
+      socket_path = flag_value(args, i);
+    } else {
+      throw UsageError("unknown argument '" + args[i] + "'");
     }
   }
   if (store_dir.empty()) {
@@ -274,14 +409,43 @@ int run_serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Rewrites a request's "code" field to target a device-specific serving
+/// name ("Steane" -> "Steane@linear") unless the caller already picked
+/// one explicitly.
+std::string retarget_request(const std::string& request,
+                             const std::string& coupling) {
+  const compile::JsonObject object = compile::parse_json_object(request);
+  compile::JsonWriter out;
+  for (const auto& [name, value] : object) {
+    if (name == "code" && value.kind == compile::JsonValue::Kind::String &&
+        value.text.find('@') == std::string::npos) {
+      out.field(name, value.text + "@" + coupling);
+    } else if (value.kind == compile::JsonValue::Kind::String) {
+      out.field(name, value.text);
+    } else {
+      out.raw_field(name, value.text);  // Numbers/bools/null keep tokens.
+    }
+  }
+  return out.take();
+}
+
 int run_query(const std::vector<std::string>& args) {
   std::string store_dir;
   std::string request;
+  std::string coupling;
+  std::size_t gadget_reach = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--store" && i + 1 < args.size()) {
-      store_dir = args[++i];
-    } else if (request.empty()) {
+    if (args[i] == "--store") {
+      store_dir = flag_value(args, i);
+    } else if (args[i] == "--coupling") {
+      coupling = flag_value(args, i);
+    } else if (args[i] == "--gadget-reach") {
+      gadget_reach = parse_size("--gadget-reach", flag_value(args, i));
+    } else if (request.empty() &&
+               (args[i] == "-" || args[i].empty() || args[i][0] != '-')) {
       request = args[i];
+    } else {
+      throw UsageError("unknown argument '" + args[i] + "'");
     }
   }
   if (store_dir.empty() || request.empty()) {
@@ -289,6 +453,40 @@ int run_query(const std::vector<std::string>& args) {
   }
   if (request == "-") {
     std::getline(std::cin, request);
+  }
+  if (gadget_reach != 0 && (coupling.empty() || coupling == "all")) {
+    // No artifact ever serves under a bare "+gN" name; answering from
+    // the untargeted artifact would silently ignore the reach request.
+    throw UsageError("--gadget-reach needs --coupling <map>");
+  }
+  if (!coupling.empty() && coupling != "all") {
+    // A map *file* argument resolves exactly like compile's: its
+    // declared name becomes the serving suffix, and a structurally
+    // all-to-all file retargets nothing (compile served it as the plain
+    // code name). Any other string is taken as the serving map name
+    // directly. Match ProtocolService::serving_name:
+    // "<code>@<map>[+g<reach>]".
+    std::string serving = coupling;
+    if (std::filesystem::exists(coupling)) {
+      const auto spec = parse_coupling_spec(coupling);
+      if (spec.is_all_to_all()) {
+        serving.clear();
+      } else {
+        serving = spec.name;
+      }
+    }
+    if (!serving.empty()) {
+      if (gadget_reach != 0) {
+        serving += "+g" + std::to_string(gadget_reach);
+      }
+      try {
+        request = retarget_request(request, serving);
+      } catch (const std::invalid_argument&) {
+        // Malformed request JSON: leave it untouched — the service
+        // answers with the documented {"ok":false,...} envelope (and
+        // exit 0), same as without --coupling.
+      }
+    }
   }
   require_store_exists(store_dir);
   const compile::ArtifactStore store(store_dir);
@@ -340,24 +538,36 @@ int main(int argc, char** argv) {
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--defer-flags") == 0) {
         options.flag_policy = core::FlagPolicy::DeferToNextLayer;
-      } else if (std::strcmp(argv[i], "--basis") == 0 && i + 1 < argc) {
-        ++i;  // zero|plus; applied below via resolve only for synth.
-      } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
-        save_path = argv[++i];
-      } else if (std::strcmp(argv[i], "--p") == 0 && i + 1 < argc) {
-        p = std::stod(argv[++i]);
-      } else if (std::strcmp(argv[i], "--shots") == 0 && i + 1 < argc) {
-        shots = static_cast<std::size_t>(std::stoul(argv[++i]));
-      } else if (std::strcmp(argv[i], "--p-sweep") == 0 && i + 1 < argc) {
-        p_sweep = argv[++i];
-      } else if (std::strcmp(argv[i], "--rel-err") == 0 && i + 1 < argc) {
-        rel_err = std::stod(argv[++i]);
-      } else if (std::strcmp(argv[i], "--max-shots") == 0 && i + 1 < argc) {
-        max_shots = static_cast<std::size_t>(std::stoul(argv[++i]));
-      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-        seed = std::stoull(argv[++i]);
+      } else if (std::strcmp(argv[i], "--basis") == 0) {
+        const std::string value = flag_value(argc, argv, i);
+        if (value != "zero" && value != "plus") {
+          throw UsageError("--basis wants zero or plus, got '" + value +
+                           "'");
+        }
+        // Applied below for synth; other commands prepare |0>_L.
+      } else if (std::strcmp(argv[i], "--save") == 0) {
+        save_path = flag_value(argc, argv, i);
+      } else if (std::strcmp(argv[i], "--coupling") == 0) {
+        apply_coupling(options, flag_value(argc, argv, i));
+      } else if (std::strcmp(argv[i], "--gadget-reach") == 0) {
+        options.coupling.gadget_reach =
+            parse_size("--gadget-reach", flag_value(argc, argv, i));
+      } else if (std::strcmp(argv[i], "--p") == 0) {
+        p = parse_double("--p", flag_value(argc, argv, i));
+      } else if (std::strcmp(argv[i], "--shots") == 0) {
+        shots = parse_size("--shots", flag_value(argc, argv, i));
+      } else if (std::strcmp(argv[i], "--p-sweep") == 0) {
+        p_sweep = flag_value(argc, argv, i);
+      } else if (std::strcmp(argv[i], "--rel-err") == 0) {
+        rel_err = parse_double("--rel-err", flag_value(argc, argv, i));
+      } else if (std::strcmp(argv[i], "--max-shots") == 0) {
+        max_shots = parse_size("--max-shots", flag_value(argc, argv, i));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        seed = parse_u64("--seed", flag_value(argc, argv, i));
       } else if (std::strcmp(argv[i], "--sectors") == 0) {
         show_sectors = true;
+      } else {
+        throw UsageError(std::string("unknown argument '") + argv[i] + "'");
       }
     }
 
@@ -473,6 +683,9 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    return usage();
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <chrono>
+#include <tuple>
+#include <utility>
 
 #include "compile/format.hpp"
 #include "core/serialize.hpp"
@@ -63,6 +65,9 @@ std::string encode_provenance(const SynthProvenance& p) {
   out.u32(p.verification_measurements);
   out.u32(p.branch_count);
   out.u64(p.compiled_at_unix);
+  // Trailing optional fields: older readers stop above and ignore the
+  // rest; newer readers consume them while remaining() > 0.
+  out.u8(p.prep_fallback ? 1 : 0);
   return out.take();
 }
 
@@ -78,7 +83,58 @@ SynthProvenance decode_provenance(std::string_view bytes) {
   p.verification_measurements = in.u32();
   p.branch_count = in.u32();
   p.compiled_at_unix = in.u64();
+  if (in.remaining() > 0) {
+    p.prep_fallback = in.u8() != 0;
+  }
   return p;
+}
+
+std::string encode_coupling(const qec::CouplingMap& map,
+                            std::uint32_t gadget_reach) {
+  util::ByteWriter out;
+  out.str(map.name());
+  out.u32(static_cast<std::uint32_t>(map.num_sites()));
+  out.u32(gadget_reach);
+  const auto edges = map.edges();
+  out.u32(static_cast<std::uint32_t>(edges.size()));
+  for (const auto& [a, b] : edges) {
+    out.u32(static_cast<std::uint32_t>(a));
+    out.u32(static_cast<std::uint32_t>(b));
+  }
+  return out.take();
+}
+
+std::pair<std::shared_ptr<const qec::CouplingMap>, std::uint32_t>
+decode_coupling(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  const std::string name = in.str();
+  const std::uint32_t sites = in.u32();
+  // Same cap as the text parser (qec::read_coupling_map): adjacency is
+  // a dense sites^2 bitset, and the CouplingMap must not be constructed
+  // from a corrupt count before any size validation can run.
+  if (sites == 0 || sites > 4096) {
+    throw ArtifactFormatError("artifact: coupling site count " +
+                              std::to_string(sites) + " out of range");
+  }
+  const std::uint32_t gadget_reach = in.u32();
+  const std::uint32_t count = in.u32();
+  // Each edge occupies 8 payload bytes; bound the reserve by the bytes
+  // actually present (same crafted-count guard as the layout codec).
+  if (count > in.remaining() / 8) {
+    throw ArtifactFormatError("artifact: coupling edge count exceeds data");
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t a = in.u32();
+    const std::size_t b = in.u32();
+    edges.emplace_back(a, b);
+  }
+  // from_edges re-validates ranges/self-loops (fail loud on corruption
+  // that happens to pass the CRC).
+  return {std::make_shared<const qec::CouplingMap>(
+              qec::CouplingMap::from_edges(name, sites, edges)),
+          gadget_reach};
 }
 
 }  // namespace
@@ -110,6 +166,11 @@ std::string artifact_key(const qec::CssCode& code, qec::LogicalBasis basis,
   key += "|vmax=" + std::to_string(options.verification.max_measurements);
   key += "|cmax=" + std::to_string(options.correction.max_measurements);
   key += "|eng=" + options.verification.engine.fingerprint();
+  // Device targeting: the all-to-all spec contributes nothing, keeping
+  // unconstrained keys byte-identical to pre-coupling builds (legacy
+  // stores stay warm); any constrained map appends its structure
+  // fingerprint, so device-specific artifacts never alias.
+  key += options.coupling.key_fragment(code.num_qubits());
   return key;
 }
 
@@ -121,7 +182,12 @@ ProtocolArtifact ProtocolCompiler::compile(const qec::CssCode& code,
   const std::uint64_t solver0 = sat::engine_solver_invocations();
   const auto t0 = std::chrono::steady_clock::now();
 
-  core::Protocol protocol = core::synthesize_protocol(code, basis, options_);
+  // A silent SAT-prep fallback must end up in the provenance, so attach
+  // a report sink to this compile's options copy.
+  core::PrepSynthReport prep_report;
+  core::SynthesisOptions options = options_;
+  options.prep.report = &prep_report;
+  core::Protocol protocol = core::synthesize_protocol(code, basis, options);
 
   SynthProvenance provenance;
   provenance.wall_seconds =
@@ -130,6 +196,7 @@ ProtocolArtifact ProtocolCompiler::compile(const qec::CssCode& code,
   provenance.solver_invocations = sat::engine_solver_invocations() - solver0;
   provenance.cache_hits = cache.hits() - hits0;
   provenance.cache_misses = cache.misses() - misses0;
+  provenance.prep_fallback = prep_report.heuristic_fallback;
   return package(std::move(protocol), std::move(provenance));
 }
 
@@ -137,6 +204,12 @@ ProtocolArtifact ProtocolCompiler::package(core::Protocol protocol,
                                            SynthProvenance provenance) const {
   ProtocolArtifact artifact;
   artifact.key = artifact_key(*protocol.code, protocol.basis, options_);
+  artifact.coupling =
+      options_.coupling.resolve(protocol.code->num_qubits());
+  artifact.gadget_reach = artifact.coupling != nullptr
+                              ? static_cast<std::uint32_t>(
+                                    options_.coupling.gadget_reach)
+                              : 0;
   artifact.x_decoder_table =
       decoder::LookupDecoder(*protocol.code, qec::PauliType::X).table();
   artifact.z_decoder_table =
@@ -195,6 +268,14 @@ std::string encode_artifact(const ProtocolArtifact& artifact) {
                       encode_layout(artifact.layout)});
   sections.push_back({static_cast<std::uint32_t>(SectionId::Provenance),
                       encode_provenance(artifact.provenance)});
+  if (qec::coupling_constrained(artifact.coupling)) {
+    // All-to-all artifacts omit the section entirely, staying
+    // byte-compatible with pre-coupling builds; readers treat the absent
+    // section as all-to-all (see format.md).
+    sections.push_back(
+        {static_cast<std::uint32_t>(SectionId::Coupling),
+         encode_coupling(*artifact.coupling, artifact.gadget_reach)});
+  }
   return pack_container(sections);
 }
 
@@ -224,6 +305,24 @@ ProtocolArtifact decode_artifact(std::string_view bytes) {
         decode_layout(find_section(sections, SectionId::Layout));
     artifact.provenance =
         decode_provenance(find_section(sections, SectionId::Provenance));
+    for (const Section& section : sections) {
+      // Optional section: legacy artifacts simply do not have it, and
+      // their coupling stays null (all-to-all).
+      if (section.id == static_cast<std::uint32_t>(SectionId::Coupling)) {
+        std::tie(artifact.coupling, artifact.gadget_reach) =
+            decode_coupling(section.bytes);
+        if (artifact.coupling->num_sites() !=
+            artifact.protocol.code->num_qubits()) {
+          throw ArtifactFormatError(
+              "artifact: coupling map covers " +
+              std::to_string(artifact.coupling->num_sites()) +
+              " sites but the protocol has " +
+              std::to_string(artifact.protocol.code->num_qubits()) +
+              " data qubits");
+        }
+        break;
+      }
+    }
   } catch (const ArtifactFormatError&) {
     throw;
   } catch (const std::exception& e) {

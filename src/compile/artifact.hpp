@@ -33,6 +33,12 @@ struct SynthProvenance {
   std::uint32_t branch_count = 0;
   /// Unix seconds of the compile; 0 when unknown.
   std::uint64_t compiled_at_unix = 0;
+  /// The SAT-optimal preparation search was requested but gave up, and
+  /// the served circuit is the heuristic fallback (never set under a
+  /// constrained coupling map — there the exhausted search throws).
+  /// Encoded as a trailing byte: artifacts written before this field
+  /// decode as false, and older readers ignore the extra byte.
+  bool prep_fallback = false;
 };
 
 /// A self-contained, servable deterministic FT-preparation protocol: the
@@ -48,6 +54,12 @@ struct ProtocolArtifact {
   std::vector<f2::BitVec> z_decoder_table;
   core::FrameBatchLayout layout;
   SynthProvenance provenance;
+  /// The device coupling map the protocol was compiled for; null means
+  /// all-to-all (also what legacy artifacts without the Coupling section
+  /// decode to). Persisted as its own optional `.ftsa` section together
+  /// with the gadget reach (see `qec::CouplingSpec::gadget_reach`).
+  std::shared_ptr<const qec::CouplingMap> coupling;
+  std::uint32_t gadget_reach = 0;
 };
 
 /// Canonical store key of a compile request: check matrices, basis and

@@ -32,6 +32,8 @@ enum class SectionId : std::uint32_t {
   DecoderZ = 4,    ///< Z-error lookup-decoder table.
   Layout = 5,      ///< Precomputed `core::FrameBatchLayout`.
   Provenance = 6,  ///< Synthesis provenance (engine, stats, wall time).
+  Coupling = 7,    ///< Device coupling map the protocol was compiled for.
+                   ///< Optional: absent means all-to-all (legacy files).
 };
 
 struct Section {

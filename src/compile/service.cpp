@@ -129,6 +129,17 @@ std::string ProtocolService::serving_name(const core::Protocol& protocol) {
   return name;
 }
 
+std::string ProtocolService::serving_name(const ProtocolArtifact& artifact) {
+  std::string name = serving_name(artifact.protocol);
+  if (qec::coupling_constrained(artifact.coupling)) {
+    name += "@" + artifact.coupling->name();
+    if (artifact.gadget_reach != 0) {
+      name += "+g" + std::to_string(artifact.gadget_reach);
+    }
+  }
+  return name;
+}
+
 std::size_t ProtocolService::load_store(const ArtifactStore& store) {
   for (const std::string& key : store.keys()) {
     if (auto artifact = store.get(key)) {
@@ -140,7 +151,7 @@ std::size_t ProtocolService::load_store(const ArtifactStore& store) {
 
 void ProtocolService::add(ProtocolArtifact artifact) {
   auto entry = std::make_unique<Entry>(std::move(artifact));
-  const std::string name = serving_name(entry->artifact.protocol);
+  const std::string name = serving_name(entry->artifact);
   entries_[name] = std::move(entry);
 }
 
@@ -221,6 +232,16 @@ std::string ProtocolService::handle_request(
       out.field("d", static_cast<std::uint64_t>(code.distance()));
       out.field("key", artifact.key);
       out.field("engine", artifact.provenance.engine_fingerprint);
+      if (qec::coupling_constrained(artifact.coupling)) {
+        out.field("coupling", artifact.coupling->name());
+        out.field("coupling_fingerprint", artifact.coupling->fingerprint());
+        out.field("coupling_edges",
+                  static_cast<std::uint64_t>(artifact.coupling->num_edges()));
+        out.field("gadget_reach", std::uint64_t{artifact.gadget_reach});
+      } else {
+        out.field("coupling", "all");
+      }
+      out.field("prep_fallback", artifact.provenance.prep_fallback);
       out.field("prep_cnots",
                 std::uint64_t{artifact.provenance.prep_cnots});
       out.field("verification_measurements",

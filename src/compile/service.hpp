@@ -26,6 +26,12 @@ class ProtocolService {
   /// side by side instead of silently shadowing each other.
   static std::string serving_name(const core::Protocol& protocol);
 
+  /// Serving name of an artifact: as above, plus "@<coupling name>" for
+  /// device-targeted artifacts (constrained coupling map), so
+  /// all-to-all and per-device compilations of one code serve side by
+  /// side (e.g. "Steane" and "Steane@linear").
+  static std::string serving_name(const ProtocolArtifact& artifact);
+
   /// Loads the artifact for every key in the store. Returns the number
   /// of protocols now servable. Artifacts sharing a serving name (same
   /// code and basis compiled under different options) overwrite each

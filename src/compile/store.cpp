@@ -1,9 +1,17 @@
 #include "compile/store.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#else
+#include <process.h>
+#endif
 
 #include "compile/format.hpp"
 #include "core/synth_cache.hpp"
@@ -17,6 +25,25 @@ namespace {
 
 constexpr const char* kIndexName = "index.tsv";
 constexpr const char* kSatCacheDir = "satcache";
+
+/// A writer-unique "<path>.<pid>.<tick>.<serial>.tmp" name (extension
+/// stays .tmp so prune() reclaims leftovers). A shared fixed temp name
+/// would let two concurrent writers interleave into one file and
+/// publish a torn rename; pid makes the name unique across processes,
+/// the serial across threads, the tick across process restarts reusing
+/// a pid.
+std::string unique_tmp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> serial{0};
+#ifndef _WIN32
+  const unsigned long long pid = static_cast<unsigned long long>(::getpid());
+#else
+  const unsigned long long pid = static_cast<unsigned long long>(::_getpid());
+#endif
+  return path + "." + std::to_string(pid) + "." +
+         std::to_string(
+             std::chrono::steady_clock::now().time_since_epoch().count()) +
+         "." + std::to_string(serial.fetch_add(1)) + ".tmp";
+}
 
 std::string hash_name(const std::string& key, const char* extension) {
   char name[32];
@@ -36,7 +63,7 @@ void write_kv_file(const std::string& path, const std::string& key,
   util::ByteWriter entry;
   entry.str(key);
   entry.raw(value);
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -111,19 +138,50 @@ void ArtifactStore::load_index() {
 
 void ArtifactStore::save_index_locked() const {
   const std::string path = (fs::path(dir_) / kIndexName).string();
-  const std::string tmp = path + ".tmp";
+  // Merge-on-write: re-read the on-disk index and overlay our in-memory
+  // entries on top of it. Two processes compiling into one directory
+  // each preserve the other's entries — the historical whole-rewrite was
+  // last-writer-wins and silently dropped concurrent keys. (A write
+  // landing between our read and our rename can still lose that one
+  // race, but the window shrinks from "the whole process lifetime" to
+  // one read-modify-rename; both contended entries' artifact files are
+  // on disk either way, so the next put or an index rebuild restores
+  // them.)
+  // Unlike load_index (which throws on malformed lines — a reader must
+  // not trust a corrupt store), the merge deliberately *skips* them: a
+  // concurrent writer's torn line must not make every subsequent put in
+  // this process fail forever. The skipped line's artifact file stays on
+  // disk for a rebuild.
+  std::map<std::string, std::string> merged;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      if (tab != std::string::npos && tab > 0 && tab + 1 < line.size()) {
+        merged[line.substr(tab + 1)] = line.substr(0, tab);
+      }
+    }
+  }
+  for (const auto& [key, filename] : index_) {
+    merged[key] = filename;
+  }
+
+  const std::string tmp = unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
       throw ArtifactFormatError("store: cannot write index in " + dir_);
     }
-    for (const auto& [key, filename] : index_) {
+    for (const auto& [key, filename] : merged) {
       out << filename << '\t' << key << '\n';
     }
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
     throw ArtifactFormatError("store: cannot replace index: " +
                               ec.message());
   }
@@ -135,11 +193,12 @@ void ArtifactStore::put(const ProtocolArtifact& artifact) {
   }
   const std::string filename = hash_name(artifact.key, ".ftsa");
   const std::string bytes = encode_artifact(artifact);
-  // Temp-file + rename: concurrent readers (the documented-safe case)
-  // see either the previous complete artifact or the new one, never a
-  // truncated container.
+  // Writer-unique temp + rename: concurrent readers see either the
+  // previous complete artifact or the new one, never a truncated
+  // container — and two writers racing on the *same key* each publish a
+  // complete file instead of truncating each other's shared temp.
   const std::string path = artifact_path(filename);
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -153,6 +212,8 @@ void ArtifactStore::put(const ProtocolArtifact& artifact) {
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
     throw ArtifactFormatError("store: cannot replace " + filename + ": " +
                               ec.message());
   }

@@ -25,8 +25,13 @@ namespace ftsp::compile {
 /// process that `get`s an artifact starts sampling with zero SAT calls.
 ///
 /// Thread-safe: `put`/`get`/`contains` may race freely. Process-safe to
-/// read concurrently; concurrent *writers* to one directory are not
-/// coordinated (last writer wins per key, the index is rewritten whole).
+/// read concurrently. Concurrent writers to one directory each survive:
+/// index writes re-read the on-disk index, merge their own entries over
+/// it and publish via a writer-unique temp file + atomic rename, so one
+/// compiler no longer drops another's entries (per-key conflicts remain
+/// last-writer-wins, which is safe — equal keys mean interchangeable
+/// artifacts). Note `get`/`keys` still see this handle's snapshot;
+/// reopen the store to pick up other writers' artifacts.
 class ArtifactStore {
  public:
   /// Opens (creating if needed) a store rooted at `dir` and loads the

@@ -167,6 +167,14 @@ struct CorrectionContext {
     cnf = std::make_unique<CnfBuilder>(*solver);
     selection = std::make_unique<StabilizerSelection>(*cnf, generators, u);
     selection->require_nonzero();
+    if (const auto* map = options.coupling.get();
+        qec::coupling_constrained(map)) {
+      // Same device-realizability restriction as verification synthesis:
+      // correction measurements are ancilla gadgets too.
+      selection->restrict_supports([map](const f2::BitVec& support) {
+        return map->has_walk(support);
+      });
+    }
     if (u > 1) {
       selection->break_symmetry();
     }
@@ -264,6 +272,9 @@ std::string correction_cache_key(const qec::StateContext& state,
   std::string key = "corr|" + options.engine.fingerprint();
   key += "|mm=" + std::to_string(options.max_measurements);
   key += "|bud=" + std::to_string(options.conflict_budget);
+  if (qec::coupling_constrained(options.coupling)) {
+    key += "|coup=" + options.coupling->fingerprint();
+  }
   key += "|t=";
   key += type == PauliType::X ? 'X' : 'Z';
   key += "|SX=" + cache_key_matrix(state.stabilizer_generators(PauliType::X));

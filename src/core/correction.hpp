@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "f2/bit_vec.hpp"
+#include "qec/coupling.hpp"
 #include "qec/state_context.hpp"
 #include "sat/parallel_solver.hpp"
 
@@ -36,6 +38,9 @@ struct CorrectionSynthOptions {
   sat::EngineOptions engine;
   /// Optional per-bound solver-statistics sink.
   sat::SweepTelemetry* telemetry = nullptr;
+  /// Device coupling map; same contract as
+  /// `VerificationSynthOptions::coupling` (connected-support selection).
+  std::shared_ptr<const qec::CouplingMap> coupling;
 };
 
 /// Solves CORRECTION CIRCUIT SYNTHESIS (Section IV): given the errors of

@@ -24,4 +24,24 @@ struct FtCheckResult {
 FtCheckResult check_fault_tolerance(const Protocol& protocol,
                                     std::size_t max_violations = 16);
 
+/// Connectivity audit of one circuit against a coupling map (the checkable
+/// form of the `qec::CouplingMap` realizability contract): every data-data
+/// CNOT must lie on a coupled pair, and every ancilla's sequence of data
+/// CNOT partners must move within the map's `closure(gadget_reach)`
+/// (consecutive distinct data partners within `gadget_reach` hops;
+/// reach 0 = anywhere in the same connected component — the unbounded
+/// movable-ancilla model). Ancilla-ancilla CNOTs (flag couplings) are
+/// exempt. Returns one human-readable violation per offending gate;
+/// empty means fully device-realizable.
+std::vector<std::string> coupling_violations(const circuit::Circuit& circuit,
+                                             const qec::CouplingMap& map,
+                                             std::size_t num_data,
+                                             std::size_t gadget_reach = 0);
+
+/// Audits every segment of a protocol (preparation, verification layers
+/// and all correction-branch circuits) with `coupling_violations`.
+std::vector<std::string> check_protocol_coupling(
+    const Protocol& protocol, const qec::CouplingMap& map,
+    std::size_t gadget_reach = 0);
+
 }  // namespace ftsp::core

@@ -23,7 +23,13 @@ Score score_of(const ProtocolMetrics& m) {
 
 GlobalOptResult globally_optimize(const qec::CssCode& code,
                                   qec::LogicalBasis basis,
-                                  const GlobalOptOptions& options) {
+                                  const GlobalOptOptions& options_in) {
+  // Resolve the device coupling spec once so the direct sub-stage calls
+  // below (prep, verification enumeration) see the same constraints the
+  // inner synthesize_protocol runs will.
+  GlobalOptOptions options = options_in;
+  resolve_coupling(options.synthesis, code.num_qubits());
+
   const qec::StateContext state(code, basis);
   const std::size_t n = code.num_qubits();
   const PauliType t1 =

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <cmath>
 #include <random>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,35 @@ namespace ftsp::core {
 
 using f2::BitMatrix;
 using f2::BitVec;
+
+namespace {
+
+/// True iff every CNOT of a (data-only) preparation circuit lies on a
+/// coupled pair. Null/all-to-all maps allow everything.
+bool circuit_respects_coupling(const circuit::Circuit& circ,
+                               const qec::CouplingMap* map) {
+  if (!qec::coupling_constrained(map)) {
+    return true;
+  }
+  for (const auto& gate : circ.gates()) {
+    if (gate.kind == circuit::GateKind::Cnot &&
+        !map->allows(gate.q0, gate.q1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void check_coupling_sites(const qec::CouplingMap* map, std::size_t n) {
+  if (map != nullptr && map->num_sites() != n) {
+    throw std::invalid_argument(
+        "synthesize_prep: coupling map '" + map->name() + "' has " +
+        std::to_string(map->num_sites()) + " sites but the state has " +
+        std::to_string(n) + " qubits");
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -117,7 +147,9 @@ std::size_t nonzero_columns(const BitMatrix& m) {
 /// yields chain/tree CNOT structures whose spread errors are largely
 /// stabilizer-equivalent to low-weight errors.
 std::optional<circuit::Circuit> greedy_reverse_prep(
-    const qec::StateContext& state, std::mt19937_64& rng) {
+    const qec::StateContext& state, std::mt19937_64& rng,
+    const qec::CouplingMap* map) {
+  const bool constrained = qec::coupling_constrained(map);
   const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
   const std::size_t n = state.num_qubits();
   auto reduced = f2::rref(gens);
@@ -144,7 +176,7 @@ std::optional<circuit::Circuit> greedy_reverse_prep(
         continue;
       }
       for (std::size_t t = 0; t < n; ++t) {
-        if (t == c) {
+        if (t == c || (constrained && !map->allows(c, t))) {
           continue;
         }
         const BitVec col_t = m.column(t);
@@ -199,17 +231,39 @@ std::optional<circuit::Circuit> greedy_reverse_prep(
 
 circuit::Circuit synthesize_prep(const qec::StateContext& state,
                                  const PrepSynthOptions& options) {
+  const qec::CouplingMap* map = options.coupling.get();
+  const bool constrained = qec::coupling_constrained(map);
+  check_coupling_sites(map, state.num_qubits());
+
   if (options.method == PrepSynthOptions::Method::Optimal) {
     if (auto optimal = synthesize_prep_optimal(state, options)) {
       return *std::move(optimal);
     }
+    if (constrained) {
+      // The heuristic cannot be trusted to respect the map (and usually
+      // cannot satisfy it at all), so an exhausted search is an error,
+      // never a silent downgrade to an all-to-all-shaped circuit.
+      throw std::runtime_error(
+          "synthesize_prep: SAT-optimal search exhausted (max_cnots=" +
+          std::to_string(options.max_cnots) + ", conflict budget " +
+          std::to_string(options.sat_conflict_budget) +
+          ") under coupling map '" + map->name() +
+          "'; refusing the heuristic fallback — raise max_cnots or the "
+          "budget");
+    }
     // Fall through to the heuristic if the SAT search gave up.
+    if (options.report != nullptr) {
+      options.report->sat_search_exhausted = true;
+      options.report->heuristic_fallback = true;
+    }
   }
 
   const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
   const std::size_t n = state.num_qubits();
 
-  // Baseline: RREF fan-out over several column orders (always succeeds).
+  // Baseline: RREF fan-out over several column orders (always succeeds
+  // unconstrained; under a coupling map, orders whose fan-out would emit
+  // an uncoupled CNOT are filtered out).
   std::vector<std::vector<std::size_t>> orders;
   std::vector<std::size_t> natural(n);
   std::iota(natural.begin(), natural.end(), 0);
@@ -224,30 +278,45 @@ circuit::Circuit synthesize_prep(const qec::StateContext& state,
   orders.push_back(by_weight);
   orders.emplace_back(by_weight.rbegin(), by_weight.rend());
 
-  OrderedRref best_rref;
+  std::optional<circuit::Circuit> best;
   std::size_t best_cost = SIZE_MAX;
   for (const auto& order : orders) {
-    auto reduced = rref_with_order(gens, order);
+    const auto reduced = rref_with_order(gens, order);
     const std::size_t cost = reduced_cost(reduced);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_rref = std::move(reduced);
+    if (cost >= best_cost) {
+      continue;
     }
+    circuit::Circuit candidate = circuit_from_reduced(state, reduced);
+    if (constrained && !circuit_respects_coupling(candidate, map)) {
+      continue;
+    }
+    best_cost = cost;
+    best = std::move(candidate);
   }
-  circuit::Circuit best = circuit_from_reduced(state, best_rref);
 
   // Greedy reverse synthesis with randomized tie-breaking usually beats
   // the fan-out; keep the best CNOT count over the configured tries.
   std::mt19937_64 rng(options.seed);
   const std::size_t tries = std::max<std::size_t>(options.shuffle_tries, 1);
   for (std::size_t t = 0; t < tries; ++t) {
-    if (auto candidate = greedy_reverse_prep(state, rng)) {
-      if (candidate->cnot_count() < best.cnot_count()) {
-        best = *std::move(candidate);
+    if (auto candidate = greedy_reverse_prep(state, rng, map)) {
+      if (!best.has_value() ||
+          candidate->cnot_count() < best->cnot_count()) {
+        best = std::move(candidate);
       }
     }
   }
-  return best;
+  if (!best.has_value()) {
+    // Only reachable under a constrained map: unconstrained, the RREF
+    // fan-out always yields a circuit.
+    throw std::runtime_error(
+        "synthesize_prep: heuristic preparation infeasible under coupling "
+        "map '" +
+        map->name() +
+        "' — no candidate avoided uncoupled CNOTs; use "
+        "PrepSynthOptions::Method::Optimal");
+  }
+  return *std::move(best);
 }
 
 namespace {
@@ -283,7 +352,8 @@ std::string rowspace_key(const BitMatrix& m) {
 /// small for the low-rank codes (e.g. ~12k for the Steane X side), making
 /// this both exact and instantaneous where it applies.
 std::optional<circuit::Circuit> optimal_prep_bfs(
-    const qec::StateContext& state) {
+    const qec::StateContext& state, const qec::CouplingMap* map) {
+  const bool constrained = qec::coupling_constrained(map);
   const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
   const std::size_t n = state.num_qubits();
   auto start_rref = f2::rref(gens);
@@ -319,7 +389,7 @@ std::optional<circuit::Circuit> optimal_prep_bfs(
         continue;
       }
       for (std::size_t t = 0; t < n; ++t) {
-        if (t == c) {
+        if (t == c || (constrained && !map->allows(c, t))) {
           continue;
         }
         BitMatrix next = m;
@@ -385,7 +455,10 @@ class IncrementalPrepSearch {
  public:
   IncrementalPrepSearch(const BitMatrix& start, std::size_t n,
                         const PrepSynthOptions& options)
-      : n_(n), r_(start.rows()) {
+      : n_(n),
+        r_(start.rows()),
+        map_(options.coupling.get()),
+        constrained_(qec::coupling_constrained(map_)) {
     solver_ = sat::make_engine_solver(options.engine,
                                       options.sat_conflict_budget);
     cnf_ = std::make_unique<CnfBuilder>(*solver_);
@@ -453,7 +526,8 @@ class IncrementalPrepSearch {
     for (std::size_t k = gates; k-- > 0;) {
       for (std::size_t c = 0; c < n_; ++c) {
         for (std::size_t t = 0; t < n_; ++t) {
-          if (c != t && solver_->model_value(sel_[k][c][t])) {
+          if (sel_[k][c][t] != Lit::undef &&
+              solver_->model_value(sel_[k][c][t])) {
             prep.cnot(c, t);
           }
         }
@@ -476,7 +550,10 @@ class IncrementalPrepSearch {
       std::vector<Lit> all;
       for (std::size_t c = 0; c < n_; ++c) {
         for (std::size_t t = 0; t < n_; ++t) {
-          if (c == t) {
+          // Coupling-constrained slots never even encode the illegal
+          // pairs — the allowed-pair mask shrinks the CNF instead of
+          // adding clauses.
+          if (c == t || (constrained_ && !map_->allows(c, t))) {
             continue;
           }
           sel[c][t] = cnf_->fresh();
@@ -517,12 +594,12 @@ class IncrementalPrepSearch {
       if (k > 0) {
         for (std::size_t c = 0; c < n_; ++c) {
           for (std::size_t t = 0; t < n_; ++t) {
-            if (c == t) {
+            if (sel_[k - 1][c][t] == Lit::undef) {
               continue;
             }
             for (std::size_t c2 = 0; c2 < n_; ++c2) {
               for (std::size_t t2 = 0; t2 < n_; ++t2) {
-                if (c2 == t2) {
+                if (sel[c2][t2] == Lit::undef) {
                   continue;
                 }
                 const bool commute = (t != c2) && (t2 != c);
@@ -544,7 +621,7 @@ class IncrementalPrepSearch {
           std::vector<Lit> adds;
           adds.reserve(n_ - 1);
           for (std::size_t c = 0; c < n_; ++c) {
-            if (c != q) {
+            if (c != q && sel[c][q] != Lit::undef) {
               adds.push_back(cnf_->and_of({sel[c][q], m_[k][i][c]}));
             }
           }
@@ -571,6 +648,8 @@ class IncrementalPrepSearch {
 
   std::size_t n_;
   std::size_t r_;
+  const qec::CouplingMap* map_;
+  bool constrained_;
   std::unique_ptr<sat::SolverBase> solver_;
   std::unique_ptr<CnfBuilder> cnf_;
   std::vector<Lit> act_;
@@ -584,6 +663,11 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
     std::size_t lower_bound, const PrepSynthOptions& options) {
   const std::size_t n = state.num_qubits();
   const std::size_t r = start.rows();
+  const qec::CouplingMap* map = options.coupling.get();
+  const bool constrained = qec::coupling_constrained(map);
+  if (constrained && map->num_edges() == 0) {
+    return std::nullopt;  // No legal CNOT exists at all.
+  }
 
   for (std::size_t num_gates = lower_bound; num_gates <= options.max_cnots;
        ++num_gates) {
@@ -609,7 +693,8 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
       std::vector<Lit> all;
       for (std::size_t c = 0; c < n; ++c) {
         for (std::size_t t = 0; t < n; ++t) {
-          if (c == t) {
+          // Illegal pairs are never encoded (see IncrementalPrepSearch).
+          if (c == t || (constrained && !map->allows(c, t))) {
             continue;
           }
           sel[c][t] = cnf.fresh();
@@ -638,12 +723,12 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
       if (k > 0) {
         for (std::size_t c = 0; c < n; ++c) {
           for (std::size_t t = 0; t < n; ++t) {
-            if (c == t) {
+            if (selectors[k - 1][c][t] == Lit::undef) {
               continue;
             }
             for (std::size_t c2 = 0; c2 < n; ++c2) {
               for (std::size_t t2 = 0; t2 < n; ++t2) {
-                if (c2 == t2) {
+                if (sel[c2][t2] == Lit::undef) {
                   continue;
                 }
                 const bool commute = (t != c2) && (t2 != c);
@@ -665,7 +750,7 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
           std::vector<Lit> adds;
           adds.reserve(n - 1);
           for (std::size_t c = 0; c < n; ++c) {
-            if (c != q) {
+            if (c != q && sel[c][q] != Lit::undef) {
               adds.push_back(cnf.and_of({sel[c][q], m[i][c]}));
             }
           }
@@ -723,7 +808,8 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
     for (std::size_t k = num_gates; k-- > 0;) {
       for (std::size_t c = 0; c < n; ++c) {
         for (std::size_t t = 0; t < n; ++t) {
-          if (c != t && solver.model_value(selectors[k][c][t])) {
+          if (selectors[k][c][t] != Lit::undef &&
+              solver.model_value(selectors[k][c][t])) {
             prep.cnot(c, t);
           }
         }
@@ -741,6 +827,12 @@ std::string prep_cache_key(const BitMatrix& gens,
   key += "|bud=" + std::to_string(options.sat_conflict_budget);
   key += "|bfs=";
   key += options.allow_bfs ? '1' : '0';
+  // Unconstrained (null or all-to-all) adds nothing, keeping legacy warm
+  // caches valid; constrained maps key on the structure fingerprint so
+  // device-specific results never alias all-to-all ones.
+  if (qec::coupling_constrained(options.coupling)) {
+    key += "|coup=" + options.coupling->fingerprint();
+  }
   key += "|G=" + cache_key_matrix(gens);
   return key;
 }
@@ -751,6 +843,7 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
     const qec::StateContext& state, const PrepSynthOptions& options) {
   const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
   const std::size_t n = state.num_qubits();
+  check_coupling_sites(options.coupling.get(), n);
 
   std::string key;
   if (options.engine.use_cache) {
@@ -771,12 +864,14 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
     return result;
   };
 
-  // Exact subspace BFS where the state space is small enough.
+  // Exact subspace BFS where the state space is small enough. Under a
+  // constrained map the subspace graph only shrinks (fewer edges, same
+  // node bound), so the same eligibility limit applies.
   if (options.allow_bfs) {
     const std::size_t space =
         count_subspaces(gens.cols(), f2::rank(gens), 400000);
     if (space <= 400000) {
-      if (auto bfs = optimal_prep_bfs(state)) {
+      if (auto bfs = optimal_prep_bfs(state, options.coupling.get())) {
         return finish(std::move(bfs));
       }
     }

@@ -1,13 +1,28 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "circuit/circuit.hpp"
+#include "qec/coupling.hpp"
 #include "qec/state_context.hpp"
 #include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
+
+/// What actually happened inside `synthesize_prep` — the provenance of
+/// the returned circuit. Attach via `PrepSynthOptions::report` (like the
+/// SAT telemetry sinks); fields are only ever set, never cleared, so one
+/// report can aggregate several calls.
+struct PrepSynthReport {
+  /// The SAT-optimal search was requested but gave up (max_cnots
+  /// exhausted or conflict budget interrupted) without a witness.
+  bool sat_search_exhausted = false;
+  /// The returned circuit came from the heuristic although Method::
+  /// Optimal was requested — the silent-fallback case made loud.
+  bool heuristic_fallback = false;
+};
 
 /// Options for logical basis-state preparation synthesis.
 struct PrepSynthOptions {
@@ -42,6 +57,18 @@ struct PrepSynthOptions {
   /// slower than per-bound re-encoding. The incremental path stays
   /// available for experimentation.
   sat::EngineOptions engine{.incremental = false};
+
+  /// Device coupling map over the data qubits; null (or a structurally
+  /// all-to-all map) leaves synthesis unconstrained and bit-identical to
+  /// historical behavior. Constrained maps restrict every CNOT to
+  /// coupled pairs: the SAT/BFS searches only encode legal gate slots,
+  /// the heuristic filters its candidates and *throws* (instead of
+  /// silently emitting illegal gates) when no legal circuit is found,
+  /// and an exhausted SAT search refuses the heuristic fallback.
+  std::shared_ptr<const qec::CouplingMap> coupling;
+
+  /// Optional provenance sink (see `PrepSynthReport`).
+  PrepSynthReport* report = nullptr;
 };
 
 /// Synthesizes a unitary (generally non-fault-tolerant) preparation circuit

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/ft_check.hpp"
 #include "sim/faults.hpp"
 #include "sim/pauli_frame.hpp"
 
@@ -75,11 +76,18 @@ std::size_t dangerous_hook_count(const StateContext& state,
 /// Picks a CNOT order for the measurement of `support`: the plain
 /// ascending order, or — when order optimization is on — a searched order
 /// minimizing the number of dangerous hooks (ideally zero, which removes
-/// the need for a flag qubit).
+/// the need for a flag qubit). Under a constrained coupling map every
+/// candidate order is an ancilla walk of the support (a Hamiltonian path
+/// of the induced subgraph — the movable-ancilla realizability
+/// contract); a walkless support throws, which only an invalid override
+/// can produce — synthesis never selects one.
 std::vector<std::size_t> choose_measurement_order(
     const StateContext& state, PauliType measured_type,
-    const BitVec& support, const SynthesisOptions& options) {
-  std::vector<std::size_t> best = support.ones();
+    const BitVec& support, const SynthesisOptions& options,
+    const qec::CouplingMap* map) {
+  const bool constrained = qec::coupling_constrained(map);
+  std::vector<std::size_t> best =
+      constrained ? map->walk_order(support) : support.ones();
   if (!options.optimize_measurement_order || best.size() < 3) {
     return best;
   }
@@ -89,19 +97,39 @@ std::vector<std::size_t> choose_measurement_order(
     return best;
   }
   std::vector<std::vector<std::size_t>> candidates;
-  candidates.emplace_back(best.rbegin(), best.rend());
-  for (std::size_t rot = 1; rot < best.size(); ++rot) {
-    auto rotated = best;
-    std::rotate(rotated.begin(), rotated.begin() + rot, rotated.end());
-    candidates.push_back(std::move(rotated));
-  }
   std::mt19937_64 rng(support.hash());
-  for (std::size_t t = 0; t < options.order_search_tries; ++t) {
-    auto shuffled = best;
-    std::shuffle(shuffled.begin(), shuffled.end(), rng);
-    candidates.push_back(std::move(shuffled));
+  if (constrained) {
+    const auto starts = support.ones();
+    for (std::size_t start : starts) {
+      // walk_order already searched the starts up to best.front()
+      // (earlier ones admit no walk, best IS the walk from its own
+      // start), so only later starts can contribute new candidates.
+      if (start <= best.front()) {
+        continue;
+      }
+      candidates.push_back(map->walk_order_from(support, start, nullptr));
+    }
+    for (std::size_t t = 0; t < options.order_search_tries; ++t) {
+      candidates.push_back(map->walk_order_from(
+          support, starts[rng() % starts.size()], &rng));
+    }
+  } else {
+    candidates.emplace_back(best.rbegin(), best.rend());
+    for (std::size_t rot = 1; rot < best.size(); ++rot) {
+      auto rotated = best;
+      std::rotate(rotated.begin(), rotated.begin() + rot, rotated.end());
+      candidates.push_back(std::move(rotated));
+    }
+    for (std::size_t t = 0; t < options.order_search_tries; ++t) {
+      auto shuffled = best;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      candidates.push_back(std::move(shuffled));
+    }
   }
   for (auto& candidate : candidates) {
+    if (candidate.empty()) {
+      continue;  // A stuck walk (cannot happen for connected supports).
+    }
     const std::size_t count =
         dangerous_hook_count(state, measured_type, candidate);
     if (count < best_count) {
@@ -117,7 +145,8 @@ std::vector<std::size_t> choose_measurement_order(
 
 CompiledLayer build_layer(const StateContext& state, PauliType error_type,
                           VerificationSet verification, bool final_layer,
-                          const SynthesisOptions& options) {
+                          const SynthesisOptions& options,
+                          const qec::CouplingMap* map) {
   CompiledLayer layer;
   layer.error_type = error_type;
   layer.verification = std::move(verification);
@@ -130,7 +159,7 @@ CompiledLayer build_layer(const StateContext& state, PauliType error_type,
     // render all hooks harmless), unless layer-1 hooks are deferred to
     // the second layer (the final layer must always flag).
     const auto order =
-        choose_measurement_order(state, measured_type, support, options);
+        choose_measurement_order(state, measured_type, support, options, map);
     const bool has_dangerous_hook =
         dangerous_hook_count(state, measured_type, order) > 0;
     const bool flag =
@@ -156,7 +185,7 @@ template <typename SkipFn>
 void build_branches(const StateContext& state, CompiledLayer& layer,
                     const std::vector<FaultEvent>& events,
                     std::size_t segment_index, const SynthesisOptions& options,
-                    SkipFn&& skip) {
+                    const qec::CouplingMap* map, SkipFn&& skip) {
   std::map<BitVec, std::vector<const FaultEvent*>, f2::BitVecLexLess> classes;
   for (const FaultEvent& e : events) {
     if (skip(e)) {
@@ -191,9 +220,17 @@ void build_branches(const StateContext& state, CompiledLayer& layer,
     branch.is_hook_branch = hook;
     branch.circ = Circuit(state.num_qubits());
     for (const BitVec& support : branch.plan.measurements) {
+      // Correction measurements never run under a single fault, so no
+      // order search is needed — but under a constrained map the gadget
+      // still has to walk coupled data sites.
+      std::vector<std::size_t> order;
+      if (qec::coupling_constrained(map)) {
+        order = map->walk_order(support);
+      }
       circuit::append_stabilizer_measurement(branch.circ, support,
                                              other(corrected),
-                                             /*flagged=*/false);
+                                             /*flagged=*/false,
+                                             std::move(order));
     }
     layer.branches.emplace(key, std::move(branch));
   }
@@ -233,9 +270,28 @@ std::vector<FaultEvent> enumerate_single_fault_events(
   return events;
 }
 
+std::shared_ptr<const qec::CouplingMap> resolve_coupling(
+    SynthesisOptions& options, std::size_t n) {
+  auto map = options.coupling.resolve(n);
+  if (map != nullptr) {
+    // Data-data CNOTs (prep) obey the raw map; the gadget layer
+    // (verification/correction measurement selection and ordering) obeys
+    // its reach closure — null when the closure is unconstraining.
+    options.prep.coupling = map;
+    const auto gadget = options.coupling.resolve_gadget(n);
+    options.verification.coupling = gadget;
+    options.correction.coupling = gadget;
+  } else if (qec::coupling_constrained(options.verification.coupling)) {
+    // Sub-options were populated directly (tests, power users); the
+    // gadget-order stage uses that map too.
+    map = options.verification.coupling;
+  }
+  return map;
+}
+
 Protocol synthesize_protocol(const qec::CssCode& code,
                              qec::LogicalBasis basis,
-                             const SynthesisOptions& options,
+                             const SynthesisOptions& options_in,
                              const SynthesisOverrides& overrides) {
   Protocol protocol;
   protocol.code = std::make_shared<const qec::CssCode>(code);
@@ -245,9 +301,26 @@ Protocol synthesize_protocol(const qec::CssCode& code,
   const StateContext& state = *protocol.state;
   const std::size_t n = code.num_qubits();
 
+  SynthesisOptions options = options_in;
+  const auto coupling = resolve_coupling(options, n);
+  // Gadget CNOT ordering follows the gadget-layer constraint graph (the
+  // reach closure; see resolve_coupling), not the raw data map.
+  const qec::CouplingMap* map = options.verification.coupling.get();
+
   protocol.prep = overrides.prep.has_value()
                       ? *overrides.prep
                       : synthesize_prep(state, options.prep);
+  if (overrides.prep.has_value() &&
+      qec::coupling_constrained(coupling)) {
+    // A caller-supplied preparation circuit must honor the map too —
+    // an illegal override fails loud instead of poisoning the artifact.
+    const auto violations = coupling_violations(protocol.prep, *coupling, n);
+    if (!violations.empty()) {
+      throw std::runtime_error(
+          "synthesize_protocol: prep override violates coupling map '" +
+          coupling->name() + "': " + violations.front());
+    }
+  }
 
   // |0>_L is built from |+> sources spreading X errors, so the first layer
   // verifies X; mirrored for |+>_L.
@@ -277,11 +350,11 @@ Protocol synthesize_protocol(const qec::CssCode& code,
     }
     protocol.layer1 =
         build_layer(state, t1, std::move(v1), /*final_layer=*/false,
-                    options);
+                    options, map);
     segments.push_back(&protocol.layer1->verif);
     events_through_l1 = enumerate_single_fault_events(n, segments);
     build_branches(state, *protocol.layer1, events_through_l1,
-                   /*segment_index=*/1, options,
+                   /*segment_index=*/1, options, map,
                    [](const FaultEvent&) { return false; });
   }
 
@@ -320,11 +393,11 @@ Protocol synthesize_protocol(const qec::CssCode& code,
     }
     // The final layer must flag its own dangerous hooks.
     protocol.layer2 = build_layer(state, t2, std::move(v2),
-                                  /*final_layer=*/true, options);
+                                  /*final_layer=*/true, options, map);
     segments.push_back(&protocol.layer2->verif);
     const auto events_through_l2 = enumerate_single_fault_events(n, segments);
     build_branches(state, *protocol.layer2, events_through_l2,
-                   /*segment_index=*/segments.size() - 1, options,
+                   /*segment_index=*/segments.size() - 1, options, map,
                    hook_terminated);
   }
 

@@ -83,7 +83,23 @@ struct SynthesisOptions {
   /// the paper's plain ascending order.
   bool optimize_measurement_order = true;
   std::size_t order_search_tries = 64;
+
+  /// Device coupling: a built-in topology name or a custom map, resolved
+  /// per code by `resolve_coupling` and threaded into every synthesis
+  /// sub-stage (prep CNOT placement, verification/correction support
+  /// selection, gadget CNOT ordering). The default spec is all-to-all —
+  /// fully unconstrained, bit-identical to pre-coupling behavior.
+  qec::CouplingSpec coupling;
 };
+
+/// Resolves `options.coupling` for an n-qubit code into the three
+/// synthesis sub-option pointers (overwriting them when the spec is
+/// constrained; the all-to-all spec leaves caller-set sub-options
+/// untouched). Returns the resolved map — null when unconstrained.
+/// `synthesize_protocol` and `globally_optimize` call this themselves;
+/// exposed for callers driving the sub-stages directly.
+std::shared_ptr<const qec::CouplingMap> resolve_coupling(
+    SynthesisOptions& options, std::size_t n);
 
 /// Explicit building blocks, used by the global optimization to sweep over
 /// alternative (equally optimal) verification sets.

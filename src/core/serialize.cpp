@@ -15,6 +15,30 @@ namespace {
 
 constexpr const char* kHeader = "ftsp-protocol v1";
 
+/// Per-ancilla data-CNOT partner sequences of an (unflagged) branch
+/// circuit — the gadget CNOT orders, recovered from the stored gates so
+/// the text format can persist them. Ancilla i serves measurement i.
+std::vector<std::vector<std::size_t>> branch_gadget_orders(
+    const circuit::Circuit& circ, std::size_t num_data) {
+  std::vector<std::vector<std::size_t>> orders;
+  for (const auto& gate : circ.gates()) {
+    if (gate.kind != circuit::GateKind::Cnot) {
+      continue;
+    }
+    const bool data0 = gate.q0 < num_data;
+    const bool data1 = gate.q1 < num_data;
+    if (data0 == data1) {
+      continue;
+    }
+    const std::size_t ancilla = (data0 ? gate.q1 : gate.q0) - num_data;
+    if (orders.size() <= ancilla) {
+      orders.resize(ancilla + 1);
+    }
+    orders[ancilla].push_back(data0 ? gate.q0 : gate.q1);
+  }
+  return orders;
+}
+
 void write_layer(std::ostringstream& out, const CompiledLayer& layer,
                  int index) {
   out << "layer-begin " << index << '\n';
@@ -30,8 +54,25 @@ void write_layer(std::ostringstream& out, const CompiledLayer& layer,
     out << "branch-begin " << key.to_string() << '\n';
     out << "hook: " << (branch.is_hook_branch ? 1 : 0) << '\n';
     out << "corrected: " << name(branch.corrected_type) << '\n';
-    for (const auto& m : branch.plan.measurements) {
-      out << "measurement: " << m.to_string() << '\n';
+    // Persist non-ascending CNOT orders (coupling-aware walks) so the
+    // reloaded branch circuit is gate-for-gate identical; the default
+    // ascending order is omitted, keeping unconstrained saves (and
+    // files written by older builds) byte-identical.
+    const auto orders = branch.plan.measurements.empty()
+                            ? std::vector<std::vector<std::size_t>>{}
+                            : branch_gadget_orders(
+                                  branch.circ,
+                                  branch.plan.measurements.front().size());
+    for (std::size_t i = 0; i < branch.plan.measurements.size(); ++i) {
+      const auto& m = branch.plan.measurements[i];
+      out << "measurement: " << m.to_string();
+      if (i < orders.size() && orders[i] != m.ones()) {
+        out << " order";
+        for (std::size_t q : orders[i]) {
+          out << ' ' << q;
+        }
+      }
+      out << '\n';
     }
     for (const auto& [pattern, recovery] : branch.plan.recoveries) {
       out << "recovery: " << pattern.to_string() << " -> "
@@ -551,14 +592,26 @@ Protocol load_protocol(const std::string& text) {
       } else if (line.rfind("branch-begin ", 0) == 0) {
         const BitVec key = BitVec::from_string(line.substr(13));
         CompiledBranch branch;
+        std::vector<std::vector<std::size_t>> branch_orders;
         while (std::getline(in, line) && line != "branch-end") {
           if (line.rfind("hook: ", 0) == 0) {
             branch.is_hook_branch = line.substr(6) == "1";
           } else if (line.rfind("corrected: ", 0) == 0) {
             branch.corrected_type = parse_type(line.substr(11));
           } else if (line.rfind("measurement: ", 0) == 0) {
-            branch.plan.measurements.push_back(
-                BitVec::from_string(line.substr(13)));
+            std::string rest = line.substr(13);
+            std::vector<std::size_t> order;
+            if (const auto marker = rest.find(" order");
+                marker != std::string::npos) {
+              std::istringstream tokens(rest.substr(marker + 6));
+              std::size_t q = 0;
+              while (tokens >> q) {
+                order.push_back(q);
+              }
+              rest.resize(marker);
+            }
+            branch.plan.measurements.push_back(BitVec::from_string(rest));
+            branch_orders.push_back(std::move(order));
           } else if (line.rfind("recovery: ", 0) == 0) {
             const std::string rest = line.substr(10);
             const auto arrow = rest.find(" -> ");
@@ -575,10 +628,11 @@ Protocol load_protocol(const std::string& text) {
           }
         }
         branch.circ = circuit::Circuit(n);
-        for (const auto& m : branch.plan.measurements) {
+        for (std::size_t i = 0; i < branch.plan.measurements.size(); ++i) {
           circuit::append_stabilizer_measurement(
-              branch.circ, m, other(branch.corrected_type),
-              /*flagged=*/false);
+              branch.circ, branch.plan.measurements[i],
+              other(branch.corrected_type),
+              /*flagged=*/false, branch_orders[i]);
         }
         layer.branches.emplace(key, std::move(branch));
       } else if (!line.empty()) {

@@ -1,6 +1,7 @@
 #include "core/stabilizer_select.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace ftsp::core {
 
@@ -107,6 +108,38 @@ void StabilizerSelection::break_symmetry() {
       eq = cnf_->and_of({eq, agree});
     }
     cnf_->add_at_least_one(less_at);
+  }
+}
+
+void StabilizerSelection::restrict_supports(
+    const std::function<bool(const f2::BitVec&)>& allowed) {
+  const std::size_t rows = generators_->rows();
+  if (rows > kMaxRestrictRows) {
+    throw std::runtime_error(
+        "StabilizerSelection::restrict_supports: " + std::to_string(rows) +
+        " candidate generators exceed the enumeration cap of " +
+        std::to_string(kMaxRestrictRows));
+  }
+  for (std::size_t combo = 1; combo < (std::size_t{1} << rows); ++combo) {
+    BitVec support(num_qubits());
+    for (std::size_t r = 0; r < rows; ++r) {
+      if ((combo >> r) & 1U) {
+        support ^= generators_->row(r);
+      }
+    }
+    if (allowed(support)) {
+      continue;
+    }
+    // Block alpha_i == combo for every selection row.
+    for (std::size_t i = 0; i < u_; ++i) {
+      std::vector<Lit> clause;
+      clause.reserve(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const bool bit = ((combo >> r) & 1U) != 0;
+        clause.push_back(bit ? ~alpha_[i][r] : alpha_[i][r]);
+      }
+      cnf_->solver().add_clause(clause);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,18 @@ class StabilizerSelection {
   /// Orders selections strictly by their alpha words to break the row
   /// permutation symmetry (valid because equal rows are never useful).
   void break_symmetry();
+
+  /// Restricts every selection to supports accepted by `allowed` — the
+  /// coupling-map hook: only measurements realizable on the device stay
+  /// in the search space. Since a support is determined by its alpha
+  /// combination, the 2^r - 1 nonzero combinations are enumerated and
+  /// each rejected one is blocked with one clause per selection row.
+  /// Throws std::runtime_error when generators.rows() exceeds
+  /// `kMaxRestrictRows` (the enumeration would be impractical).
+  void restrict_supports(
+      const std::function<bool(const f2::BitVec&)>& allowed);
+
+  static constexpr std::size_t kMaxRestrictRows = 16;
 
   /// After a satisfying solve: the support of stabilizer i in the model.
   f2::BitVec extract(const sat::SolverBase& solver, std::size_t i) const;

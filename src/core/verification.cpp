@@ -46,6 +46,14 @@ struct QueryContext {
     selection =
         std::make_unique<StabilizerSelection>(*cnf, generators, u);
     selection->require_nonzero();
+    if (const auto* map = options.coupling.get();
+        qec::coupling_constrained(map)) {
+      // Only device-realizable measurements (supports admitting an
+      // ancilla walk, see the header) stay in the search space.
+      selection->restrict_supports([map](const f2::BitVec& support) {
+        return map->has_walk(support);
+      });
+    }
     if (u > 1) {
       selection->break_symmetry();
     }
@@ -158,6 +166,11 @@ std::string verification_cache_key(const BitMatrix& generators,
   std::string key = "verif|" + options.engine.fingerprint();
   key += "|mm=" + std::to_string(options.max_measurements);
   key += "|bud=" + std::to_string(options.conflict_budget);
+  // All-to-all adds nothing (legacy keys stay warm); constrained maps
+  // key on the structure fingerprint.
+  if (qec::coupling_constrained(options.coupling)) {
+    key += "|coup=" + options.coupling->fingerprint();
+  }
   key += "|G=" + cache_key_matrix(generators);
   key += cache_key_errors(errors);
   return key;

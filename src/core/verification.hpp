@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "f2/bit_matrix.hpp"
 #include "f2/bit_vec.hpp"
+#include "qec/coupling.hpp"
 #include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
@@ -31,6 +33,12 @@ struct VerificationSynthOptions {
   /// Optional sink recording one entry per bound query with the solver
   /// statistics delta attributable to it.
   sat::SweepTelemetry* telemetry = nullptr;
+  /// Device coupling map over the data qubits; null / all-to-all leaves
+  /// the selection unconstrained. Constrained maps restrict every
+  /// selected measurement to supports inducing a *connected* subgraph —
+  /// the realizability condition for an ancilla that walks along
+  /// coupled data sites (see `qec::CouplingMap`).
+  std::shared_ptr<const qec::CouplingMap> coupling;
 };
 
 /// Synthesizes a verification measurement set that detects every error in

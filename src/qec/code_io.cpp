@@ -75,4 +75,85 @@ std::string write_css_code(const CssCode& code) {
   return out.str();
 }
 
+CouplingMap read_coupling_map(std::istream& in) {
+  std::string name = "custom";
+  std::size_t sites = 0;
+  bool have_sites = false;
+  bool in_edges = false;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = strip(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("coupling:", 0) == 0) {
+      name = strip(line.substr(9));
+      continue;
+    }
+    if (line.rfind("sites:", 0) == 0) {
+      // Strict parse: digits only, nothing trailing. Unsigned stream
+      // extraction would happily wrap "-1" to 2^64-1 and ignore junk.
+      const std::string value = strip(line.substr(6));
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument(
+            "read_coupling_map: 'sites:' wants a positive integer, got '" +
+            value + "'");
+      }
+      // Adjacency is a dense n x n bitset; 4096 sites (~2 MB) is far
+      // beyond any near-term device and keeps a typo from turning into
+      // a multi-gigabyte allocation.
+      std::istringstream number(value);
+      if (!(number >> sites) || sites == 0 || sites > 4096) {
+        throw std::invalid_argument(
+            "read_coupling_map: 'sites:' wants a positive integer (at "
+            "most 4096), got '" +
+            value + "'");
+      }
+      have_sites = true;
+      continue;
+    }
+    if (line == "edges:") {
+      in_edges = true;
+      continue;
+    }
+    if (!in_edges) {
+      throw std::invalid_argument(
+          "read_coupling_map: edge row before the 'edges:' section");
+    }
+    std::istringstream pair(line);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    std::string trailing;
+    if (!(pair >> a >> b) || (pair >> trailing)) {
+      throw std::invalid_argument("read_coupling_map: malformed edge '" +
+                                  line + "' (want 'a b')");
+    }
+    edges.emplace_back(a, b);
+  }
+  if (!have_sites) {
+    throw std::invalid_argument("read_coupling_map: missing 'sites:' line");
+  }
+  // from_edges validates ranges and self-loops.
+  return CouplingMap::from_edges(name, sites, edges);
+}
+
+CouplingMap parse_coupling_map(const std::string& text) {
+  std::istringstream in(text);
+  return read_coupling_map(in);
+}
+
+std::string write_coupling_map(const CouplingMap& map) {
+  std::ostringstream out;
+  out << "coupling: " << map.name() << '\n';
+  out << "sites: " << map.num_sites() << '\n';
+  out << "edges:\n";
+  for (const auto& [a, b] : map.edges()) {
+    out << a << ' ' << b << '\n';
+  }
+  return out.str();
+}
+
 }  // namespace ftsp::qec

@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "qec/coupling.hpp"
 #include "qec/css_code.hpp"
 
 namespace ftsp::qec {
@@ -28,5 +29,25 @@ CssCode parse_css_code(const std::string& text);
 
 /// Renders a code in the same format (round-trips through the parser).
 std::string write_css_code(const CssCode& code);
+
+/// Plain-text coupling-map format:
+///
+/// ```
+/// coupling: my-device
+/// sites: 7
+/// edges:
+/// 0 1
+/// 1 2
+/// ```
+///
+/// Edges are undirected "a b" pairs of site indices; blank lines and '#'
+/// comments are ignored; `coupling:` (the name) is optional and defaults
+/// to "custom". Out-of-range endpoints, self-loops, missing `sites:` and
+/// malformed lines throw std::invalid_argument.
+CouplingMap read_coupling_map(std::istream& in);
+CouplingMap parse_coupling_map(const std::string& text);
+
+/// Renders a map in the same format (round-trips through the parser).
+std::string write_coupling_map(const CouplingMap& map);
 
 }  // namespace ftsp::qec

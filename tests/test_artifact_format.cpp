@@ -112,6 +112,68 @@ class ArtifactBytes : public ::testing::Test {
 ProtocolArtifact* ArtifactBytes::artifact_ = nullptr;
 std::string* ArtifactBytes::bytes_ = nullptr;
 
+TEST_F(ArtifactBytes, LegacyProvenancePayloadStillDecodes) {
+  // Pre-coupling writers ended the provenance payload at compiled_at;
+  // the trailing prep_fallback byte is optional. Strip it and the
+  // artifact must decode with prep_fallback == false.
+  auto sections = unpack_container(*bytes_);
+  bool stripped = false;
+  for (auto& section : sections) {
+    if (section.id == static_cast<std::uint32_t>(SectionId::Provenance)) {
+      ASSERT_FALSE(section.bytes.empty());
+      section.bytes.pop_back();
+      stripped = true;
+    }
+  }
+  ASSERT_TRUE(stripped);
+  const auto artifact = decode_artifact(pack_container(sections));
+  EXPECT_FALSE(artifact.provenance.prep_fallback);
+  EXPECT_EQ(artifact.provenance.prep_cnots,
+            artifact_->provenance.prep_cnots);
+}
+
+TEST_F(ArtifactBytes, LegacyArtifactWithoutCouplingSectionIsAllToAll) {
+  // An all-to-all compile writes no Coupling section — exactly the
+  // shape of every pre-coupling artifact — and decodes to a null map.
+  const auto sections = unpack_container(*bytes_);
+  for (const auto& section : sections) {
+    EXPECT_NE(section.id, static_cast<std::uint32_t>(SectionId::Coupling));
+  }
+  const auto artifact = decode_artifact(*bytes_);
+  EXPECT_EQ(artifact.coupling, nullptr);
+  EXPECT_EQ(artifact.gadget_reach, 0u);
+}
+
+TEST_F(ArtifactBytes, CorruptCouplingSectionFailsLoud) {
+  // A Coupling section whose edge list points out of range passes the
+  // CRC (we recompute it) but must still be rejected semantically.
+  auto sections = unpack_container(*bytes_);
+  util::ByteWriter bogus;
+  bogus.str("evil");
+  bogus.u32(3);   // sites
+  bogus.u32(0);   // gadget reach
+  bogus.u32(1);   // edge count
+  bogus.u32(0);
+  bogus.u32(9);   // out of range for 3 sites
+  sections.push_back(
+      {static_cast<std::uint32_t>(SectionId::Coupling), bogus.take()});
+  EXPECT_THROW(decode_artifact(pack_container(sections)),
+               ArtifactFormatError);
+
+  // An absurd site count must be rejected *before* the adjacency
+  // allocation, not via bad_alloc.
+  auto sections2 = unpack_container(*bytes_);
+  util::ByteWriter huge;
+  huge.str("evil");
+  huge.u32(0xFFFFFFFFu);  // sites
+  huge.u32(0);            // gadget reach
+  huge.u32(0);            // edge count
+  sections2.push_back(
+      {static_cast<std::uint32_t>(SectionId::Coupling), huge.take()});
+  EXPECT_THROW(decode_artifact(pack_container(sections2)),
+               ArtifactFormatError);
+}
+
 TEST_F(ArtifactBytes, UnknownSectionsAreSkippedCleanly) {
   // A future writer appends a section this build has never heard of —
   // the file must still load, byte-identically to the known sections.

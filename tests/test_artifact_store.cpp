@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "compile/artifact.hpp"
 #include "core/executor.hpp"
@@ -198,6 +199,63 @@ TEST(ArtifactStore, IndexAndContainsSurviveReopen) {
   EXPECT_FALSE(reopened.get("no-such-key").has_value());
 }
 
+TEST(ArtifactStore, TwoConcurrentWritersBothSurvive) {
+  reset_cache();
+  const TempDir dir("store-two-writers");
+  const ProtocolCompiler compiler;
+  const auto a1 = compiler.compile(qec::steane());
+  const auto a2 = compiler.compile(qec::surface3());
+
+  // Two independent handles on one directory, mimicking two compile
+  // processes: each knows only its own artifact. The historical
+  // whole-index rewrite made the second put erase the first writer's
+  // entry; merge-on-write keeps both.
+  ArtifactStore writer_a(dir.path.string());
+  ArtifactStore writer_b(dir.path.string());
+  writer_a.put(a1);
+  writer_b.put(a2);
+
+  const ArtifactStore reopened(dir.path.string());
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_TRUE(reopened.contains(a1.key));
+  EXPECT_TRUE(reopened.contains(a2.key));
+  EXPECT_TRUE(reopened.get(a1.key).has_value());
+  EXPECT_TRUE(reopened.get(a2.key).has_value());
+
+  // Interleaved rounds in both directions, including same-key
+  // overwrites: nothing is ever dropped.
+  writer_b.put(a1);
+  writer_a.put(a2);
+  const ArtifactStore again(dir.path.string());
+  EXPECT_EQ(again.size(), 2u);
+
+  // Genuinely racing same-key puts: writer-unique temp names mean each
+  // rename publishes a complete container, never a torn mix of two
+  // writers sharing one temp file.
+  std::thread racer_a([&] {
+    for (int round = 0; round < 6; ++round) {
+      writer_a.put(a1);
+    }
+  });
+  std::thread racer_b([&] {
+    for (int round = 0; round < 6; ++round) {
+      writer_b.put(a1);
+    }
+  });
+  racer_a.join();
+  racer_b.join();
+  const ArtifactStore raced(dir.path.string());
+  EXPECT_TRUE(raced.contains(a1.key));
+  EXPECT_TRUE(raced.get(a1.key).has_value());  // Decodes = not torn.
+
+  // No torn temp files left behind.
+  std::size_t temps = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    temps += entry.path().extension() == ".tmp";
+  }
+  EXPECT_EQ(temps, 0u);
+}
+
 TEST(ArtifactStore, BackingMakesResynthesisSolverFree) {
   reset_cache();
   const TempDir dir("store-backing");
@@ -378,9 +436,19 @@ TEST(ArtifactStore, GoldenStoreReload) {
                                                   2048, 99, options);
     EXPECT_EQ(sat::engine_solver_invocations(), 0u) << key;
 
-    // Cross-check against a from-scratch synthesis of the same code.
+    // Cross-check against a from-scratch synthesis of the same code,
+    // under the same device targeting the artifact records (mirroring
+    // the CLI: a constrained map implies SAT-optimal preparation).
+    core::SynthesisOptions synth_options;
+    if (artifact->coupling != nullptr) {
+      synth_options.coupling.name = artifact->coupling->name();
+      synth_options.coupling.custom = artifact->coupling;
+      synth_options.coupling.gadget_reach = artifact->gadget_reach;
+      synth_options.prep.method = core::PrepSynthOptions::Method::Optimal;
+    }
     const auto fresh = core::synthesize_protocol(*artifact->protocol.code,
-                                                 artifact->protocol.basis);
+                                                 artifact->protocol.basis,
+                                                 synth_options);
     const core::Executor fresh_executor(fresh);
     const decoder::PerfectDecoder fresh_decoder(*fresh.code);
     const auto reference = core::sample_protocol_batch(
