@@ -32,11 +32,24 @@
 //       ancilla transport (0 = unbounded, 1 = strict neighbor walk).
 //       Device artifacts serve under "<code>@<map>" names; `query`
 //       accepts --coupling NAME to retarget a request's "code" field.
+//       Compiles capture optimality proofs by default: every
+//       optimality-anchoring UNSAT leg of the SAT sweeps is logged as a
+//       DRAT refutation, checked in-process, fingerprinted into the
+//       artifact and persisted as a .proof sidecar. --no-proofs opts
+//       out (artifact bytes then match pre-proof builds exactly).
 //   ftsp_cli store   --store DIR --prune [--dry-run]
 //                    [--max-cache-age-days N]
 //       Store garbage collection: removes orphaned .ftsa containers
-//       (key churn), leftover .tmp files, and corrupt or aged-out
-//       satcache entries. --dry-run lists without deleting.
+//       (key churn), orphaned .proof sidecars, leftover .tmp files, and
+//       corrupt or aged-out satcache entries. --dry-run lists without
+//       deleting.
+//   ftsp_cli audit   [--store DIR | --artifact FILE]
+//       Static audit: re-verifies every artifact without a solver in
+//       the loop — container CRCs, decoder-table rehydration against
+//       freshly built tables, the exhaustive fault-tolerance check, the
+//       coupling-realizability audit, and a full DRAT re-check of every
+//       stored optimality proof against its fingerprinted premise.
+//       Exits nonzero if any artifact fails.
 //   ftsp_cli serve   --store DIR [--threads N] [--socket PATH]
 //       Loads every artifact and answers newline-delimited JSON requests
 //       on stdin (or on a unix socket file) with zero SAT work.
@@ -61,6 +74,7 @@
 #include <vector>
 
 #include "compile/artifact.hpp"
+#include "compile/format.hpp"
 #include "compile/json.hpp"
 #include "compile/service.hpp"
 #include "compile/store.hpp"
@@ -76,7 +90,10 @@
 #include "core/synth_cache.hpp"
 #include "qec/code_io.hpp"
 #include "qec/code_library.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/drat_check.hpp"
 #include "sat/parallel_solver.hpp"
+#include "util/binio.hpp"
 
 namespace {
 
@@ -208,8 +225,10 @@ int usage() {
                "[--basis zero|plus] [--defer-flags] [--force] "
                "[--engine seq|portfolio] [--coupling <name|file>] "
                "[--gadget-reach N],\n"
+               "       ftsp_cli compile ... [--no-proofs],\n"
                "       ftsp_cli store --store DIR --prune [--dry-run] "
                "[--max-cache-age-days N],\n"
+               "       ftsp_cli audit [--store DIR | --artifact FILE],\n"
                "       ftsp_cli serve --store DIR [--threads N] "
                "[--socket PATH],\n"
                "       ftsp_cli query --store DIR [--coupling NAME] "
@@ -225,6 +244,11 @@ int run_compile(const std::vector<std::string>& args) {
   std::string engine = "auto";
   qec::LogicalBasis basis = qec::LogicalBasis::Zero;
   core::SynthesisOptions options;
+  // Proof-carrying compiles are the default: the capture costs a bounded
+  // slice of solve time (see bench_proof_overhead) and makes the store
+  // auditable offline. --no-proofs restores bit-identical pre-proof
+  // artifacts.
+  options.capture_proofs = true;
   bool all = false;
   bool force = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -234,6 +258,8 @@ int run_compile(const std::vector<std::string>& args) {
       all = true;
     } else if (args[i] == "--force") {
       force = true;
+    } else if (args[i] == "--no-proofs") {
+      options.capture_proofs = false;
     } else if (args[i] == "--defer-flags") {
       options.flag_policy = core::FlagPolicy::DeferToNextLayer;
     } else if (args[i] == "--engine") {
@@ -302,13 +328,20 @@ int run_compile(const std::vector<std::string>& args) {
     }
     const auto artifact = compiler.compile(code, basis);
     store.put(artifact);
+    std::size_t proofs_present = 0;
+    for (const auto& proof : artifact.proofs) {
+      if (proof.present) {
+        ++proofs_present;
+      }
+    }
     std::printf(
         "%-14s compiled in %.2fs (%llu solver calls, %u prep CNOTs, "
-        "%u branches%s%s)\n",
+        "%u branches, %zu/%zu proof(s)%s%s)\n",
         code.name().c_str(), artifact.provenance.wall_seconds,
         static_cast<unsigned long long>(
             artifact.provenance.solver_invocations),
         artifact.provenance.prep_cnots, artifact.provenance.branch_count,
+        proofs_present, artifact.proofs.size(),
         artifact.coupling != nullptr
             ? (", coupling " + artifact.coupling->name()).c_str()
             : "",
@@ -356,14 +389,198 @@ int run_store(const std::vector<std::string>& args) {
                 name.c_str());
   }
   std::printf(
-      "%s: %zu artifact(s) indexed; %s %zu orphaned artifact(s), %zu temp "
+      "%s: %zu artifact(s) indexed; %s %zu orphaned artifact(s), "
+      "%zu orphaned proof sidecar(s), %zu temp "
       "file(s), %zu stale cache entr%s (%llu bytes)\n",
       store_dir.c_str(), store.size(),
       dry_run ? "would reclaim" : "reclaimed", report.orphan_artifacts,
-      report.temp_files, report.stale_cache_entries,
+      report.orphan_proofs, report.temp_files, report.stale_cache_entries,
       report.stale_cache_entries == 1 ? "y" : "ies",
       static_cast<unsigned long long>(report.bytes));
   return 0;
+}
+
+/// Audits one fully decoded artifact: decoder-table cross-check against
+/// freshly built tables, the exhaustive single-fault FT check, the
+/// coupling-realizability audit, and a byte-level + semantic re-check of
+/// every stored optimality proof (sizes, CRCs, compile-time verdict, and
+/// an independent forward DRAT run — no solver in the loop). Prints a
+/// per-artifact report; returns the number of failed checks. Absent
+/// proof entries are reported but never fail the audit — they are the
+/// honest record of stages with nothing to prove.
+std::size_t audit_artifact(const std::string& label,
+                           const compile::ProtocolArtifact& artifact) {
+  std::vector<std::string> failures;
+  std::size_t proofs_checked = 0;
+  std::size_t proofs_absent = 0;
+
+  const auto& protocol = artifact.protocol;
+  {
+    const auto fresh_x =
+        decoder::LookupDecoder(*protocol.code, qec::PauliType::X).table();
+    const auto fresh_z =
+        decoder::LookupDecoder(*protocol.code, qec::PauliType::Z).table();
+    if (artifact.x_decoder_table != fresh_x) {
+      failures.push_back("stored X decoder table differs from rebuild");
+    }
+    if (artifact.z_decoder_table != fresh_z) {
+      failures.push_back("stored Z decoder table differs from rebuild");
+    }
+  }
+
+  const auto ft = core::check_fault_tolerance(protocol);
+  if (!ft.ok) {
+    failures.push_back("fault tolerance VIOLATED (" +
+                       std::to_string(ft.violations.size()) +
+                       " violation(s), e.g. " + ft.violations.front() + ")");
+  }
+
+  if (artifact.coupling != nullptr) {
+    const auto violations = core::check_protocol_coupling(
+        protocol, *artifact.coupling, artifact.gadget_reach);
+    if (!violations.empty()) {
+      failures.push_back("coupling map '" + artifact.coupling->name() +
+                         "' violated: " + violations.front());
+    }
+  }
+
+  for (const auto& proof : artifact.proofs) {
+    if (!proof.present) {
+      ++proofs_absent;
+      continue;
+    }
+    const std::string where = "proof [" + proof.stage + "] \"" +
+                              proof.claim + "\": ";
+    if (!proof.checked) {
+      failures.push_back(where + "compile-time checker verdict is FAIL");
+      continue;
+    }
+    if (proof.premise_dimacs.empty() && proof.drat.empty()) {
+      failures.push_back(where +
+                         "proof bytes missing (sidecar absent, stale or "
+                         "mismatched)");
+      continue;
+    }
+    if (proof.premise_dimacs.size() != proof.premise_size ||
+        util::crc32(proof.premise_dimacs) != proof.premise_crc) {
+      failures.push_back(where + "premise bytes do not match fingerprint");
+      continue;
+    }
+    if (proof.drat.size() != proof.drat_size ||
+        util::crc32(proof.drat) != proof.drat_crc) {
+      failures.push_back(where + "DRAT bytes do not match fingerprint");
+      continue;
+    }
+    try {
+      // The persisted premise bakes the solve-time assumptions in as
+      // unit clauses, so the re-check runs assumption-free.
+      const sat::CnfFormula premise =
+          sat::parse_dimacs_string(proof.premise_dimacs);
+      const auto verdict = sat::check_drat(premise.clauses, proof.drat);
+      if (!verdict.ok) {
+        failures.push_back(where + "DRAT re-check failed: " + verdict.error);
+      } else {
+        ++proofs_checked;
+      }
+    } catch (const std::exception& e) {
+      failures.push_back(where + std::string("premise parse failed: ") +
+                         e.what());
+    }
+  }
+
+  if (failures.empty()) {
+    std::printf(
+        "%-40s OK (%zu faults, %zu proof(s) re-checked, %zu absent)\n",
+        label.c_str(), ft.faults_checked, proofs_checked, proofs_absent);
+  } else {
+    std::printf("%-40s FAIL\n", label.c_str());
+    for (const auto& failure : failures) {
+      std::printf("    %s\n", failure.c_str());
+    }
+  }
+  return failures.size();
+}
+
+int run_audit(const std::vector<std::string>& args) {
+  std::string store_dir;
+  std::string artifact_file;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--store") {
+      store_dir = flag_value(args, i);
+    } else if (args[i] == "--artifact") {
+      artifact_file = flag_value(args, i);
+    } else {
+      throw UsageError("unknown argument '" + args[i] + "'");
+    }
+  }
+  if (store_dir.empty() == artifact_file.empty()) {
+    throw UsageError("audit wants exactly one of --store DIR or "
+                     "--artifact FILE");
+  }
+
+  std::size_t artifacts = 0;
+  std::size_t failures = 0;
+  if (!artifact_file.empty()) {
+    // Standalone container: the proof sidecar is its sibling
+    // "<stem>.proof" (how ArtifactStore lays files out); a missing
+    // sidecar leaves the byte fields empty, which the audit then flags
+    // for every present proof entry.
+    std::ifstream in(artifact_file, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open " + artifact_file);
+    }
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    compile::ProtocolArtifact artifact =
+        compile::decode_artifact(bytes.str());
+    const std::filesystem::path sidecar_path =
+        std::filesystem::path(artifact_file).replace_extension(".proof");
+    std::ifstream sidecar(sidecar_path, std::ios::binary);
+    if (sidecar) {
+      std::ostringstream sidecar_bytes;
+      sidecar_bytes << sidecar.rdbuf();
+      compile::rehydrate_proof_bytes(artifact, sidecar_bytes.str());
+    }
+    ++artifacts;
+    failures += audit_artifact(artifact_file, artifact);
+  } else {
+    if (!std::filesystem::is_directory(store_dir)) {
+      throw std::runtime_error("store directory does not exist: " +
+                               store_dir);
+    }
+    const compile::ArtifactStore store(store_dir);
+    for (const auto& key : store.keys()) {
+      // get() re-verifies the container CRCs and rehydrates proof bytes
+      // from the sidecar; structural corruption surfaces here.
+      try {
+        const auto artifact = store.get(key);
+        if (!artifact.has_value()) {
+          std::printf("%-40s FAIL\n    vanished from index\n", key.c_str());
+          ++failures;
+          ++artifacts;
+          continue;
+        }
+        ++artifacts;
+        failures += audit_artifact(
+            artifact->protocol.code->name() + " (" +
+                (artifact->protocol.basis == qec::LogicalBasis::Zero
+                     ? "zero"
+                     : "plus") +
+                (artifact->coupling != nullptr
+                     ? ", " + artifact->coupling->name()
+                     : "") +
+                ")",
+            *artifact);
+      } catch (const compile::ArtifactFormatError& e) {
+        std::printf("%-40s FAIL\n    %s\n", key.c_str(), e.what());
+        ++failures;
+        ++artifacts;
+      }
+    }
+  }
+  std::printf("audit: %zu artifact(s), %zu failure(s)\n", artifacts,
+              failures);
+  return failures == 0 ? 0 : 1;
 }
 
 /// Read-only consumers (serve/query) must not silently create an empty
@@ -511,13 +728,16 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "compile" || command == "serve" || command == "query" ||
-        command == "store") {
+        command == "store" || command == "audit") {
       const std::vector<std::string> args(argv + 2, argv + argc);
       if (command == "compile") {
         return run_compile(args);
       }
       if (command == "store") {
         return run_store(args);
+      }
+      if (command == "audit") {
+        return run_audit(args);
       }
       return command == "serve" ? run_serve(args) : run_query(args);
     }

@@ -137,6 +137,57 @@ decode_coupling(std::string_view bytes) {
           gadget_reach};
 }
 
+/// Proof section payload: metadata only — claims, sizes, CRC
+/// fingerprints and checker verdicts. The premise/DRAT bytes live in the
+/// store's `.proof` sidecar (see `encode_proof_sidecar`), keeping the
+/// container small and the serve path free of megabyte proof blobs.
+std::string encode_proofs(const std::vector<core::CapturedProof>& proofs) {
+  util::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(proofs.size()));
+  for (const auto& p : proofs) {
+    out.str(p.stage);
+    out.str(p.claim);
+    out.u32(p.bound);
+    out.u8(static_cast<std::uint8_t>((p.present ? 1U : 0U) |
+                                     (p.checked ? 2U : 0U)));
+    out.str(p.absent_reason);
+    out.u64(p.premise_size);
+    out.u32(p.premise_crc);
+    out.u64(p.drat_size);
+    out.u32(p.drat_crc);
+  }
+  return out.take();
+}
+
+std::vector<core::CapturedProof> decode_proofs(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  const std::uint32_t count = in.u32();
+  // Each entry occupies >= 41 payload bytes (three length-prefixed
+  // strings plus the fixed fields); bound the reserve by the bytes
+  // actually present (same crafted-count guard as the other codecs).
+  if (count > in.remaining() / 41) {
+    throw ArtifactFormatError("artifact: proof entry count exceeds data");
+  }
+  std::vector<core::CapturedProof> proofs;
+  proofs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    core::CapturedProof p;
+    p.stage = in.str();
+    p.claim = in.str();
+    p.bound = in.u32();
+    const std::uint8_t flags = in.u8();
+    p.present = (flags & 1U) != 0;
+    p.checked = (flags & 2U) != 0;
+    p.absent_reason = in.str();
+    p.premise_size = in.u64();
+    p.premise_crc = in.u32();
+    p.drat_size = in.u64();
+    p.drat_crc = in.u32();
+    proofs.push_back(std::move(p));
+  }
+  return proofs;
+}
+
 }  // namespace
 
 std::string artifact_key(const qec::CssCode& code, qec::LogicalBasis basis,
@@ -187,6 +238,15 @@ ProtocolArtifact ProtocolCompiler::compile(const qec::CssCode& code,
   core::PrepSynthReport prep_report;
   core::SynthesisOptions options = options_;
   options.prep.report = &prep_report;
+  // Proof-carrying compile: when requested and the caller brought no
+  // sink of their own, capture into an internal one; either way the
+  // entries recorded by *this* compile end up in the artifact.
+  core::ProofSink internal_sink;
+  if (options_.capture_proofs && options.proof_sink == nullptr) {
+    options.proof_sink = &internal_sink;
+  }
+  const std::size_t proofs_before =
+      options.proof_sink != nullptr ? options.proof_sink->proofs.size() : 0;
   core::Protocol protocol = core::synthesize_protocol(code, basis, options);
 
   SynthProvenance provenance;
@@ -197,7 +257,22 @@ ProtocolArtifact ProtocolCompiler::compile(const qec::CssCode& code,
   provenance.cache_hits = cache.hits() - hits0;
   provenance.cache_misses = cache.misses() - misses0;
   provenance.prep_fallback = prep_report.heuristic_fallback;
-  return package(std::move(protocol), std::move(provenance));
+  ProtocolArtifact artifact =
+      package(std::move(protocol), std::move(provenance));
+  if (options_.capture_proofs && options.proof_sink != nullptr) {
+    auto& captured = options.proof_sink->proofs;
+    const auto from =
+        captured.begin() + static_cast<std::ptrdiff_t>(proofs_before);
+    if (options.proof_sink == &internal_sink) {
+      artifact.proofs.assign(std::make_move_iterator(from),
+                             std::make_move_iterator(captured.end()));
+    } else {
+      // The caller keeps their sink intact; the artifact gets a copy of
+      // the entries this compile recorded.
+      artifact.proofs.assign(from, captured.end());
+    }
+  }
+  return artifact;
 }
 
 ProtocolArtifact ProtocolCompiler::package(core::Protocol protocol,
@@ -276,6 +351,12 @@ std::string encode_artifact(const ProtocolArtifact& artifact) {
         {static_cast<std::uint32_t>(SectionId::Coupling),
          encode_coupling(*artifact.coupling, artifact.gadget_reach)});
   }
+  if (!artifact.proofs.empty()) {
+    // Optional like Coupling: proof-less compiles stay byte-identical to
+    // pre-proof builds.
+    sections.push_back({static_cast<std::uint32_t>(SectionId::Proof),
+                        encode_proofs(artifact.proofs)});
+  }
   return pack_container(sections);
 }
 
@@ -306,8 +387,8 @@ ProtocolArtifact decode_artifact(std::string_view bytes) {
     artifact.provenance =
         decode_provenance(find_section(sections, SectionId::Provenance));
     for (const Section& section : sections) {
-      // Optional section: legacy artifacts simply do not have it, and
-      // their coupling stays null (all-to-all).
+      // Optional sections: legacy artifacts simply do not have them —
+      // coupling stays null (all-to-all), proofs stay empty.
       if (section.id == static_cast<std::uint32_t>(SectionId::Coupling)) {
         std::tie(artifact.coupling, artifact.gadget_reach) =
             decode_coupling(section.bytes);
@@ -320,7 +401,8 @@ ProtocolArtifact decode_artifact(std::string_view bytes) {
               std::to_string(artifact.protocol.code->num_qubits()) +
               " data qubits");
         }
-        break;
+      } else if (section.id == static_cast<std::uint32_t>(SectionId::Proof)) {
+        artifact.proofs = decode_proofs(section.bytes);
       }
     }
   } catch (const ArtifactFormatError&) {
@@ -330,6 +412,81 @@ ProtocolArtifact decode_artifact(std::string_view bytes) {
                               e.what());
   }
   return artifact;
+}
+
+namespace {
+constexpr char kProofSidecarMagic[8] = {'F', 'T', 'S', 'P',
+                                        'P', 'R', 'F', '\0'};
+constexpr std::uint16_t kProofSidecarVersion = 1;
+}  // namespace
+
+std::string encode_proof_sidecar(const ProtocolArtifact& artifact) {
+  std::uint32_t with_bytes = 0;
+  for (const auto& p : artifact.proofs) {
+    if (p.present && (!p.premise_dimacs.empty() || !p.drat.empty())) {
+      ++with_bytes;
+    }
+  }
+  if (with_bytes == 0) {
+    return {};
+  }
+  util::ByteWriter out;
+  out.raw(std::string_view(kProofSidecarMagic, sizeof(kProofSidecarMagic)));
+  out.u16(kProofSidecarVersion);
+  out.u16(0);  // Reserved.
+  out.u32(with_bytes);
+  // Present entries in artifact order — rehydration matches positionally
+  // (stages repeat: one verification sweep records one entry per u).
+  for (const auto& p : artifact.proofs) {
+    if (p.present && (!p.premise_dimacs.empty() || !p.drat.empty())) {
+      out.str(p.stage);
+      out.str(p.premise_dimacs);
+      out.str(p.drat);
+    }
+  }
+  return out.take();
+}
+
+void rehydrate_proof_bytes(ProtocolArtifact& artifact,
+                           std::string_view sidecar_bytes) {
+  try {
+    util::ByteReader in(sidecar_bytes);
+    const std::string_view magic = in.raw(sizeof(kProofSidecarMagic));
+    if (magic !=
+        std::string_view(kProofSidecarMagic, sizeof(kProofSidecarMagic))) {
+      return;
+    }
+    if (in.u16() != kProofSidecarVersion) {
+      return;
+    }
+    (void)in.u16();  // Reserved.
+    std::uint32_t remaining_entries = in.u32();
+    for (auto& p : artifact.proofs) {
+      if (remaining_entries == 0) {
+        break;
+      }
+      if (!p.present) {
+        continue;
+      }
+      const std::string stage = in.str();
+      std::string premise = std::string(in.str());
+      std::string drat = std::string(in.str());
+      --remaining_entries;
+      // Every field must agree with the container's fingerprint; a
+      // mismatched sidecar (stale, truncated, swapped) contributes
+      // nothing — the audit then reports the entry as missing bytes.
+      if (stage != p.stage || premise.size() != p.premise_size ||
+          drat.size() != p.drat_size ||
+          util::crc32(premise) != p.premise_crc ||
+          util::crc32(drat) != p.drat_crc) {
+        return;
+      }
+      p.premise_dimacs = std::move(premise);
+      p.drat = std::move(drat);
+    }
+  } catch (const std::out_of_range&) {
+    // Truncated sidecar: keep whatever rehydrated cleanly so far.
+  }
 }
 
 decoder::PerfectDecoder make_artifact_decoder(

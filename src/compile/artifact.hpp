@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/proof_capture.hpp"
 #include "core/protocol.hpp"
 #include "core/samplers.hpp"
 #include "decoder/lookup_decoder.hpp"
@@ -60,6 +61,16 @@ struct ProtocolArtifact {
   /// with the gadget reach (see `qec::CouplingSpec::gadget_reach`).
   std::shared_ptr<const qec::CouplingMap> coupling;
   std::uint32_t gadget_reach = 0;
+  /// Optimality-proof entries captured during the compile (one per SAT
+  /// sweep stage; see `core::CapturedProof`). Empty for artifacts
+  /// compiled without proof capture and for legacy files (no Proof
+  /// section). The `.ftsa` container stores only the metadata
+  /// (claims, sizes, CRC fingerprints, checker verdicts); the premise
+  /// and DRAT bytes travel in a `.proof` sidecar written by
+  /// `ArtifactStore::put` and rehydrated by `ArtifactStore::get` — a
+  /// decoded artifact without its sidecar has `present` entries whose
+  /// byte fields are empty.
+  std::vector<core::CapturedProof> proofs;
 };
 
 /// Canonical store key of a compile request: check matrices, basis and
@@ -99,6 +110,19 @@ class ProtocolCompiler {
 /// and decoder-table consistency; unknown sections are skipped.
 std::string encode_artifact(const ProtocolArtifact& artifact);
 ProtocolArtifact decode_artifact(std::string_view bytes);
+
+/// Proof-bytes sidecar codec (`<keyhash>.proof` next to the `.ftsa`).
+/// `encode_proof_sidecar` serializes the premise/DRAT bytes of every
+/// `present` proof entry, in artifact order; it returns an empty string
+/// when no present entry carries bytes (a metadata-only artifact — e.g.
+/// one decoded without its sidecar — must not clobber an existing good
+/// sidecar with an empty one). `rehydrate_proof_bytes` restores the
+/// bytes into matching entries, verifying stage names, sizes and CRCs as
+/// it goes; a torn or mismatched sidecar degrades to entries with empty
+/// bytes (which the audit flags) instead of failing the load.
+std::string encode_proof_sidecar(const ProtocolArtifact& artifact);
+void rehydrate_proof_bytes(ProtocolArtifact& artifact,
+                           std::string_view sidecar_bytes);
 
 /// Rehydrates the perfect decoder from the artifact's stored tables —
 /// no weight-BFS enumeration. The returned decoder references

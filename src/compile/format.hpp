@@ -34,6 +34,10 @@ enum class SectionId : std::uint32_t {
   Provenance = 6,  ///< Synthesis provenance (engine, stats, wall time).
   Coupling = 7,    ///< Device coupling map the protocol was compiled for.
                    ///< Optional: absent means all-to-all (legacy files).
+  Proof = 8,       ///< Optimality-proof metadata: per-stage DRAT proof
+                   ///< fingerprints and checker verdicts (bytes live in a
+                   ///< `.proof` sidecar). Optional: absent means the
+                   ///< artifact was compiled without proof capture.
 };
 
 struct Section {

@@ -217,6 +217,41 @@ void ArtifactStore::put(const ProtocolArtifact& artifact) {
     throw ArtifactFormatError("store: cannot replace " + filename + ": " +
                               ec.message());
   }
+
+  // Proof sidecar (see the header contract): write when the artifact
+  // carries bytes, remove a stale one when it carries no proof entries
+  // at all, and leave an existing sidecar alone for metadata-only
+  // round-trips (a decoded artifact whose bytes were never rehydrated
+  // must not clobber the good sidecar with an empty one).
+  const std::string proof_path =
+      artifact_path(hash_name(artifact.key, ".proof"));
+  const std::string sidecar = encode_proof_sidecar(artifact);
+  if (!sidecar.empty()) {
+    const std::string proof_tmp = unique_tmp_path(proof_path);
+    bool written = false;
+    {
+      std::ofstream out(proof_tmp, std::ios::binary | std::ios::trunc);
+      if (out) {
+        out.write(sidecar.data(),
+                  static_cast<std::streamsize>(sidecar.size()));
+        written = static_cast<bool>(out);
+      }
+    }
+    std::error_code proof_ec;
+    if (written) {
+      fs::rename(proof_tmp, proof_path, proof_ec);
+    }
+    if (!written || proof_ec) {
+      std::error_code cleanup;
+      fs::remove(proof_tmp, cleanup);
+      throw ArtifactFormatError("store: cannot write proof sidecar for " +
+                                filename);
+    }
+  } else if (artifact.proofs.empty()) {
+    std::error_code remove_ec;
+    fs::remove(proof_path, remove_ec);  // Stale sidecar of a prior compile.
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   index_[artifact.key] = filename;
   save_index_locked();
@@ -243,6 +278,15 @@ std::optional<ProtocolArtifact> ArtifactStore::get(
   ProtocolArtifact artifact = decode_artifact(bytes.str());
   if (artifact.key != key) {
     throw ArtifactFormatError("store: key mismatch in " + filename);
+  }
+  if (!artifact.proofs.empty()) {
+    std::ifstream sidecar(artifact_path(hash_name(key, ".proof")),
+                          std::ios::binary);
+    if (sidecar) {
+      std::ostringstream proof_bytes;
+      proof_bytes << sidecar.rdbuf();
+      rehydrate_proof_bytes(artifact, proof_bytes.str());
+    }
   }
   return artifact;
 }
@@ -325,6 +369,21 @@ ArtifactStore::PruneReport ArtifactStore::prune(
         return;
       }
       ++report.orphan_artifacts;
+    } else if (!in_satcache && ext == ".proof") {
+      // A proof sidecar lives and dies with its container: referenced
+      // iff `<stem>.ftsa` is referenced. The sidecar of an indexed
+      // artifact is never touched; an orphaned one is garbage (same
+      // grace period as containers — a concurrent compiler writes the
+      // sidecar before rewriting the index).
+      if (referenced.count(entry.path().stem().string() + ".ftsa") != 0) {
+        return;
+      }
+      std::error_code age_ec;
+      const auto written = fs::last_write_time(entry.path(), age_ec);
+      if (!age_ec && now - written < kTempGracePeriod) {
+        return;
+      }
+      ++report.orphan_proofs;
     } else if (in_satcache && ext == ".kv") {
       bool stale = false;
       if (max_cache_age.count() > 0) {

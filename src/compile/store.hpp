@@ -42,11 +42,18 @@ class ArtifactStore {
   const std::string& directory() const { return dir_; }
 
   /// Persists an artifact (container file + index entry), overwriting
-  /// any previous artifact with the same key.
+  /// any previous artifact with the same key. Proof bytes, when the
+  /// artifact carries any, land in a `<keyhash>.proof` sidecar next to
+  /// the container; an artifact with *no* proof entries removes a stale
+  /// sidecar, while a metadata-only artifact (present entries whose
+  /// bytes were never rehydrated) leaves an existing sidecar untouched.
   void put(const ProtocolArtifact& artifact);
 
   /// Loads and fully decodes the artifact for `key`; nullopt when the
-  /// key is not in the index. Decode/integrity failures throw.
+  /// key is not in the index. Decode/integrity failures throw. Proof
+  /// bytes are rehydrated from the `.proof` sidecar when present (a
+  /// missing or mismatched sidecar degrades to empty byte fields — see
+  /// `rehydrate_proof_bytes` — never to a load failure).
   std::optional<ProtocolArtifact> get(const std::string& key) const;
 
   bool contains(const std::string& key) const;
@@ -59,6 +66,7 @@ class ArtifactStore {
     std::vector<std::string> removed;
     std::uint64_t bytes = 0;  ///< Total size of the entries above.
     std::size_t orphan_artifacts = 0;  ///< .ftsa not referenced by index.
+    std::size_t orphan_proofs = 0;  ///< .proof whose .ftsa is unreferenced.
     std::size_t temp_files = 0;        ///< Leftover .tmp from torn writes.
     std::size_t stale_cache_entries = 0;  ///< Corrupt / aged-out satcache.
     bool dry_run = false;

@@ -164,6 +164,10 @@ struct CorrectionContext {
       : u(num_measurements) {
     const auto& generators = state.detector_generators(type);
     solver = sat::make_engine_solver(options.engine, options.conflict_budget);
+    if (options.proof_sink != nullptr) {
+      // On before any clause lands, so the logged premise is verbatim.
+      solver->set_proof_logging(true);
+    }
     cnf = std::make_unique<CnfBuilder>(*solver);
     selection = std::make_unique<StabilizerSelection>(*cnf, generators, u);
     selection->require_nonzero();
@@ -242,12 +246,10 @@ struct CorrectionContext {
 };
 
 /// One from-scratch decision query: u measurements of total weight <= v.
-std::optional<CorrectionPlan> query_fresh(const qec::StateContext& state,
-                                          PauliType type,
-                                          const Instance& inst,
-                                          std::size_t u, std::size_t v,
-                                          const CorrectionSynthOptions&
-                                              options) {
+std::optional<CorrectionPlan> query_fresh(
+    const qec::StateContext& state, PauliType type, const Instance& inst,
+    std::size_t u, std::size_t v, const CorrectionSynthOptions& options,
+    std::optional<sat::UnsatProof>* proof_out = nullptr) {
   CorrectionContext ctx(state, type, inst, u, options,
                         /*with_ladder=*/false);
   ctx.selection->bound_total_weight(v);
@@ -258,6 +260,9 @@ std::optional<CorrectionPlan> query_fresh(const qec::StateContext& state,
         {v, sat, ctx.solver->stats() - before});
   }
   if (!sat) {
+    if (proof_out != nullptr) {
+      *proof_out = ctx.solver->last_unsat_proof();
+    }
     return std::nullopt;
   }
   return ctx.extract_plan(state, type, inst);
@@ -336,6 +341,12 @@ std::optional<CorrectionPlan> synthesize_correction(
   if (options.engine.use_cache) {
     key = correction_cache_key(state, error_type, class_errors, options);
     if (const auto hit = SynthCache::instance().lookup(key)) {
+      if (options.proof_sink != nullptr) {
+        options.proof_sink->record_absent(
+            options.proof_label, "optimal correction plan",
+            "served from the synthesis cache; the refutations ran in the "
+            "compile that populated it");
+      }
       if (*hit == kCacheInfeasible) {
         return std::nullopt;
       }
@@ -360,6 +371,13 @@ std::optional<CorrectionPlan> synthesize_correction(
       all[j] = j;
     }
     if (const auto recovery = common_recovery(inst, all)) {
+      if (options.proof_sink != nullptr) {
+        options.proof_sink->record_absent(
+            options.proof_label,
+            "0 correction measurements suffice (one common recovery)",
+            "established by an exhaustive scan of the WLOG recovery pool, "
+            "no SAT query involved");
+      }
       CorrectionPlan plan;
       plan.recoveries.emplace(BitVec(0), *recovery);
       return finish(std::move(plan));
@@ -370,8 +388,15 @@ std::optional<CorrectionPlan> synthesize_correction(
   const auto weight_of = [](const CorrectionPlan& plan) {
     return plan.total_weight();
   };
+  ProofSink* const sink = options.proof_sink;
   for (std::size_t u = 1; u <= options.max_measurements; ++u) {
     std::optional<CorrectionPlan> best;
+    // Proof capture: the binary-search invariant makes the
+    // chronologically last UNSAT leg the one at v* - 1 (see
+    // record_sweep_outcome), so stashing the latest refutation suffices.
+    std::optional<sat::UnsatProof> last_unsat;
+    std::size_t last_unsat_bound = 0;
+    bool saw_unsat = false;
     if (options.engine.incremental) {
       // Encode the skeleton once; sweep the weight bound via assumptions.
       CorrectionContext ctx(state, error_type, inst, u, options,
@@ -380,6 +405,11 @@ std::optional<CorrectionPlan> synthesize_correction(
           /*lo=*/u, /*vmax=*/u * n,
           [&](std::size_t v) -> std::optional<CorrectionPlan> {
             if (!ctx.solve_with_bound(v, options)) {
+              if (sink != nullptr) {
+                saw_unsat = true;
+                last_unsat = ctx.solver->last_unsat_proof();
+                last_unsat_bound = v;
+              }
               return std::nullopt;
             }
             return ctx.extract_plan(state, error_type, inst);
@@ -397,9 +427,21 @@ std::optional<CorrectionPlan> synthesize_correction(
       best = sweep_min_weight(
           u, u * n,
           [&](std::size_t v) {
-            return query_fresh(state, error_type, inst, u, v, options);
+            auto result =
+                query_fresh(state, error_type, inst, u, v, options,
+                            sink != nullptr ? &last_unsat : nullptr);
+            if (sink != nullptr && !result.has_value()) {
+              saw_unsat = true;
+              last_unsat_bound = v;
+            }
+            return result;
           },
           weight_of);
+    }
+    if (sink != nullptr) {
+      record_sweep_outcome(*sink, options.proof_label,
+                           "correction measurements", u, best.has_value(),
+                           saw_unsat, last_unsat, last_unsat_bound);
     }
     if (best.has_value()) {
       return finish(std::move(best));

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/proof_capture.hpp"
 #include "f2/bit_vec.hpp"
 #include "qec/coupling.hpp"
 #include "qec/state_context.hpp"
@@ -41,6 +42,12 @@ struct CorrectionSynthOptions {
   /// Device coupling map; same contract as
   /// `VerificationSynthOptions::coupling` (connected-support selection).
   std::shared_ptr<const qec::CouplingMap> coupling;
+  /// Optional proof sink; same contract as
+  /// `VerificationSynthOptions::proof_sink` (checked DRAT refutations of
+  /// the optimality-anchoring UNSAT legs, honest absents elsewhere).
+  ProofSink* proof_sink = nullptr;
+  /// Stage tag of recorded proofs (e.g. "corr.L1.0100").
+  std::string proof_label = "corr";
 };
 
 /// Solves CORRECTION CIRCUIT SYNTHESIS (Section IV): given the errors of

@@ -30,6 +30,10 @@
 
 namespace ftsp::core::detail {
 
+// 128-bit multiply for Lemire bounded draws; `__extension__` keeps the
+// GNU builtin type admissible under -Wpedantic.
+__extension__ using uint128 = unsigned __int128;
+
 /// Work-stealing index loop shared by the batched sampler (shards) and
 /// the rate estimator (waves): invokes `fn(i)` for i in [0, tasks) over
 /// `threads` workers (0 = hardware concurrency). Each task writes only
@@ -286,7 +290,7 @@ struct BernoulliInjector {
           const std::size_t shot = (w * kSub + s) * 64 + lane;
           // Lemire's multiply-shift bounded draw (no division).
           const auto op = static_cast<std::size_t>(
-              (static_cast<unsigned __int128>(rng()) * ops.size()) >> 64);
+              (static_cast<uint128>(rng()) * ops.size()) >> 64);
           frame.apply_fault(ops[op], gate, shot);
           ++out[shot].faults[kind];
         }

@@ -256,6 +256,17 @@ circuit::Circuit synthesize_prep(const qec::StateContext& state,
       options.report->sat_search_exhausted = true;
       options.report->heuristic_fallback = true;
     }
+    if (options.proof_sink != nullptr) {
+      options.proof_sink->record_absent(
+          options.proof_label, "CNOT-minimal preparation circuit",
+          "SAT-optimal search exhausted; the returned circuit is heuristic "
+          "and its optimality is unproven");
+    }
+  } else if (options.proof_sink != nullptr) {
+    options.proof_sink->record_absent(
+        options.proof_label, "heuristic preparation circuit",
+        "heuristic synthesis proves no optimality; request Method::Optimal "
+        "for a checked refutation");
   }
 
   const BitMatrix& gens = state.stabilizer_generators(qec::PauliType::X);
@@ -444,6 +455,36 @@ namespace {
 using sat::CnfBuilder;
 using sat::Lit;
 
+/// Records the proof outcome of a gate-count sweep that found a circuit
+/// with `found_gates` CNOTs. The sweep visits every count from the
+/// structural lower bound upward, so the chronologically last UNSAT leg
+/// sits at `found_gates - 1` — the refutation anchoring minimality.
+void record_prep_outcome(ProofSink& sink, const std::string& stage,
+                         std::size_t found_gates, bool saw_unsat,
+                         const std::optional<sat::UnsatProof>& last_unsat,
+                         std::size_t last_unsat_gates) {
+  if (!saw_unsat) {
+    sink.record_absent(
+        stage,
+        std::to_string(found_gates) +
+            " CNOTs is the minimal preparation gate count",
+        "optimal gate count equals the structural lower bound; the sweep "
+        "had no UNSAT leg");
+    return;
+  }
+  const std::string claim = "no preparation circuit with exactly " +
+                            std::to_string(last_unsat_gates) +
+                            " CNOTs exists";
+  if (last_unsat.has_value()) {
+    sink.record(
+        make_checked_proof(stage, claim, last_unsat_gates, *last_unsat));
+  } else {
+    sink.record_absent(stage, claim,
+                       "cube-split portfolio solving keeps no "
+                       "single-solver proof log");
+  }
+}
+
 /// Incremental reverse-synthesis search: one solver holds up to
 /// `max_cnots` optional op slots, grown lazily as the gate-count sweep
 /// advances. Slot k is governed by an activation literal act[k]
@@ -461,6 +502,10 @@ class IncrementalPrepSearch {
         constrained_(qec::coupling_constrained(map_)) {
     solver_ = sat::make_engine_solver(options.engine,
                                       options.sat_conflict_budget);
+    if (options.proof_sink != nullptr) {
+      // On before any clause lands, so the logged premise is verbatim.
+      solver_->set_proof_logging(true);
+    }
     cnf_ = std::make_unique<CnfBuilder>(*solver_);
     m_.emplace_back(r_, std::vector<Lit>(n_));
     for (std::size_t i = 0; i < r_; ++i) {
@@ -669,11 +714,18 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
     return std::nullopt;  // No legal CNOT exists at all.
   }
 
+  std::optional<sat::UnsatProof> last_unsat;
+  std::size_t last_unsat_gates = 0;
+  bool saw_unsat = false;
   for (std::size_t num_gates = lower_bound; num_gates <= options.max_cnots;
        ++num_gates) {
     auto solver_ptr = sat::make_engine_solver(options.engine,
                                               options.sat_conflict_budget);
     sat::SolverBase& solver = *solver_ptr;
+    if (options.proof_sink != nullptr) {
+      // On before any clause lands, so the logged premise is verbatim.
+      solver.set_proof_logging(true);
+    }
     CnfBuilder cnf(solver);
 
     // The search runs the circuit in reverse: apply column additions
@@ -782,7 +834,17 @@ std::optional<circuit::Circuit> optimal_prep_fresh(
     // SolveInterrupted (budget exhausted) propagates to the caller, which
     // must distinguish "gave up" from "proven infeasible" for the cache.
     if (!solver.solve()) {
+      if (options.proof_sink != nullptr) {
+        saw_unsat = true;
+        last_unsat = solver.last_unsat_proof();
+        last_unsat_gates = num_gates;
+      }
       continue;
+    }
+    if (options.proof_sink != nullptr) {
+      record_prep_outcome(*options.proof_sink, options.proof_label,
+                          num_gates, saw_unsat, last_unsat,
+                          last_unsat_gates);
     }
 
     // Decode: the reverse op sequence (c,t) per slot; the forward circuit
@@ -849,6 +911,12 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
   if (options.engine.use_cache) {
     key = prep_cache_key(gens, options);
     if (const auto hit = SynthCache::instance().lookup(key)) {
+      if (options.proof_sink != nullptr) {
+        options.proof_sink->record_absent(
+            options.proof_label, "CNOT-minimal preparation circuit",
+            "served from the synthesis cache; the refutations ran in the "
+            "compile that populated it");
+      }
       if (*hit == kCacheInfeasible) {
         return std::nullopt;
       }
@@ -872,6 +940,14 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
         count_subspaces(gens.cols(), f2::rank(gens), 400000);
     if (space <= 400000) {
       if (auto bfs = optimal_prep_bfs(state, options.coupling.get())) {
+        if (options.proof_sink != nullptr) {
+          options.proof_sink->record_absent(
+              options.proof_label,
+              std::to_string(bfs->cnot_count()) +
+                  " CNOTs is the minimal preparation gate count",
+              "exact breadth-first search over the subspace graph; no SAT "
+              "query involved");
+        }
         return finish(std::move(bfs));
       }
     }
@@ -893,6 +969,13 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
   if (lower_bound == 0) {
     // The generator matrix is already a product state: |+> on its
     // nonzero columns, no CNOTs.
+    if (options.proof_sink != nullptr) {
+      options.proof_sink->record_absent(
+          options.proof_label,
+          "0 CNOTs is the minimal preparation gate count",
+          "the generator matrix is already a product state; no SAT query "
+          "involved");
+    }
     circuit::Circuit prep(n);
     for (std::size_t q = 0; q < n; ++q) {
       if (start.column(q).any()) {
@@ -908,16 +991,28 @@ std::optional<circuit::Circuit> synthesize_prep_optimal(
     IncrementalPrepSearch search(start, n, options);
     std::optional<circuit::Circuit> result;
     std::size_t found_gates = 0;
+    std::optional<sat::UnsatProof> last_unsat;
+    std::size_t last_unsat_gates = 0;
+    bool saw_unsat = false;
     try {
       for (std::size_t gates = lower_bound;
            gates <= options.max_cnots && !result.has_value(); ++gates) {
         if (search.solve_for(gates)) {
           result = search.decode(gates);
           found_gates = gates;
+        } else if (options.proof_sink != nullptr) {
+          saw_unsat = true;
+          last_unsat = search.solver().last_unsat_proof();
+          last_unsat_gates = gates;
         }
       }
     } catch (const sat::SolverBase::SolveInterrupted&) {
       return std::nullopt;  // Budget exhausted: fall back, do not cache.
+    }
+    if (options.proof_sink != nullptr && result.has_value()) {
+      record_prep_outcome(*options.proof_sink, options.proof_label,
+                          found_gates, saw_unsat, last_unsat,
+                          last_unsat_gates);
     }
     if (options.engine.use_cache && result.has_value()) {
       SynthCache::instance().dump_cnf(key, search.solver(),

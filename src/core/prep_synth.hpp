@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "circuit/circuit.hpp"
+#include "core/proof_capture.hpp"
 #include "qec/coupling.hpp"
 #include "qec/state_context.hpp"
 #include "sat/parallel_solver.hpp"
@@ -69,6 +70,15 @@ struct PrepSynthOptions {
 
   /// Optional provenance sink (see `PrepSynthReport`).
   PrepSynthReport* report = nullptr;
+
+  /// Optional proof sink; same contract as
+  /// `VerificationSynthOptions::proof_sink`. The SAT-optimal gate-count
+  /// sweep records a checked DRAT refutation of its final UNSAT leg;
+  /// the heuristic, BFS, cache-hit and trivial-lower-bound paths record
+  /// honest absent entries.
+  ProofSink* proof_sink = nullptr;
+  /// Stage tag of recorded proofs.
+  std::string proof_label = "prep";
 };
 
 /// Synthesizes a unitary (generally non-fault-tolerant) preparation circuit

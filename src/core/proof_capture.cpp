@@ -1,0 +1,93 @@
+#include "core/proof_capture.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sat/dimacs.hpp"
+#include "sat/drat_check.hpp"
+#include "util/binio.hpp"
+
+namespace ftsp::core {
+
+void ProofSink::record_absent(std::string stage, std::string claim,
+                              std::string reason) {
+  CapturedProof entry;
+  entry.stage = std::move(stage);
+  entry.claim = std::move(claim);
+  entry.absent_reason = std::move(reason);
+  proofs.push_back(std::move(entry));
+}
+
+CapturedProof make_checked_proof(std::string stage, std::string claim,
+                                 std::size_t bound,
+                                 const sat::UnsatProof& proof) {
+  CapturedProof entry;
+  entry.stage = std::move(stage);
+  entry.claim = std::move(claim);
+  entry.bound = static_cast<std::uint32_t>(bound);
+  entry.present = true;
+
+  // Bake the assumptions in as unit clauses: the persisted premise is
+  // self-contained, and an audit re-check runs with an empty assumption
+  // set against byte-identical inputs.
+  sat::CnfFormula formula;
+  formula.clauses = proof.premise;
+  for (const sat::Lit a : proof.assumptions) {
+    formula.clauses.push_back({a});
+  }
+  for (const auto& clause : formula.clauses) {
+    for (const sat::Lit l : clause) {
+      formula.num_vars = std::max(formula.num_vars, l.var() + 1);
+    }
+  }
+  entry.premise_dimacs = sat::to_dimacs(formula);
+  entry.drat = proof.drat;
+  entry.checked = sat::check_proof(proof).ok;
+  entry.premise_size = entry.premise_dimacs.size();
+  entry.premise_crc = util::crc32(entry.premise_dimacs);
+  entry.drat_size = entry.drat.size();
+  entry.drat_crc = util::crc32(entry.drat);
+  return entry;
+}
+
+void record_sweep_outcome(ProofSink& sink, const std::string& stage,
+                          const std::string& what, std::size_t u,
+                          bool feasible, bool saw_unsat,
+                          const std::optional<sat::UnsatProof>& last_unsat,
+                          std::size_t last_unsat_bound) {
+  if (!feasible) {
+    // The unbounded leg: u measurements cannot work at any total weight,
+    // anchoring the minimality of every larger feasible u.
+    const std::string claim =
+        "no " + std::to_string(u) + " " + what + " suffice at any total weight";
+    if (last_unsat.has_value()) {
+      sink.record(make_checked_proof(stage, claim, u, *last_unsat));
+    } else {
+      sink.record_absent(stage, claim,
+                         "cube-split portfolio solving keeps no "
+                         "single-solver proof log");
+    }
+    return;
+  }
+  if (!saw_unsat) {
+    sink.record_absent(
+        stage,
+        std::to_string(u) + " " + what + " at the minimal total weight",
+        "optimal weight equals the structural lower bound; the sweep had "
+        "no UNSAT leg");
+    return;
+  }
+  const std::string claim = "no " + std::to_string(u) + " " + what +
+                            " of total weight <= " +
+                            std::to_string(last_unsat_bound) + " suffice";
+  if (last_unsat.has_value()) {
+    sink.record(make_checked_proof(stage, claim, last_unsat_bound,
+                                   *last_unsat));
+  } else {
+    sink.record_absent(stage, claim,
+                       "cube-split portfolio solving keeps no "
+                       "single-solver proof log");
+  }
+}
+
+}  // namespace ftsp::core

@@ -185,7 +185,8 @@ template <typename SkipFn>
 void build_branches(const StateContext& state, CompiledLayer& layer,
                     const std::vector<FaultEvent>& events,
                     std::size_t segment_index, const SynthesisOptions& options,
-                    const qec::CouplingMap* map, SkipFn&& skip) {
+                    const qec::CouplingMap* map,
+                    const std::string& label_prefix, SkipFn&& skip) {
   std::map<BitVec, std::vector<const FaultEvent*>, f2::BitVecLexLess> classes;
   for (const FaultEvent& e : events) {
     if (skip(e)) {
@@ -207,8 +208,12 @@ void build_branches(const StateContext& state, CompiledLayer& layer,
     for (const FaultEvent* e : members) {
       errors.push_back(e->data_error.part(corrected));
     }
-    auto plan = synthesize_correction(state, corrected, errors,
-                                      options.correction);
+    CorrectionSynthOptions corr_options = options.correction;
+    if (corr_options.proof_sink != nullptr) {
+      // One proof stage per correction class, keyed by its outcome vector.
+      corr_options.proof_label = label_prefix + "." + key.to_string();
+    }
+    auto plan = synthesize_correction(state, corrected, errors, corr_options);
     if (!plan.has_value()) {
       throw std::runtime_error(
           "synthesize_protocol: correction synthesis failed for class " +
@@ -307,6 +312,20 @@ Protocol synthesize_protocol(const qec::CssCode& code,
   // reach closure; see resolve_coupling), not the raw data map.
   const qec::CouplingMap* map = options.verification.coupling.get();
 
+  // Proof-carrying synthesis: one shared sink, per-stage labels set just
+  // before each sub-stage call (on this local options copy only).
+  ProofSink* const sink = options.proof_sink;
+  if (sink != nullptr) {
+    options.prep.proof_sink = sink;
+    options.prep.proof_label = "prep";
+    options.verification.proof_sink = sink;
+    options.correction.proof_sink = sink;
+  }
+
+  if (sink != nullptr && overrides.prep.has_value()) {
+    sink->record_absent("prep", "CNOT-minimal preparation circuit",
+                        "caller-supplied override; optimality unproven");
+  }
   protocol.prep = overrides.prep.has_value()
                       ? *overrides.prep
                       : synthesize_prep(state, options.prep);
@@ -338,8 +357,13 @@ Protocol synthesize_protocol(const qec::CssCode& code,
   if (!dangerous1.empty()) {
     VerificationSet v1;
     if (overrides.layer1_verification.has_value()) {
+      if (sink != nullptr) {
+        sink->record_absent("verif.L1", "optimal verification set",
+                            "caller-supplied override; optimality unproven");
+      }
       v1 = *overrides.layer1_verification;
     } else {
+      options.verification.proof_label = "verif.L1";
       auto synthesized = synthesize_verification(
           state.detector_generators(t1), dangerous1, options.verification);
       if (!synthesized.has_value()) {
@@ -354,7 +378,7 @@ Protocol synthesize_protocol(const qec::CssCode& code,
     segments.push_back(&protocol.layer1->verif);
     events_through_l1 = enumerate_single_fault_events(n, segments);
     build_branches(state, *protocol.layer1, events_through_l1,
-                   /*segment_index=*/1, options, map,
+                   /*segment_index=*/1, options, map, "corr.L1",
                    [](const FaultEvent&) { return false; });
   }
 
@@ -381,8 +405,13 @@ Protocol synthesize_protocol(const qec::CssCode& code,
   if (!dangerous2.empty()) {
     VerificationSet v2;
     if (overrides.layer2_verification.has_value()) {
+      if (sink != nullptr) {
+        sink->record_absent("verif.L2", "optimal verification set",
+                            "caller-supplied override; optimality unproven");
+      }
       v2 = *overrides.layer2_verification;
     } else {
+      options.verification.proof_label = "verif.L2";
       auto synthesized = synthesize_verification(
           state.detector_generators(t2), dangerous2, options.verification);
       if (!synthesized.has_value()) {
@@ -398,7 +427,7 @@ Protocol synthesize_protocol(const qec::CssCode& code,
     const auto events_through_l2 = enumerate_single_fault_events(n, segments);
     build_branches(state, *protocol.layer2, events_through_l2,
                    /*segment_index=*/segments.size() - 1, options, map,
-                   hook_terminated);
+                   "corr.L2", hook_terminated);
   }
 
   return protocol;

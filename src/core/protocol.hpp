@@ -90,6 +90,19 @@ struct SynthesisOptions {
   /// selection, gadget CNOT ordering). The default spec is all-to-all —
   /// fully unconstrained, bit-identical to pre-coupling behavior.
   qec::CouplingSpec coupling;
+
+  /// Proof-carrying synthesis: when `proof_sink` is set,
+  /// `synthesize_protocol` threads it (with per-stage labels "prep",
+  /// "verif.L1", "verif.L2", "corr.L1.<outcome>", "corr.L2.<outcome>")
+  /// into every SAT sub-stage, which then runs with DRAT logging on and
+  /// records a checked refutation of each optimality-anchoring UNSAT leg
+  /// (honest absent entries where no proof exists). Does not change
+  /// synthesized circuits, solver statistics, or cache keys.
+  /// `capture_proofs` is consumed by `ProtocolCompiler::compile`, which
+  /// attaches an internal sink (persisted into the artifact) when the
+  /// caller did not provide one.
+  bool capture_proofs = false;
+  ProofSink* proof_sink = nullptr;
 };
 
 /// Resolves `options.coupling` for an n-qubit code into the three

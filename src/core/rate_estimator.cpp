@@ -26,7 +26,7 @@ constexpr std::size_t kMaxSectors = 128;
 /// op-choice draw; the O(n / 2^64) bias is far below sampling noise).
 std::uint64_t bounded_draw(std::mt19937_64& rng, std::uint64_t n) {
   return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(rng()) * n) >> 64);
+      (static_cast<detail::uint128>(rng()) * n) >> 64);
 }
 
 /// The canonical global fault-site numbering: every site of every

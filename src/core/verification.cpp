@@ -42,6 +42,10 @@ struct QueryContext {
                const VerificationSynthOptions& options, bool with_ladder)
       : u(num_stabilizers) {
     solver = sat::make_engine_solver(options.engine, options.conflict_budget);
+    if (options.proof_sink != nullptr) {
+      // On before any clause lands, so the logged premise is verbatim.
+      solver->set_proof_logging(true);
+    }
     cnf = std::make_unique<CnfBuilder>(*solver);
     selection =
         std::make_unique<StabilizerSelection>(*cnf, generators, u);
@@ -88,7 +92,8 @@ struct QueryContext {
 /// as the `engine.incremental = false` baseline.
 std::optional<VerificationSet> query_fresh(
     const BitMatrix& generators, const std::vector<BitVec>& errors,
-    std::size_t u, std::size_t v, const VerificationSynthOptions& options) {
+    std::size_t u, std::size_t v, const VerificationSynthOptions& options,
+    std::optional<sat::UnsatProof>* proof_out = nullptr) {
   QueryContext ctx(generators, errors, u, options, /*with_ladder=*/false);
   ctx.selection->bound_total_weight(v);
   const sat::SolverStats before = ctx.solver->stats();
@@ -98,6 +103,9 @@ std::optional<VerificationSet> query_fresh(
         {v, sat, ctx.solver->stats() - before});
   }
   if (!sat) {
+    if (proof_out != nullptr) {
+      *proof_out = ctx.solver->last_unsat_proof();
+    }
     return std::nullopt;
   }
   return ctx.extract_set();
@@ -123,9 +131,16 @@ std::optional<Optimum> find_optimum(const BitMatrix& generators,
   const auto weight_of = [](const VerificationSet& set) {
     return set.total_weight();
   };
+  ProofSink* const sink = options.proof_sink;
   for (std::size_t u = 1; u <= options.max_measurements; ++u) {
     std::unique_ptr<QueryContext> ctx;
     std::optional<VerificationSet> best;
+    // Proof capture: the binary-search invariant makes the
+    // chronologically last UNSAT leg the one at v* - 1 (see
+    // record_sweep_outcome), so stashing the latest refutation suffices.
+    std::optional<sat::UnsatProof> last_unsat;
+    std::size_t last_unsat_bound = 0;
+    bool saw_unsat = false;
     if (options.engine.incremental) {
       ctx = std::make_unique<QueryContext>(generators, errors, u, options,
                                            /*with_ladder=*/true);
@@ -133,6 +148,11 @@ std::optional<Optimum> find_optimum(const BitMatrix& generators,
           /*lo=*/u, /*vmax=*/u * n,  // Each stabilizer has weight >= 1.
           [&](std::size_t v) -> std::optional<VerificationSet> {
             if (!ctx->solve_with_bound(v, options)) {
+              if (sink != nullptr) {
+                saw_unsat = true;
+                last_unsat = ctx->solver->last_unsat_proof();
+                last_unsat_bound = v;
+              }
               return std::nullopt;
             }
             return ctx->extract_set();
@@ -143,9 +163,21 @@ std::optional<Optimum> find_optimum(const BitMatrix& generators,
       best = sweep_min_weight(
           u, u * n,
           [&](std::size_t v) {
-            return query_fresh(generators, errors, u, v, options);
+            auto result =
+                query_fresh(generators, errors, u, v, options,
+                            sink != nullptr ? &last_unsat : nullptr);
+            if (sink != nullptr && !result.has_value()) {
+              saw_unsat = true;
+              last_unsat_bound = v;
+            }
+            return result;
           },
           weight_of);
+    }
+    if (sink != nullptr) {
+      record_sweep_outcome(*sink, options.proof_label,
+                           "verification measurements", u, best.has_value(),
+                           saw_unsat, last_unsat, last_unsat_bound);
     }
     if (!best.has_value()) {
       continue;
@@ -204,6 +236,11 @@ std::optional<VerificationSet> synthesize_verification(
     const std::vector<BitVec>& dangerous_errors,
     const VerificationSynthOptions& options) {
   if (dangerous_errors.empty()) {
+    if (options.proof_sink != nullptr) {
+      options.proof_sink->record_absent(
+          options.proof_label, "empty verification set is optimal",
+          "no dangerous errors: nothing to verify, no SAT query involved");
+    }
     return VerificationSet{};
   }
 
@@ -212,6 +249,12 @@ std::optional<VerificationSet> synthesize_verification(
     key = verification_cache_key(candidate_generators, dangerous_errors,
                                  options);
     if (const auto hit = SynthCache::instance().lookup(key)) {
+      if (options.proof_sink != nullptr) {
+        options.proof_sink->record_absent(
+            options.proof_label, "optimal verification set",
+            "served from the synthesis cache; the refutations ran in the "
+            "compile that populated it");
+      }
       if (*hit == kCacheInfeasible) {
         return std::nullopt;
       }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/proof_capture.hpp"
 #include "f2/bit_matrix.hpp"
 #include "f2/bit_vec.hpp"
 #include "qec/coupling.hpp"
@@ -39,6 +40,14 @@ struct VerificationSynthOptions {
   /// the realizability condition for an ancilla that walks along
   /// coupled data sites (see `qec::CouplingMap`).
   std::shared_ptr<const qec::CouplingMap> coupling;
+  /// Optional proof sink: when set, the solvers run with DRAT logging on
+  /// and every optimality-anchoring UNSAT leg of the (u, v) sweep lands
+  /// in the sink as a checked `CapturedProof` (stages that produce no
+  /// refutation record an honest absent entry). Does not change models,
+  /// solver statistics, or cache keys.
+  ProofSink* proof_sink = nullptr;
+  /// Stage tag of recorded proofs (e.g. "verif.L1").
+  std::string proof_label = "verif";
 };
 
 /// Synthesizes a verification measurement set that detects every error in

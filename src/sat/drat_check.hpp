@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace ftsp::sat {
+
+struct UnsatProof;
+
+/// Verdict of a forward DRAT check. `ok` means the proof derives the
+/// empty clause (equivalently: unit propagation over premise + accepted
+/// lemmas conflicts) with every addition line verified as RUP or RAT and
+/// every deletion line resolved. `error` pinpoints the first failure.
+struct DratCheckResult {
+  bool ok = false;
+  std::size_t lemmas_checked = 0;    // Addition lines verified.
+  std::size_t rat_lemmas = 0;        // Of those, verified via RAT fallback.
+  std::size_t deletions_applied = 0;
+  std::size_t deletions_skipped = 0;  // Deletions of active reason clauses.
+  std::string error;                  // Empty iff ok.
+};
+
+/// Statically checks a DRAT refutation of `premise` (a clause list in
+/// solver literal encoding) under `assumptions` (each treated as an extra
+/// premise unit clause). Forward checking only — streaming over the proof
+/// text with watched-literal unit propagation, no solver in the loop.
+///
+/// Additions are verified RUP-first (assert the clause's negation, unit
+/// propagate, expect a conflict) with a RAT fallback on the first literal;
+/// the CDCL solver's learnt clauses are always RUP, so the fallback exists
+/// for generality. Deletions are matched by literal multiset; deleting a
+/// clause that currently props a root-level assignment is skipped (the
+/// drat-trim convention), and deleting an unknown clause is an error.
+/// Checking stops successfully as soon as the empty clause is derived;
+/// later lines are not read.
+DratCheckResult check_drat(const std::vector<std::vector<Lit>>& premise,
+                           std::span<const Lit> assumptions,
+                           std::string_view drat);
+
+inline DratCheckResult check_drat(
+    const std::vector<std::vector<Lit>>& premise, std::string_view drat) {
+  return check_drat(premise, std::span<const Lit>{}, drat);
+}
+
+/// Convenience: checks a solver-emitted proof snapshot against its own
+/// recorded premise and assumptions.
+DratCheckResult check_proof(const UnsatProof& proof);
+
+}  // namespace ftsp::sat

@@ -22,11 +22,35 @@ bool ParallelSolver::add_clause(std::span<const Lit> lits) {
     return false;
   }
   if (lits.empty()) {
+    if (proof_logging_) {
+      // The caller added the empty clause itself: the refutation is the
+      // premise (which contains it) plus the trivial final step.
+      UnsatProof proof;
+      proof.premise = clauses_;
+      proof.premise.emplace_back();
+      proof.drat = "0\n";
+      last_proof_ = std::move(proof);
+    }
     ok_ = false;
     return false;
   }
   clauses_.emplace_back(lits.begin(), lits.end());
   return true;
+}
+
+void ParallelSolver::set_proof_logging(bool enable) {
+  if (enable == proof_logging_) {
+    return;
+  }
+  proof_logging_ = enable;
+  last_proof_.reset();
+  // Live workers recorded their premise (or none) under the old setting;
+  // taint them so the next sync replays every clause with the new one.
+  for (auto& w : workers_) {
+    if (w) {
+      w->tainted = true;
+    }
+  }
 }
 
 SolverConfig ParallelSolver::config_for(std::size_t index) const {
@@ -56,6 +80,8 @@ void ParallelSolver::sync_worker(std::size_t index) {
     }
     w.solver = std::make_unique<Solver>(config_for(index));
     w.solver->set_interrupt_flag(&w.interrupt);
+    // Before the clause replay below, so the premise is verbatim.
+    w.solver->set_proof_logging(proof_logging_);
     w.clauses_loaded = 0;
     w.tainted = false;
   }
@@ -91,7 +117,12 @@ std::vector<Var> ParallelSolver::pick_cube_vars(std::size_t count) const {
 bool ParallelSolver::solve(std::span<const Lit> assumptions) {
   model_.clear();
   if (!ok_) {
+    // A refutation of the formula alone (captured when ok_ dropped) also
+    // refutes it under any assumptions, so last_proof_ stays valid.
     return false;
+  }
+  if (proof_logging_) {
+    last_proof_.reset();
   }
 
   // Build the per-problem assumption vectors: every portfolio member gets
@@ -137,8 +168,13 @@ bool ParallelSolver::solve(std::span<const Lit> assumptions) {
       for (Var v = 0; v < num_vars_; ++v) {
         model_[static_cast<std::size_t>(v)] = w.solver->model_value(v);
       }
-    } else if (assumptions.empty() && !cube_mode) {
-      ok_ = false;
+    } else {
+      if (proof_logging_ && !cube_mode) {
+        last_proof_ = w.solver->last_unsat_proof();
+      }
+      if (assumptions.empty() && !cube_mode) {
+        ok_ = false;
+      }
     }
     return sat;
   }
@@ -261,8 +297,13 @@ bool ParallelSolver::solve(std::span<const Lit> assumptions) {
         for (Var v = 0; v < num_vars_; ++v) {
           model_[static_cast<std::size_t>(v)] = s.model_value(v);
         }
-      } else if (assumptions.empty()) {
-        ok_ = false;
+      } else {
+        if (proof_logging_ && !cube_mode) {
+          last_proof_ = workers_[winner]->solver->last_unsat_proof();
+        }
+        if (assumptions.empty()) {
+          ok_ = false;
+        }
       }
       for (std::size_t i = 0; i < problems; ++i) {
         if (i != winner) {

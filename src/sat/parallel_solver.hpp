@@ -75,6 +75,18 @@ class ParallelSolver final : public SolverBase {
   void reset_stats() override;
   std::vector<std::vector<Lit>> problem_clauses() const override;
 
+  /// DRAT proof logging. In portfolio mode the winning worker's log is
+  /// the proof (UNSAT verdicts are configuration-independent, and the
+  /// deterministic referee makes the winner reproducible). Cube mode
+  /// splits the refutation across cubes, so no single proof exists and
+  /// `last_unsat_proof()` stays empty. Enabling taints live workers so
+  /// every premise is recorded from the first clause of the rebuild.
+  void set_proof_logging(bool enable) override;
+  bool proof_logging() const override { return proof_logging_; }
+  std::optional<UnsatProof> last_unsat_proof() const override {
+    return last_proof_;
+  }
+
   const ParallelSolverOptions& options() const { return opts_; }
 
   /// Index of the configuration (portfolio) or cube that produced the
@@ -105,6 +117,8 @@ class ParallelSolver final : public SolverBase {
   SolverStats retired_stats_;  // From discarded workers.
   std::uint64_t conflict_budget_ = 0;
   std::size_t last_winner_ = 0;
+  bool proof_logging_ = false;
+  std::optional<UnsatProof> last_proof_;
 };
 
 /// Knobs selecting and parameterizing the synthesis SAT engine. Embedded

@@ -63,6 +63,14 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     return false;
   }
   assert(decision_level() == 0);
+  if (proof_logging_) {
+    // The premise records clauses verbatim, before simplification: the
+    // stored (strengthened) form is a unit-propagation consequence of the
+    // original plus the level-0 units, so checking against the verbatim
+    // premise stays sound even when simplification drops an entire clause
+    // (e.g. one whose literals are all false at level 0).
+    proof_premise_.emplace_back(lits.begin(), lits.end());
+  }
 
   // Simplify: sort, deduplicate, drop false literals, detect tautology and
   // clauses already satisfied at level 0.
@@ -401,6 +409,9 @@ void Solver::reduce_db() {
       continue;
     }
     c->removed = true;
+    if (proof_logging_) {
+      proof_log_clause(c->lits, /*deletion=*/true);
+    }
     detach_clause(c);
     --to_remove;
     ++stats_.removed_clauses;
@@ -432,6 +443,12 @@ Solver::SearchStatus Solver::search(std::uint64_t conflicts_allowed,
       int backtrack_level = 0;
       int lbd = 0;
       analyze(conflict, learnt, backtrack_level, lbd);
+      if (proof_logging_) {
+        // First-UIP clauses (with recursive minimization) are reverse unit
+        // propagation consequences of the clause database at learn time,
+        // so each logged addition passes a RUP check.
+        proof_log_clause(learnt, /*deletion=*/false);
+      }
       cancel_until(backtrack_level);
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], nullptr);
@@ -497,7 +514,13 @@ bool Solver::solve(std::span<const Lit> assumptions) {
 LBool Solver::solve_limited(std::span<const Lit> assumptions,
                             std::uint64_t max_conflicts) {
   model_.clear();
+  if (proof_logging_) {
+    last_proof_.reset();
+  }
   if (!ok_) {
+    if (proof_logging_) {
+      proof_snapshot(assumptions);
+    }
     return LBool::False;
   }
   const std::uint64_t conflicts_at_start = stats_.conflicts;
@@ -532,8 +555,48 @@ LBool Solver::solve_limited(std::span<const Lit> assumptions,
       }
     }
     cancel_until(0);
+    if (!satisfiable && proof_logging_) {
+      proof_snapshot(assumptions);
+    }
     return satisfiable ? LBool::True : LBool::False;
   }
+}
+
+void Solver::set_proof_logging(bool enable) {
+  if (enable && !proof_logging_) {
+    // Clauses added before logging began are summarized by the current
+    // simplified database — a consequence of the originals, so a
+    // refutation of it refutes the original formula too.
+    proof_premise_ = problem_clauses();
+    proof_drat_.clear();
+    last_proof_.reset();
+  }
+  proof_logging_ = enable;
+}
+
+void Solver::proof_log_clause(std::span<const Lit> lits, bool deletion) {
+  if (deletion) {
+    proof_drat_ += "d ";
+  }
+  for (Lit l : lits) {
+    const int dimacs = l.sign() ? -(l.var() + 1) : (l.var() + 1);
+    proof_drat_ += std::to_string(dimacs);
+    proof_drat_ += ' ';
+  }
+  proof_drat_ += "0\n";
+}
+
+void Solver::proof_snapshot(std::span<const Lit> assumptions) {
+  UnsatProof proof;
+  proof.premise = proof_premise_;
+  proof.assumptions.assign(assumptions.begin(), assumptions.end());
+  proof.drat = proof_drat_;
+  // The terminating empty clause goes into the snapshot only: for an
+  // assumption-based UNSAT it is a consequence of premise + assumptions,
+  // not of the formula alone, so it must not pollute the persistent log
+  // that later queries keep extending.
+  proof.drat += "0\n";
+  last_proof_ = std::move(proof);
 }
 
 std::vector<std::vector<Lit>> Solver::problem_clauses() const {

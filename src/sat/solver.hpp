@@ -99,6 +99,14 @@ class Solver final : public SolverBase {
 
   std::vector<std::vector<Lit>> problem_clauses() const override;
 
+  /// DRAT proof logging (see `SolverBase`). Logging is pure observation:
+  /// search paths, models, and statistics are bit-identical either way.
+  void set_proof_logging(bool enable) override;
+  bool proof_logging() const override { return proof_logging_; }
+  std::optional<UnsatProof> last_unsat_proof() const override {
+    return last_proof_;
+  }
+
   const SolverConfig& config() const { return config_; }
 
  private:
@@ -149,6 +157,12 @@ class Solver final : public SolverBase {
   const std::atomic<bool>* interrupt_flag_ = nullptr;
   std::uint64_t rng_state_;
 
+  // --- DRAT proof logging -------------------------------------------------
+  bool proof_logging_ = false;
+  std::vector<std::vector<Lit>> proof_premise_;  // Clauses as added.
+  std::string proof_drat_;  // Additions/deletions since logging began.
+  std::optional<UnsatProof> last_proof_;
+
   // --- Internals ----------------------------------------------------------
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   LBool value(Var v) const { return assigns_[v]; }
@@ -177,6 +191,8 @@ class Solver final : public SolverBase {
   void rescale_var_activity();
   void reduce_db();
   int compute_lbd(std::span<const Lit> lits);
+  void proof_log_clause(std::span<const Lit> lits, bool deletion);
+  void proof_snapshot(std::span<const Lit> assumptions);
 
   // Heap operations.
   void heap_insert(Var v);

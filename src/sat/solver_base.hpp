@@ -2,12 +2,34 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sat/types.hpp"
 
 namespace ftsp::sat {
+
+/// A DRAT refutation snapshot, taken at the moment a `solve()` call
+/// concluded UNSAT while proof logging was enabled.
+///
+/// `premise` is the formula the refutation is stated against: every
+/// clause handed to `add_clause` while logging was on, verbatim (clauses
+/// added before logging was enabled are represented by the solver's
+/// simplified database at enable time, which is a consequence of them).
+/// `assumptions` are the assumption literals of the refuted query; each
+/// acts as an additional premise unit clause, so the checked statement is
+/// "premise AND assumptions is unsatisfiable" — exactly the claim an
+/// assumption-based bound sweep makes. `drat` is the proof text, one
+/// clause per line in DIMACS numbering (var + 1, negative = negated):
+/// additions as "l1 .. lk 0", deletions as "d l1 .. lk 0", terminated by
+/// the empty clause "0".
+struct UnsatProof {
+  std::vector<std::vector<Lit>> premise;
+  std::vector<Lit> assumptions;
+  std::string drat;
+};
 
 /// Cumulative search statistics. Counters only ever increase between
 /// `reset_stats()` calls; per-sweep deltas are obtained by subtraction.
@@ -101,6 +123,22 @@ class SolverBase {
   /// Snapshot of the problem clauses (including level-0 units), suitable
   /// for DIMACS export. Learned clauses are excluded.
   virtual std::vector<std::vector<Lit>> problem_clauses() const = 0;
+
+  /// Enables DRAT proof logging. Off by default; when off the solver is
+  /// bit-identical to a solver without the feature. Enable before adding
+  /// clauses for a verbatim premise (enabling later summarizes earlier
+  /// clauses by the current simplified database). Backends that cannot
+  /// produce proofs ignore the request.
+  virtual void set_proof_logging(bool enable) { (void)enable; }
+  virtual bool proof_logging() const { return false; }
+
+  /// The refutation of the most recent `solve()` that returned false,
+  /// or nullopt when logging is off, no UNSAT verdict has been produced
+  /// since logging was enabled, or the backend cannot attribute a single
+  /// refutation (cube-and-conquer mode).
+  virtual std::optional<UnsatProof> last_unsat_proof() const {
+    return std::nullopt;
+  }
 
   struct SolveInterrupted {};
 };
