@@ -51,10 +51,19 @@
 //       stored optimality proof against its fingerprinted premise.
 //       Exits nonzero if any artifact fails.
 //   ftsp_cli serve   --store DIR [--threads N] [--socket PATH]
+//                    [--tcp HOST:PORT] [--reload] [--cache-mb N]
+//                    [--max-connections N] [--idle-timeout-ms N]
 //       Loads every artifact and answers newline-delimited JSON requests
-//       on stdin (or on a unix socket file) with zero SAT work.
+//       on stdin, a unix socket file, or a multi-client TCP endpoint —
+//       zero SAT work. The TCP tier adds hot store reload (--reload
+//       watches index.tsv and swaps atomically; the `reload` op forces
+//       a swap), cross-request coalescing, and an LRU response cache
+//       (--cache-mb). See src/serve/protocol.md for the wire protocol.
 //   ftsp_cli query   --store DIR <json|->
 //       One-shot request against the store (reads stdin when "-").
+//       Failures print the same machine-readable error envelope the
+//       servers emit (exit 1 on store errors, 0 for answered requests
+//       including request-level errors, 2 on usage errors).
 //
 // <code> is a library name (e.g. Steane) or a path to a CSS code file in
 // the code_io format; @FILE loads a previously saved protocol.
@@ -93,6 +102,10 @@
 #include "sat/dimacs.hpp"
 #include "sat/drat_check.hpp"
 #include "sat/parallel_solver.hpp"
+#include "serve/cache.hpp"
+#include "serve/reload.hpp"
+#include "serve/tcp_server.hpp"
+#include "serve/wire.hpp"
 #include "util/binio.hpp"
 
 namespace {
@@ -230,7 +243,9 @@ int usage() {
                "[--max-cache-age-days N],\n"
                "       ftsp_cli audit [--store DIR | --artifact FILE],\n"
                "       ftsp_cli serve --store DIR [--threads N] "
-               "[--socket PATH],\n"
+               "[--socket PATH] [--tcp HOST:PORT] [--reload] "
+               "[--cache-mb N] [--max-connections N] "
+               "[--idle-timeout-ms N],\n"
                "       ftsp_cli query --store DIR [--coupling NAME] "
                "<json|->\n"
                "coupling maps: all, linear, ring, grid, heavy-hex, or a "
@@ -596,6 +611,11 @@ void require_store_exists(const std::string& dir) {
 int run_serve(const std::vector<std::string>& args) {
   std::string store_dir;
   std::string socket_path;
+  std::string tcp_spec;
+  bool reload = false;
+  std::size_t cache_mb = 0;
+  std::size_t max_connections = 256;
+  std::size_t idle_timeout_ms = 0;
   compile::ServeOptions serve_options;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--store") {
@@ -605,6 +625,20 @@ int run_serve(const std::vector<std::string>& args) {
           parse_size("--threads", flag_value(args, i));
     } else if (args[i] == "--socket") {
       socket_path = flag_value(args, i);
+    } else if (args[i] == "--tcp") {
+      tcp_spec = flag_value(args, i);
+    } else if (args[i] == "--reload") {
+      reload = true;
+    } else if (args[i] == "--cache-mb") {
+      cache_mb = parse_size("--cache-mb", flag_value(args, i));
+    } else if (args[i] == "--max-connections") {
+      max_connections = parse_size("--max-connections", flag_value(args, i));
+      if (max_connections == 0) {
+        throw UsageError("--max-connections must be at least 1");
+      }
+    } else if (args[i] == "--idle-timeout-ms") {
+      idle_timeout_ms =
+          parse_size("--idle-timeout-ms", flag_value(args, i));
     } else {
       throw UsageError("unknown argument '" + args[i] + "'");
     }
@@ -612,9 +646,64 @@ int run_serve(const std::vector<std::string>& args) {
   if (store_dir.empty()) {
     return usage();
   }
+  if (!tcp_spec.empty() && !socket_path.empty()) {
+    throw UsageError("--tcp and --socket are mutually exclusive");
+  }
   require_store_exists(store_dir);
+
+  if (!tcp_spec.empty()) {
+    const auto colon = tcp_spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= tcp_spec.size()) {
+      throw UsageError("--tcp wants HOST:PORT, got '" + tcp_spec + "'");
+    }
+    const std::size_t port = parse_size("--tcp", tcp_spec.substr(colon + 1));
+    if (port > 65535) {
+      throw UsageError("--tcp port out of range: " + tcp_spec);
+    }
+
+    // The TCP tier always serves through a ReloadableService: request
+    // counters, the store generation, and the (possibly zero-byte)
+    // payload cache live there, and the `reload` protocol op works even
+    // without the background watcher. --reload additionally starts the
+    // index.tsv poller for automatic swaps.
+    serve::ReloadableService::Options reload_options;
+    reload_options.cache_bytes = cache_mb << 20;
+    reload_options.num_threads = serve_options.num_threads;
+    serve::ReloadableService reloadable(store_dir, reload_options);
+    if (reload) {
+      reloadable.start_watcher();
+    }
+
+    serve::TcpServerOptions tcp_options;
+    tcp_options.host = tcp_spec.substr(0, colon);
+    tcp_options.port = static_cast<std::uint16_t>(port);
+    tcp_options.num_threads = serve_options.num_threads;
+    tcp_options.max_connections = max_connections;
+    tcp_options.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+    serve::TcpServer server([&] { return reloadable.service(); },
+                            tcp_options);
+    server.start();
+    std::fprintf(stderr,
+                 "serving %zu protocol(s) from %s on %s:%u (reload=%s, "
+                 "cache=%zuMB)\n",
+                 reloadable.service()->size(), store_dir.c_str(),
+                 tcp_options.host.c_str(), server.port(),
+                 reload ? "on" : "off", cache_mb);
+    server.wait();
+    return 0;
+  }
+
+  if (reload) {
+    throw UsageError("--reload needs --tcp (stdin/socket serving loads "
+                     "the store once)");
+  }
   const compile::ArtifactStore store(store_dir);
   compile::ProtocolService service;
+  if (cache_mb != 0) {
+    service.set_payload_cache(
+        std::make_shared<serve::PayloadCache>(cache_mb << 20));
+  }
   const std::size_t loaded = service.load_store(store);
   std::fprintf(stderr, "serving %zu protocol(s) from %s\n", loaded,
                store_dir.c_str());
@@ -705,12 +794,32 @@ int run_query(const std::vector<std::string>& args) {
       }
     }
   }
-  require_store_exists(store_dir);
-  const compile::ArtifactStore store(store_dir);
-  compile::ProtocolService service;
-  service.load_store(store);
-  std::printf("%s\n", service.handle_request(request).c_str());
-  return 0;
+  try {
+    require_store_exists(store_dir);
+    const compile::ArtifactStore store(store_dir);
+    compile::ProtocolService service;
+    service.load_store(store);
+    std::printf("%s\n", service.handle_request(request).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    // CLI-level failure (missing/unreadable store): same machine-
+    // readable envelope the servers emit, in the dialect the request
+    // asked for, plus the human line on stderr. Exit 1, matching the
+    // historical store-error exit code.
+    serve::Envelope envelope;
+    try {
+      serve::parse_envelope(compile::parse_json_object(request), envelope);
+    } catch (...) {
+      // Malformed request JSON alongside a store failure: report the
+      // store failure in the default (v1) dialect.
+    }
+    std::printf("%s\n",
+                serve::render_error(envelope, serve::error_code::kStoreError,
+                                    e.what())
+                    .c_str());
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
 
 }  // namespace

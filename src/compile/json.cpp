@@ -281,4 +281,10 @@ std::string JsonWriter::take() {
   return out;
 }
 
+std::string JsonWriter::take_body() {
+  std::string out = std::move(body_);
+  body_.clear();
+  return out;
+}
+
 }  // namespace ftsp::compile

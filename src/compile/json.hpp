@@ -42,6 +42,11 @@ class JsonWriter {
 
   std::string take();
 
+  /// The comma-joined field list WITHOUT the surrounding braces — the
+  /// "payload body" the versioned wire envelope splices after its own
+  /// prefix (see serve/wire.hpp). Resets the writer like `take`.
+  std::string take_body();
+
  private:
   void begin_field(const std::string& name);
   std::string body_;

@@ -1,14 +1,22 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "compile/artifact.hpp"
 #include "compile/store.hpp"
 #include "core/executor.hpp"
+
+namespace ftsp::serve {
+class PayloadCache;
+}  // namespace ftsp::serve
 
 namespace ftsp::compile {
 
@@ -18,7 +26,16 @@ namespace ftsp::compile {
 /// query after that is pure simulation/export with zero SAT work.
 ///
 /// `handle_request` is safe to call from many threads concurrently: all
-/// per-artifact state is immutable after load.
+/// per-artifact state is immutable after load; the mutable slices
+/// (request counters, the optional payload cache) are internally
+/// synchronized.
+///
+/// Requests are dispatched through a table of registered ops (op name
+/// -> handler + dispatch traits), so a new op registers in exactly one
+/// place — see `kOps` in service.cpp. The wire protocol is versioned:
+/// unversioned/v1 requests get byte-compatible v1 responses forever,
+/// `"v":2` requests get the structured v2 envelope (see
+/// src/serve/wire.hpp and src/serve/protocol.md).
 class ProtocolService {
  public:
   /// Serving name of a protocol: the code name, with "/plus" appended
@@ -32,14 +49,52 @@ class ProtocolService {
   /// side (e.g. "Steane" and "Steane@linear").
   static std::string serving_name(const ProtocolArtifact& artifact);
 
+  /// Mutable serving-tier state shared across hot-reload swaps: a
+  /// reloaded service is a *fresh* ProtocolService, but its runtime
+  /// (request counters, store generation, the reload hook) carries
+  /// over so `stats` survives the swap. Created lazily per service;
+  /// inject one via `set_runtime` to share it.
+  struct Runtime {
+    /// Monotonic store generation: 1 at first load, bumped by every
+    /// hot-reload swap. Reported by `health` and `stats`.
+    std::atomic<std::uint64_t> generation{1};
+    /// Per-op request counts (op name -> count), indexed in lockstep
+    /// with the op table. Unknown-op requests land in `rejected`.
+    std::map<std::string, std::atomic<std::uint64_t>> op_counts;
+    std::atomic<std::uint64_t> rejected{0};
+    /// Set by the serve tier (see serve::ReloadableService): performs a
+    /// synchronous store re-scan + swap and returns the new generation.
+    /// Null means the `reload` op is unsupported (batch/one-shot use).
+    /// Read and written under `hook_mutex` (the handler copies it out
+    /// before invoking).
+    std::function<std::uint64_t()> reload_hook;
+    std::mutex hook_mutex;
+
+    Runtime();  ///< Pre-populates op_counts from the op table.
+  };
+
+  ProtocolService();
+
   /// Loads the artifact for every key in the store. Returns the number
   /// of protocols now servable. Artifacts sharing a serving name (same
   /// code and basis compiled under different options) overwrite each
-  /// other — last key in store order wins.
+  /// other — last key in store order wins — and every overwritten key
+  /// is recorded in `shadowed_keys()` and warned about on stderr, so
+  /// an operator can see which artifacts a store is NOT serving.
   std::size_t load_store(const ArtifactStore& store);
 
-  /// Adds one artifact directly (tests, in-process pipelines).
+  /// Adds one artifact directly (tests, in-process pipelines). An
+  /// artifact displacing an already-loaded serving name records the
+  /// displaced artifact's key in `shadowed_keys()`.
   void add(ProtocolArtifact artifact);
+
+  /// Store keys that were loaded and then displaced by a later artifact
+  /// with the same serving name ("last key wins"). Also surfaced in the
+  /// `codes` response as `"shadowed":[...]` (only when non-empty, so
+  /// shadow-free v1 responses keep their historical bytes).
+  const std::vector<std::string>& shadowed_keys() const {
+    return shadowed_;
+  }
 
   std::vector<std::string> code_names() const;
   std::size_t size() const { return entries_.size(); }
@@ -51,16 +106,35 @@ class ProtocolService {
   ///   {"op":"rate","code":"Steane","p":0.001,"rel_err":0.05}
   ///   {"op":"rate","code":"Steane","p_min":1e-4,"p_max":1e-2,"p_points":7}
   ///   {"op":"circuit","code":"Steane","format":"qasm"}
+  ///   {"op":"health"}            loaded-artifact count + store generation
+  ///   {"op":"stats"}             per-op request counts + cache hit rates
+  ///   {"op":"reload"}            re-scan the store (serve tier only)
   /// "sample" is plain Monte Carlo over the batched sampler; "rate" is
   /// the stratified fault-sector estimator ("shots" caps its Monte-Carlo
   /// budget, "rel_err" its convergence target; the p_min/p_max/p_points
   /// form answers a whole log-spaced p-sweep from one sampling pass).
   /// "code" is a serving name (see `serving_name`). An "id" field, when
-  /// present, is echoed into the response verbatim. Integer parameters
-  /// are range-checked (shots capped at 2^22 per request, threads at
-  /// 256) — out-of-range values are rejected, not clamped. Never
-  /// throws: malformed requests produce {"ok":false,"error":...}.
+  /// present, is echoed into the response verbatim. A `"v":2` field
+  /// selects the structured v2 envelope; unversioned requests keep the
+  /// byte-compatible v1 dialect. Integer parameters are range-checked
+  /// (shots capped at 2^22 per request, threads at 256) — out-of-range
+  /// values are rejected, not clamped. Never throws: malformed requests
+  /// produce the error envelope of the request's wire version.
   std::string handle_request(const std::string& json_line) const;
+
+  /// Attaches a serving-side payload cache (LRU memoization +
+  /// cross-request single-flight coalescing) consulted by the compute
+  /// ops (`sample`, `rate`). Null detaches. The cache may be shared
+  /// across hot-reload swaps: its keys include the artifact store key,
+  /// so a recompiled artifact (new key) never serves stale bytes.
+  void set_payload_cache(std::shared_ptr<serve::PayloadCache> cache);
+  const std::shared_ptr<serve::PayloadCache>& payload_cache() const {
+    return cache_;
+  }
+
+  /// Injects a shared runtime (hot-reload swaps; see `Runtime`).
+  void set_runtime(std::shared_ptr<Runtime> runtime);
+  const std::shared_ptr<Runtime>& runtime() const { return runtime_; }
 
  private:
   /// Immutable per-protocol serving state; heap-allocated so executor /
@@ -76,9 +150,14 @@ class ProtocolService {
           executor(artifact.protocol) {}
   };
 
+  friend struct ServiceOps;  ///< Op handlers (service.cpp) reach entries.
+
   const Entry* find(const std::string& code_name) const;
 
   std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::vector<std::string> shadowed_;
+  std::shared_ptr<serve::PayloadCache> cache_;
+  std::shared_ptr<Runtime> runtime_;
 };
 
 struct ServeOptions {

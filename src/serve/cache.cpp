@@ -1,0 +1,88 @@
+#include "serve/cache.hpp"
+
+namespace ftsp::serve {
+
+PayloadCache::Outcome PayloadCache::get_or_compute(
+    const std::string& key, bool store,
+    const std::function<std::string()>& compute) {
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
+      ++hits_;
+      return {it->second->payload, /*cache_hit=*/true, /*coalesced=*/false};
+    }
+    if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+      flight = it->second;
+      ++coalesced_;
+    } else {
+      flight = std::make_shared<InFlight>();
+      flight->future = flight->promise.get_future().share();
+      in_flight_.emplace(key, flight);
+      leader = true;
+      ++misses_;
+    }
+  }
+
+  if (!leader) {
+    // Joined someone else's compute: the leader's result (or exception)
+    // is ours too. get() rethrows the leader's exception here, so a
+    // failed compute fails every coalesced request the same way.
+    return {flight->future.get(), /*cache_hit=*/false, /*coalesced=*/true};
+  }
+
+  std::string payload;
+  try {
+    payload = compute();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_.erase(key);
+    }
+    flight->promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(key);
+    if (store && capacity_bytes_ > 0) {
+      insert_locked(key, payload);
+    }
+  }
+  flight->promise.set_value(payload);
+  return {std::move(payload), /*cache_hit=*/false, /*coalesced=*/false};
+}
+
+void PayloadCache::insert_locked(const std::string& key,
+                                 const std::string& payload) {
+  const std::size_t cost = key.size() + payload.size();
+  if (cost > capacity_bytes_) {
+    return;  // A single oversized entry would evict everything for nothing.
+  }
+  lru_.push_front({key, payload});
+  entries_[key] = lru_.begin();
+  bytes_ += cost;
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const CacheEntry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.payload.size();
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+PayloadCache::Stats PayloadCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace ftsp::serve

@@ -1,0 +1,164 @@
+#include "serve/reload.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace ftsp::serve {
+
+namespace fs = std::filesystem;
+
+ReloadableService::ReloadableService(std::string store_dir,
+                                     const Options& options)
+    : store_dir_(std::move(store_dir)),
+      options_(options),
+      runtime_(std::make_shared<ProtocolRuntime>()),
+      cache_(std::make_shared<PayloadCache>(options.cache_bytes)) {
+  current_ = build();
+  fingerprint_ = index_fingerprint();
+  // The reload op routes back here. The hook captures `this`; the dtor
+  // clears it before tearing anything down so a request racing the
+  // shutdown sees "unsupported" instead of a dangling pointer.
+  std::lock_guard<std::mutex> lock(runtime_->hook_mutex);
+  runtime_->reload_hook = [this] { return force_reload(); };
+}
+
+ReloadableService::~ReloadableService() {
+  {
+    std::lock_guard<std::mutex> lock(runtime_->hook_mutex);
+    runtime_->reload_hook = nullptr;
+  }
+  stop_watcher();
+}
+
+std::shared_ptr<const compile::ProtocolService> ReloadableService::service()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::shared_ptr<const compile::ProtocolService> ReloadableService::build()
+    const {
+  // A fresh ArtifactStore handle re-reads index.tsv from disk — that is
+  // the whole reload mechanism; artifact payload files are immutable
+  // (content-keyed), only the index gains/loses/repoints entries.
+  compile::ArtifactStore store(store_dir_);
+  auto service = std::make_shared<compile::ProtocolService>();
+  service->set_runtime(runtime_);
+  service->set_payload_cache(cache_);
+  service->load_store(store);
+  return service;
+}
+
+std::string ReloadableService::index_fingerprint() const {
+  // Size + mtime + full content: index.tsv is a few lines per artifact,
+  // so hashing all of it each poll is cheaper than being clever, and
+  // content inclusion catches same-size atomic-rename rewrites even on
+  // coarse-mtime filesystems.
+  const fs::path index = fs::path(store_dir_) / "index.tsv";
+  std::error_code ec;
+  const auto size = fs::file_size(index, ec);
+  if (ec) {
+    return "absent";
+  }
+  const auto mtime = fs::last_write_time(index, ec);
+  std::ostringstream out;
+  out << size << ':'
+      << (ec ? 0
+             : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   mtime.time_since_epoch())
+                   .count())
+      << ':';
+  std::ifstream in(index, std::ios::binary);
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a.
+  char chunk[4096];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    for (std::streamsize i = 0; i < in.gcount(); ++i) {
+      hash ^= static_cast<unsigned char>(chunk[i]);
+      hash *= 1099511628211ULL;
+    }
+  }
+  out << hash;
+  return out.str();
+}
+
+std::uint64_t ReloadableService::force_reload() {
+  // Build outside `mutex_` — the expensive part (executor/decoder
+  // construction per artifact) must not block `service()` snapshots.
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  auto fresh = build();
+  const std::string fingerprint = index_fingerprint();
+  const auto generation = runtime_->generation.fetch_add(1) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = std::move(fresh);
+    fingerprint_ = fingerprint;
+  }
+  std::fprintf(stderr,
+               "ftsp-serve: store reloaded (generation %llu, %zu codes)\n",
+               static_cast<unsigned long long>(generation),
+               service()->size());
+  return generation;
+}
+
+bool ReloadableService::reload_if_changed() {
+  const std::string fingerprint = index_fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fingerprint == fingerprint_) {
+      return false;
+    }
+  }
+  force_reload();
+  return true;
+}
+
+void ReloadableService::start_watcher() {
+  std::lock_guard<std::mutex> lock(watcher_mutex_);
+  if (watcher_running_) {
+    return;
+  }
+  watcher_stop_ = false;
+  watcher_running_ = true;
+  watcher_ = std::thread([this] { watch_loop(); });
+}
+
+void ReloadableService::stop_watcher() {
+  {
+    std::lock_guard<std::mutex> lock(watcher_mutex_);
+    if (!watcher_running_) {
+      return;
+    }
+    watcher_stop_ = true;
+  }
+  watcher_cv_.notify_all();
+  watcher_.join();
+  std::lock_guard<std::mutex> lock(watcher_mutex_);
+  watcher_running_ = false;
+}
+
+void ReloadableService::watch_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watcher_mutex_);
+      watcher_cv_.wait_for(lock, options_.poll_interval,
+                           [&] { return watcher_stop_; });
+      if (watcher_stop_) {
+        return;
+      }
+    }
+    try {
+      reload_if_changed();
+    } catch (const std::exception& e) {
+      // A half-written store must never kill the serving loop: keep the
+      // last good service, complain, retry next poll.
+      std::fprintf(stderr, "ftsp-serve: reload failed (%s); keeping "
+                           "previous store generation\n",
+                   e.what());
+    }
+  }
+}
+
+}  // namespace ftsp::serve

@@ -1,0 +1,686 @@
+#include "serve/tcp_server.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
+namespace ftsp::serve {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+/// Out-of-band error line of the serving tier itself (connection
+/// admission, shutdown) — no request envelope exists, so it is always
+/// the v2 dialect: machine code + message.
+std::string control_error_line(const char* code, const std::string& message) {
+  Envelope envelope;
+  envelope.version = 2;
+  return render_error(envelope, code, message) + "\n";
+}
+
+}  // namespace
+
+struct TcpServer::Impl {
+  // -------------------------------------------------------------------
+  // Types
+  // -------------------------------------------------------------------
+
+  struct Connection {
+    int fd = -1;
+    std::string in;   ///< Bytes received, not yet newline-terminated.
+    std::string out;  ///< Response bytes not yet accepted by the kernel.
+    /// Per-connection response ordering: each parsed line gets the next
+    /// sequence number; responses append to `out` strictly in sequence.
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_flush = 0;
+    std::map<std::uint64_t, std::string> ready;  ///< Out-of-order done.
+    std::size_t inflight = 0;  ///< Parsed, response not yet in `ready`.
+    std::chrono::steady_clock::time_point last_activity;
+    bool want_read = true;
+    bool want_write = false;
+    bool eof = false;   ///< Peer half-closed; close once drained.
+    bool dead = false;  ///< Marked for removal this iteration.
+  };
+
+  struct Task {
+    std::uint64_t conn_id;
+    std::uint64_t seq;
+    std::string line;
+  };
+
+  struct Completion {
+    std::uint64_t conn_id;
+    std::uint64_t seq;
+    std::string response;
+  };
+
+  // Reserved event ids (connection ids start above them).
+  static constexpr std::uint64_t kListenerId = 0;
+  static constexpr std::uint64_t kWakeId = 1;
+
+  ServiceSnapshotFn snapshot;
+  TcpServerOptions options;
+  Stats* stats = nullptr;
+
+  int listener = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+#ifdef __linux__
+  int epoll_fd = -1;
+#endif
+
+  std::uint64_t next_conn_id = 2;
+  std::unordered_map<std::uint64_t, Connection> conns;
+
+  std::mutex task_mutex;
+  std::condition_variable task_cv;
+  std::deque<Task> tasks;
+  bool stopping = false;  ///< Guarded by task_mutex.
+
+  std::mutex done_mutex;
+  std::vector<Completion> done;
+
+  std::vector<std::thread> workers;
+  std::thread loop_thread;
+  bool started = false;
+
+  std::mutex stop_mutex;
+  std::condition_variable stop_cv;
+  bool stop_initiated = false;
+  bool stopped = false;
+
+  // -------------------------------------------------------------------
+  // Setup / teardown
+  // -------------------------------------------------------------------
+
+  ~Impl() {
+    if (listener >= 0) ::close(listener);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0 && wake_write != wake_read) ::close(wake_write);
+#ifdef __linux__
+    if (epoll_fd >= 0) ::close(epoll_fd);
+#endif
+    for (auto& [id, conn] : conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+  }
+
+  std::uint16_t bind_and_listen() {
+    listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+      throw std::runtime_error("serve_tcp: socket() failed");
+    }
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1) {
+      throw std::runtime_error("serve_tcp: bad IPv4 host '" + options.host +
+                               "'");
+    }
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) != 0) {
+      throw std::runtime_error("serve_tcp: cannot bind " + options.host +
+                               ":" + std::to_string(options.port));
+    }
+    if (::listen(listener, 128) != 0) {
+      throw std::runtime_error("serve_tcp: listen() failed");
+    }
+    set_nonblocking(listener);
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      throw std::runtime_error("serve_tcp: getsockname() failed");
+    }
+
+#ifdef __linux__
+    wake_read = wake_write = ::eventfd(0, EFD_NONBLOCK);
+    if (wake_read < 0) {
+      throw std::runtime_error("serve_tcp: eventfd() failed");
+    }
+    epoll_fd = ::epoll_create1(0);
+    if (epoll_fd < 0) {
+      throw std::runtime_error("serve_tcp: epoll_create1() failed");
+    }
+    epoll_add(listener, kListenerId, /*read=*/true, /*write=*/false);
+    epoll_add(wake_read, kWakeId, /*read=*/true, /*write=*/false);
+#else
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      throw std::runtime_error("serve_tcp: pipe() failed");
+    }
+    wake_read = pipe_fds[0];
+    wake_write = pipe_fds[1];
+    set_nonblocking(wake_read);
+    set_nonblocking(wake_write);
+#endif
+    return ntohs(bound.sin_port);
+  }
+
+  // -------------------------------------------------------------------
+  // Readiness plumbing (epoll on Linux, poll(2) elsewhere)
+  // -------------------------------------------------------------------
+
+#ifdef __linux__
+  void epoll_add(int fd, std::uint64_t id, bool read, bool write) {
+    epoll_event event{};
+    event.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+    event.data.u64 = id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event);
+  }
+
+  void epoll_mod(int fd, std::uint64_t id, bool read, bool write) {
+    epoll_event event{};
+    event.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+    event.data.u64 = id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &event);
+  }
+#endif
+
+  void set_interest(std::uint64_t id, Connection& conn, bool read,
+                    bool write) {
+    if (conn.want_read == read && conn.want_write == write) {
+      return;
+    }
+    conn.want_read = read;
+    conn.want_write = write;
+#ifdef __linux__
+    epoll_mod(conn.fd, id, read, write);
+#else
+    (void)id;  // poll(2) path rebuilds its fd set each iteration.
+#endif
+  }
+
+  struct Event {
+    std::uint64_t id;
+    bool readable;
+    bool writable;
+  };
+
+  std::vector<Event> wait_events(int timeout_ms) {
+    std::vector<Event> out;
+#ifdef __linux__
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd, events, 64, timeout_ms);
+    out.reserve(n > 0 ? static_cast<std::size_t>(n) : 0);
+    for (int i = 0; i < n; ++i) {
+      const bool readable =
+          (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+      const bool writable = (events[i].events & EPOLLOUT) != 0;
+      out.push_back({events[i].data.u64, readable, writable});
+    }
+#else
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids;
+    fds.push_back({listener, POLLIN, 0});
+    ids.push_back(kListenerId);
+    fds.push_back({wake_read, POLLIN, 0});
+    ids.push_back(kWakeId);
+    for (auto& [id, conn] : conns) {
+      short events = 0;
+      if (conn.want_read) events |= POLLIN;
+      if (conn.want_write) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      ids.push_back(id);
+    }
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        const bool readable =
+            (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+        const bool writable = (fds[i].revents & POLLOUT) != 0;
+        if (readable || writable) {
+          out.push_back({ids[i], readable, writable});
+        }
+      }
+    }
+#endif
+    return out;
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    // Best effort: a full pipe/eventfd already guarantees a wakeup.
+    [[maybe_unused]] const auto n =
+        ::write(wake_write, &one, sizeof(one));
+  }
+
+  void drain_wake_fd() {
+    char buf[64];
+    while (::read(wake_read, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  bool is_stopping() {
+    std::lock_guard<std::mutex> lock(task_mutex);
+    return stopping;
+  }
+
+  // -------------------------------------------------------------------
+  // Workers
+  // -------------------------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(task_mutex);
+        task_cv.wait(lock, [&] { return !tasks.empty() || stopping; });
+        if (tasks.empty()) {
+          return;  // stopping && drained — graceful exit.
+        }
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      // Snapshot once per request: the request computes wholly against
+      // one store generation even if a reload swaps mid-compute.
+      const auto service = snapshot();
+      std::string response = service->handle_request(task.line);
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.push_back({task.conn_id, task.seq, std::move(response)});
+      }
+      wake();
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Event-loop helpers
+  // -------------------------------------------------------------------
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        return;  // EAGAIN (or transient error): back to the loop.
+      }
+      if (conns.size() >= options.max_connections) {
+        // Over the admission cap: tell the client *why* before closing
+        // — a silent RST is indistinguishable from a network fault.
+        stats->rejected_overloaded.fetch_add(1);
+        const std::string line = control_error_line(
+            error_code::kOverloaded,
+            "connection limit reached (" +
+                std::to_string(options.max_connections) + ")");
+        [[maybe_unused]] const auto n =
+            ::send(fd, line.data(), line.size(), kSendFlags);
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      stats->accepted.fetch_add(1);
+      const std::uint64_t id = next_conn_id++;
+      Connection conn;
+      conn.fd = fd;
+      conn.last_activity = std::chrono::steady_clock::now();
+#ifdef __linux__
+      epoll_add(fd, id, /*read=*/true, /*write=*/false);
+#endif
+      conns.emplace(id, std::move(conn));
+    }
+  }
+
+  /// Parses complete lines out of `conn.in` and queues them as compute
+  /// tasks. Returns false when the connection violated the protocol
+  /// (oversized line) and must die.
+  bool queue_lines(std::uint64_t id, Connection& conn) {
+    std::size_t start = 0;
+    std::size_t queued = 0;
+    for (;;) {
+      const auto newline = conn.in.find('\n', start);
+      if (newline == std::string::npos) {
+        break;
+      }
+      std::string line = conn.in.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      start = newline + 1;
+      if (line.empty()) {
+        continue;
+      }
+      stats->requests.fetch_add(1);
+      ++conn.inflight;
+      {
+        std::lock_guard<std::mutex> lock(task_mutex);
+        tasks.push_back({id, conn.next_seq++, std::move(line)});
+      }
+      ++queued;
+    }
+    conn.in.erase(0, start);
+    if (conn.in.size() > options.max_line_bytes) {
+      std::fprintf(stderr,
+                   "ftsp-serve: closing connection %llu: request line "
+                   "exceeds %zu bytes\n",
+                   static_cast<unsigned long long>(id),
+                   options.max_line_bytes);
+      return false;
+    }
+    if (queued == 1) {
+      task_cv.notify_one();
+    } else if (queued > 1) {
+      task_cv.notify_all();
+    }
+    return true;
+  }
+
+  void read_ready(std::uint64_t id, Connection& conn) {
+    char chunk[16384];
+    for (;;) {
+      const auto got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn.last_activity = std::chrono::steady_clock::now();
+        conn.in.append(chunk, static_cast<std::size_t>(got));
+        if (!queue_lines(id, conn)) {
+          conn.dead = true;
+          return;
+        }
+        continue;
+      }
+      if (got == 0) {
+        conn.eof = true;  // Half-close: finish what was submitted.
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return;  // Drained for now.
+      }
+      conn.dead = true;  // Hard error (ECONNRESET, ...): nothing left
+      return;            // to drain to this peer.
+    }
+  }
+
+  /// Pushes `conn.out` into the kernel until it blocks. Returns false
+  /// on a dead peer.
+  bool flush(Connection& conn) {
+    while (!conn.out.empty()) {
+      const auto sent =
+          ::send(conn.fd, conn.out.data(), conn.out.size(), kSendFlags);
+      if (sent > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(sent));
+        conn.last_activity = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;  // Kernel buffer full; EPOLLOUT will resume us.
+      }
+      return false;  // Peer went away.
+    }
+    return true;
+  }
+
+  void apply_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      batch.swap(done);
+    }
+    for (auto& completion : batch) {
+      const auto it = conns.find(completion.conn_id);
+      if (it == conns.end()) {
+        continue;  // Connection closed while computing; drop response.
+      }
+      Connection& conn = it->second;
+      --conn.inflight;
+      conn.ready.emplace(completion.seq, std::move(completion.response));
+      // Append every response that is next in sequence — responses on
+      // one connection always flush in request arrival order.
+      for (auto ready_it = conn.ready.find(conn.next_flush);
+           ready_it != conn.ready.end();
+           ready_it = conn.ready.find(conn.next_flush)) {
+        conn.out += ready_it->second;
+        conn.out += '\n';
+        conn.ready.erase(ready_it);
+        ++conn.next_flush;
+      }
+    }
+  }
+
+  /// Recomputes per-connection readiness interest and enforces the
+  /// output-overflow and drained-EOF close conditions.
+  void update_connection_states() {
+    for (auto& [id, conn] : conns) {
+      if (conn.dead) {
+        continue;
+      }
+      if (!conn.out.empty() && !flush(conn)) {
+        conn.dead = true;
+        continue;
+      }
+      if (conn.out.size() > options.max_output_bytes) {
+        std::fprintf(stderr,
+                     "ftsp-serve: closing connection %llu: %zu response "
+                     "bytes pending, client not reading (limit %zu)\n",
+                     static_cast<unsigned long long>(id), conn.out.size(),
+                     options.max_output_bytes);
+        stats->closed_overflow.fetch_add(1);
+        conn.dead = true;
+        continue;
+      }
+      if (conn.eof && conn.inflight == 0 && conn.ready.empty() &&
+          conn.out.empty()) {
+        conn.dead = true;  // Fully drained after peer half-close.
+        continue;
+      }
+      // Input backpressure: stop reading while this connection has a
+      // full pipeline; resume as responses drain.
+      const bool read = !conn.eof &&
+                        conn.inflight < options.max_inflight_per_connection;
+      set_interest(id, conn, read, !conn.out.empty());
+    }
+  }
+
+  void reap_dead() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second.dead) {
+        ::close(it->second.fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void close_idle() {
+    if (options.idle_timeout.count() <= 0) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, conn] : conns) {
+      if (!conn.dead && conn.inflight == 0 && conn.ready.empty() &&
+          conn.out.empty() && now - conn.last_activity > options.idle_timeout) {
+        stats->closed_idle.fetch_add(1);
+        conn.dead = true;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Event loop
+  // -------------------------------------------------------------------
+
+  void loop() {
+    bool draining = false;
+    for (;;) {
+      const int timeout_ms = draining ? 20 : 200;
+      for (const Event& event : wait_events(timeout_ms)) {
+        if (event.id == kWakeId) {
+          drain_wake_fd();
+          continue;
+        }
+        if (event.id == kListenerId) {
+          if (!draining) {
+            accept_ready();
+          }
+          continue;
+        }
+        const auto it = conns.find(event.id);
+        if (it == conns.end()) {
+          continue;  // Stale event for a just-closed connection.
+        }
+        if (event.readable && !it->second.dead && !draining) {
+          read_ready(event.id, it->second);
+        }
+        // Writes are retried for every connection below.
+      }
+
+      apply_completions();
+      close_idle();
+
+      if (!draining && is_stopping()) {
+        // Graceful drain: no new connections, no new request lines —
+        // existing in-flight work runs to completion and flushes.
+        draining = true;
+        for (auto& [id, conn] : conns) {
+          set_interest(id, conn, /*read=*/false, !conn.out.empty());
+        }
+      }
+
+      update_connection_states();
+      reap_dead();
+
+      if (draining) {
+        bool drained = true;
+        for (const auto& [id, conn] : conns) {
+          if (conn.inflight != 0 || !conn.ready.empty() ||
+              !conn.out.empty()) {
+            drained = false;
+            break;
+          }
+        }
+        bool tasks_empty;
+        {
+          std::lock_guard<std::mutex> lock(task_mutex);
+          tasks_empty = tasks.empty();
+        }
+        if (drained && tasks_empty) {
+          for (auto& [id, conn] : conns) {
+            conn.dead = true;
+          }
+          reap_dead();
+          return;
+        }
+      }
+    }
+  }
+};
+
+TcpServer::TcpServer(ServiceSnapshotFn service, TcpServerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  if (!service) {
+    throw std::runtime_error("serve_tcp: null service snapshot provider");
+  }
+  impl_->snapshot = std::move(service);
+  impl_->options = options;
+  impl_->stats = &stats_;
+  port_ = impl_->bind_and_listen();
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  if (impl_->started) {
+    return;
+  }
+  impl_->started = true;
+  std::size_t threads = impl_->options.num_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  impl_->workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+  impl_->loop_thread = std::thread([this] { impl_->loop(); });
+}
+
+void TcpServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->stop_mutex);
+    if (impl_->stop_initiated) {
+      return;  // Already stopped (or stopping on another thread).
+    }
+    impl_->stop_initiated = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->task_mutex);
+    impl_->stopping = true;
+  }
+  impl_->task_cv.notify_all();
+  impl_->wake();
+  if (impl_->started) {
+    impl_->loop_thread.join();
+    for (auto& worker : impl_->workers) {
+      worker.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->stop_mutex);
+    impl_->stopped = true;
+  }
+  impl_->stop_cv.notify_all();
+}
+
+void TcpServer::wait() {
+  std::unique_lock<std::mutex> lock(impl_->stop_mutex);
+  impl_->stop_cv.wait(lock, [&] { return impl_->stopped; });
+}
+
+}  // namespace ftsp::serve
+
+#else  // _WIN32
+
+namespace ftsp::serve {
+
+struct TcpServer::Impl {};
+
+TcpServer::TcpServer(ServiceSnapshotFn, TcpServerOptions) {
+  throw std::runtime_error("serve_tcp: not supported on this platform");
+}
+TcpServer::~TcpServer() = default;
+void TcpServer::start() {}
+void TcpServer::stop() {}
+void TcpServer::wait() {}
+
+}  // namespace ftsp::serve
+
+#endif

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "compile/service.hpp"
+
+namespace ftsp::serve {
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port; read back via `port()`.
+  std::uint16_t port = 0;
+  /// Accepted-connection cap. A connection beyond the cap receives one
+  /// v2 `overloaded` error line and is closed immediately.
+  std::size_t max_connections = 256;
+  /// Compute worker threads (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Idle connections (no bytes received, nothing in flight) are closed
+  /// after this long. 0 disables the idle reaper.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Backpressure, output side: a connection whose un-flushed response
+  /// bytes exceed this (client not reading) is closed loudly.
+  std::size_t max_output_bytes = 8u << 20;
+  /// A single request line longer than this is rejected (connection
+  /// closed) — bounds per-connection input memory.
+  std::size_t max_line_bytes = 1u << 20;
+  /// Backpressure, input side: reading from a connection pauses while
+  /// it has this many requests queued or computing; resumes as
+  /// responses flush.
+  std::size_t max_inflight_per_connection = 64;
+};
+
+/// Multi-client TCP front-end for the line protocol: one event-loop
+/// thread multiplexing every connection via epoll (Linux; poll(2)
+/// elsewhere), plus a pool of compute workers.
+///
+/// Responses to one connection are written in request arrival order
+/// (per-connection sequence numbers), matching the stdin and unix-
+/// socket servers' ordering contract, while requests from different
+/// connections compute concurrently.
+///
+/// The service is taken as a *snapshot provider* rather than a
+/// reference: each request grabs the current `shared_ptr` once and
+/// computes entirely against it, which is what makes hot store reloads
+/// (see ReloadableService) invisible to in-flight requests.
+class TcpServer {
+ public:
+  using ServiceSnapshotFn =
+      std::function<std::shared_ptr<const compile::ProtocolService>()>;
+
+  struct Stats {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_overloaded{0};
+    std::atomic<std::uint64_t> closed_idle{0};
+    std::atomic<std::uint64_t> closed_overflow{0};
+    std::atomic<std::uint64_t> requests{0};
+  };
+
+  /// Binds and listens (throws std::runtime_error on failure) but does
+  /// not serve until `start()`.
+  TcpServer(ServiceSnapshotFn service, TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Actual bound port (resolves port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  /// Starts the event loop and worker threads (idempotent).
+  void start();
+
+  /// Graceful shutdown: stops accepting and stops reading new request
+  /// lines, drains every in-flight compute and queued response, closes
+  /// every connection, joins all threads. In-flight requests are never
+  /// dropped; unparsed partial input is. Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  /// Blocks until `stop()` is called from another thread (or a fatal
+  /// event-loop error).
+  void wait();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  Stats stats_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ftsp::serve

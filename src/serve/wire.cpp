@@ -1,0 +1,87 @@
+#include "serve/wire.hpp"
+
+#include <cmath>
+
+namespace ftsp::serve {
+
+void parse_envelope(const compile::JsonObject& request, Envelope& envelope) {
+  if (const auto it = request.find("id"); it != request.end()) {
+    // Echo verbatim: numbers/bools/null keep their source token,
+    // strings are re-quoted.
+    if (it->second.kind == compile::JsonValue::Kind::String) {
+      envelope.id.push_back('"');
+      envelope.id.append(compile::json_escape(it->second.text));
+      envelope.id.push_back('"');
+    } else {
+      envelope.id = it->second.text;
+    }
+  }
+  if (const auto it = request.find("v"); it != request.end()) {
+    if (it->second.kind != compile::JsonValue::Kind::Number ||
+        (it->second.number != 1.0 && it->second.number != 2.0)) {
+      throw ServiceError(error_code::kBadRequest,
+                         "unsupported protocol version '" + it->second.text +
+                             "' (1|2)");
+    }
+    envelope.version = static_cast<int>(it->second.number);
+  }
+}
+
+namespace {
+
+/// v2 responses lead with "v":2,"ok":<...> so a reader can dispatch on
+/// the first bytes; the id follows (when present), then the payload.
+/// v1 keeps the historical id-first order — those bytes are frozen.
+std::string envelope_prefix(const Envelope& envelope, bool ok) {
+  std::string out = "{";
+  if (envelope.version >= 2) {
+    out += "\"v\":2,\"ok\":";
+    out += ok ? "true" : "false";
+    if (!envelope.id.empty()) {
+      out += ",\"id\":";
+      out += envelope.id;
+    }
+  } else {
+    if (!envelope.id.empty()) {
+      out += "\"id\":";
+      out += envelope.id;
+      out += ',';
+    }
+    out += "\"ok\":";
+    out += ok ? "true" : "false";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_ok(const Envelope& envelope, const std::string& payload) {
+  std::string out = envelope_prefix(envelope, /*ok=*/true);
+  if (!payload.empty()) {
+    out += ',';
+    out += payload;
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_error(const Envelope& envelope, const std::string& code,
+                         const std::string& message) {
+  std::string out = envelope_prefix(envelope, /*ok=*/false);
+  out += ",\"error\":";
+  if (envelope.version >= 2) {
+    out += "{\"code\":\"";
+    out += compile::json_escape(code);
+    out += "\",\"message\":\"";
+    out += compile::json_escape(message);
+    out += "\"}";
+  } else {
+    out += '"';
+    out += compile::json_escape(message);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace ftsp::serve

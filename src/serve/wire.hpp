@@ -1,0 +1,72 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "compile/json.hpp"
+
+namespace ftsp::serve {
+
+/// Stable machine-parseable error-code slugs of the v2 wire protocol.
+/// The registry is append-only: a slug, once published, never changes
+/// meaning (see src/serve/protocol.md for the full registry and the
+/// envelope spec). v1 clients never see these — their error field stays
+/// the bare human-readable message, byte-for-byte as it always was.
+namespace error_code {
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kBadParam = "bad_param";
+inline constexpr const char* kUnknownOp = "unknown_op";
+inline constexpr const char* kUnknownCode = "unknown_code";
+inline constexpr const char* kUnsupported = "unsupported";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kStoreError = "store_error";
+inline constexpr const char* kInternal = "internal";
+}  // namespace error_code
+
+/// A service-level failure with a stable v2 error-code slug. The
+/// message is what a v1 client receives verbatim in its flat "error"
+/// field, so messages of pre-existing failure modes must never change —
+/// the code slug is where v2 structure lives.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// The versioned request envelope, parsed once per request.
+///
+/// `version` is 1 unless the request carries `"v":2`; any other value
+/// of "v" is rejected (`bad_request`). `id` holds the client's request
+/// id pre-rendered as a JSON token ("7", "\"abc\"", "true", ...), empty
+/// when the request carried none — responses echo it verbatim.
+struct Envelope {
+  int version = 1;
+  std::string id;
+};
+
+/// Extracts the envelope from a parsed request into `envelope`. The id
+/// is captured before the version is validated, so an unsupported "v"
+/// value (which throws `ServiceError` with code `bad_request`) still
+/// produces an error response echoing the request id.
+void parse_envelope(const compile::JsonObject& request, Envelope& envelope);
+
+/// Renders a success response around a pre-rendered payload body (the
+/// comma-joined fields a handler produced, no braces):
+///   v1: {["id":<id>,]"ok":true[,<payload>]}     (byte-compatible)
+///   v2: {"v":2,"ok":true[,"id":<id>][,<payload>]}
+std::string render_ok(const Envelope& envelope, const std::string& payload);
+
+/// Renders an error response:
+///   v1: {["id":<id>,]"ok":false,"error":"<message>"}   (byte-compatible)
+///   v2: {"v":2,"ok":false[,"id":<id>],
+///        "error":{"code":"<slug>","message":"<message>"}}
+std::string render_error(const Envelope& envelope, const std::string& code,
+                         const std::string& message);
+
+}  // namespace ftsp::serve

@@ -1,0 +1,406 @@
+// The TCP serving tier: the epoll event loop, per-connection response
+// ordering, admission control, idle reaping, hot store reload, and
+// coalesced/cached serving determinism.
+#include "serve/tcp_server.hpp"
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compile/artifact.hpp"
+#include "compile/service.hpp"
+#include "compile/store.hpp"
+#include "qec/code_library.hpp"
+#include "qec/coupling.hpp"
+#include "serve/cache.hpp"
+#include "serve/reload.hpp"
+
+namespace ftsp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("ftsp-serve-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+};
+
+/// Blocking line-oriented TCP client for driving the server under test.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                           sizeof(address)) == 0;
+  }
+  ~Client() { close(); }
+
+  bool connected() const { return connected_; }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool send_line(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    std::size_t written = 0;
+    while (written < framed.size()) {
+      const auto sent = ::send(fd_, framed.data() + written,
+                               framed.size() - written, 0);
+      if (sent <= 0) {
+        return false;
+      }
+      written += static_cast<std::size_t>(sent);
+    }
+    return true;
+  }
+
+  /// Reads one newline-terminated response. Empty string = EOF/error.
+  std::string read_line() {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const auto got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got <= 0) {
+        return "";
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  /// True when the peer has closed (next read yields EOF).
+  bool at_eof() {
+    char byte;
+    const auto got = ::recv(fd_, &byte, 1, 0);
+    if (got > 0) {
+      buffer_.push_back(byte);
+      return false;
+    }
+    return got == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+class ServeTcpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const compile::ProtocolCompiler compiler;
+    artifact_ = new compile::ProtocolArtifact(compiler.compile(qec::steane()));
+  }
+  static void TearDownTestSuite() {
+    delete artifact_;
+    artifact_ = nullptr;
+  }
+
+  static std::shared_ptr<const compile::ProtocolService> make_service(
+      std::shared_ptr<PayloadCache> cache = nullptr) {
+    auto service = std::make_shared<compile::ProtocolService>();
+    service->add(*artifact_);
+    if (cache) {
+      service->set_payload_cache(std::move(cache));
+    }
+    return service;
+  }
+
+  /// A second artifact with a distinct serving name ("Steane@linear")
+  /// and a distinct store key, WITHOUT re-running synthesis: same
+  /// protocol and tables, retargeted coupling metadata.
+  static compile::ProtocolArtifact linear_variant() {
+    compile::ProtocolArtifact variant = *artifact_;
+    variant.coupling = std::make_shared<const qec::CouplingMap>(
+        qec::CouplingMap::linear(variant.protocol.code->num_qubits()));
+    variant.key += ":linear-variant";
+    return variant;
+  }
+
+  static compile::ProtocolArtifact* artifact_;
+};
+
+compile::ProtocolArtifact* ServeTcpTest::artifact_ = nullptr;
+
+constexpr const char* kSampleRequest =
+    R"({"op":"sample","code":"Steane","p":0.02,"shots":512,"seed":9})";
+
+TEST_F(ServeTcpTest, ConcurrentClientsGetOrderedResponses) {
+  const auto service = make_service();
+  TcpServerOptions options;
+  options.num_threads = 4;
+  TcpServer server([&] { return service; }, options);
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(server.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      // Pipeline every request up front — responses must still come
+      // back in request order.
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string id = std::to_string(c * 100 + i);
+        client.send_line(R"({"id":)" + id +
+                         R"(,"op":"sample","code":"Steane","p":0.02,)" +
+                         R"("shots":256,"seed":)" + id + "}");
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string line = client.read_line();
+        const std::string prefix =
+            "{\"id\":" + std::to_string(c * 100 + i) + ",\"ok\":true";
+        if (line.rfind(prefix, 0) != 0) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().requests.load(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  server.stop();
+}
+
+TEST_F(ServeTcpTest, OverLimitConnectionIsRejectedWithCode) {
+  const auto service = make_service();
+  TcpServerOptions options;
+  options.max_connections = 1;
+  options.num_threads = 1;
+  TcpServer server([&] { return service; }, options);
+  server.start();
+
+  Client first(server.port());
+  ASSERT_TRUE(first.connected());
+  // Round-trip once so the server has definitely admitted this
+  // connection before the second one arrives.
+  ASSERT_TRUE(first.send_line(R"({"v":2,"op":"health"})"));
+  EXPECT_NE(first.read_line().find(R"("status":"serving")"),
+            std::string::npos);
+
+  Client second(server.port());
+  ASSERT_TRUE(second.connected());
+  const std::string rejection = second.read_line();
+  EXPECT_NE(rejection.find(R"("code":"overloaded")"), std::string::npos)
+      << rejection;
+  EXPECT_TRUE(second.at_eof()) << "rejected connection was left open";
+
+  // The admitted connection keeps working.
+  ASSERT_TRUE(first.send_line(R"({"op":"codes"})"));
+  EXPECT_NE(first.read_line().find(R"("ok":true)"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected_overloaded.load(), 1u);
+  server.stop();
+}
+
+TEST_F(ServeTcpTest, IdleConnectionIsReaped) {
+  const auto service = make_service();
+  TcpServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(150);
+  options.num_threads = 1;
+  TcpServer server([&] { return service; }, options);
+  server.start();
+
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(R"({"op":"codes"})"));
+  EXPECT_NE(client.read_line().find(R"("ok":true)"), std::string::npos);
+  // Now go quiet: the server must close us, not leak the slot forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool closed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (client.at_eof()) {
+      closed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(closed) << "idle connection never reaped";
+  EXPECT_EQ(server.stats().closed_idle.load(), 1u);
+  server.stop();
+}
+
+TEST_F(ServeTcpTest, HotReloadSwapsUnderOpenConnectionWithoutDrops) {
+  TempDir store_dir;
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(*artifact_);
+  }
+  ReloadableService::Options reload_options;
+  reload_options.poll_interval = std::chrono::milliseconds(50);
+  ReloadableService reloadable(store_dir.path.string(), reload_options);
+  reloadable.start_watcher();
+
+  TcpServerOptions options;
+  options.num_threads = 2;
+  TcpServer server([&] { return reloadable.service(); }, options);
+  server.start();
+
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Continuous in-flight traffic on ONE connection across the swap:
+  // every response must be ok:true and the connection must survive.
+  std::atomic<bool> swap_done{false};
+  std::atomic<int> sent{0};
+  std::thread writer([&] {
+    int i = 0;
+    while (!swap_done.load()) {
+      client.send_line(kSampleRequest);
+      ++i;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    sent.store(i);
+  });
+
+  // Grow the store while requests are streaming; the watcher must pick
+  // the new index up and swap without disturbing the connection.
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(linear_variant());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (reloadable.generation() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(reloadable.generation(), 2u) << "watcher never swapped";
+  swap_done.store(true);
+  writer.join();
+
+  int ok = 0;
+  for (int i = 0; i < sent.load(); ++i) {
+    const std::string line = client.read_line();
+    ASSERT_FALSE(line.empty()) << "connection dropped mid-swap at " << i;
+    EXPECT_NE(line.find(R"("ok":true)"), std::string::npos) << line;
+    ++ok;
+  }
+  EXPECT_EQ(ok, sent.load()) << "in-flight requests failed across the swap";
+
+  // The same (still-open) connection now sees the new artifact.
+  ASSERT_TRUE(client.send_line(R"({"op":"codes"})"));
+  const std::string codes = client.read_line();
+  EXPECT_NE(codes.find("Steane@linear"), std::string::npos) << codes;
+
+  // The reload op (second trigger path) bumps the generation again.
+  ASSERT_TRUE(client.send_line(R"({"v":2,"op":"reload"})"));
+  const std::string reloaded = client.read_line();
+  EXPECT_NE(reloaded.find(R"("reloaded":true)"), std::string::npos)
+      << reloaded;
+  server.stop();
+}
+
+TEST_F(ServeTcpTest, CoalescedAndUncoalescedServingAreBitIdentical) {
+  // Reference bytes: no cache, no coalescing.
+  const auto plain = make_service();
+  const std::string reference = plain->handle_request(kSampleRequest);
+  ASSERT_NE(reference.find(R"("ok":true)"), std::string::npos);
+
+  const auto cache = std::make_shared<PayloadCache>(4u << 20);
+  const auto cached_service = make_service(cache);
+  TcpServerOptions options;
+  options.num_threads = 4;
+  TcpServer server([&] { return cached_service; }, options);
+  server.start();
+
+  // Many concurrent identical requests: whether a given one computed,
+  // coalesced onto another's compute, or (rate) hit the LRU, the bytes
+  // must equal the uncached reference exactly.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client(server.port());
+      if (!client.connected()) {
+        ++mismatches;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        client.send_line(kSampleRequest);
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        if (client.read_line() != reference) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Repeated rate requests memoize: the second identical query must be
+  // served from the LRU, byte-identical to the first.
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string rate_request =
+      R"({"op":"rate","code":"Steane","p":0.01,"shots":2048,"seed":3})";
+  ASSERT_TRUE(client.send_line(rate_request));
+  const std::string first = client.read_line();
+  ASSERT_TRUE(client.send_line(rate_request));
+  const std::string second = client.read_line();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, plain->handle_request(rate_request))
+      << "cached rate bytes diverge from uncached serving";
+  const auto stats = cache->stats();
+  EXPECT_GT(stats.hits, 0u) << "repeated rate query never hit the cache";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ftsp::serve
+
+#else
+TEST(ServeTcp, SkippedOnThisPlatform) { GTEST_SKIP(); }
+#endif
