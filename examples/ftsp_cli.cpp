@@ -53,12 +53,16 @@
 //   ftsp_cli serve   --store DIR [--threads N] [--socket PATH]
 //                    [--tcp HOST:PORT] [--reload] [--cache-mb N]
 //                    [--max-connections N] [--idle-timeout-ms N]
+//                    [--metrics HOST:PORT] [--access-log FILE]
 //       Loads every artifact and answers newline-delimited JSON requests
 //       on stdin, a unix socket file, or a multi-client TCP endpoint —
 //       zero SAT work. The TCP tier adds hot store reload (--reload
 //       watches index.tsv and swaps atomically; the `reload` op forces
 //       a swap), cross-request coalescing, and an LRU response cache
-//       (--cache-mb). See src/serve/protocol.md for the wire protocol.
+//       (--cache-mb). --metrics serves a Prometheus plaintext scrape
+//       endpoint on a second port; --access-log appends one JSONL line
+//       per request (rotate by rename, see src/serve/access_log.hpp).
+//       See src/serve/protocol.md for the wire protocol.
 //   ftsp_cli query   --store DIR <json|->
 //       One-shot request against the store (reads stdin when "-").
 //       Failures print the same machine-readable error envelope the
@@ -245,7 +249,8 @@ int usage() {
                "       ftsp_cli serve --store DIR [--threads N] "
                "[--socket PATH] [--tcp HOST:PORT] [--reload] "
                "[--cache-mb N] [--max-connections N] "
-               "[--idle-timeout-ms N],\n"
+               "[--idle-timeout-ms N] [--metrics HOST:PORT] "
+               "[--access-log FILE],\n"
                "       ftsp_cli query --store DIR [--coupling NAME] "
                "<json|->\n"
                "coupling maps: all, linear, ring, grid, heavy-hex, or a "
@@ -612,6 +617,8 @@ int run_serve(const std::vector<std::string>& args) {
   std::string store_dir;
   std::string socket_path;
   std::string tcp_spec;
+  std::string metrics_spec;
+  std::string access_log_path;
   bool reload = false;
   std::size_t cache_mb = 0;
   std::size_t max_connections = 256;
@@ -627,6 +634,10 @@ int run_serve(const std::vector<std::string>& args) {
       socket_path = flag_value(args, i);
     } else if (args[i] == "--tcp") {
       tcp_spec = flag_value(args, i);
+    } else if (args[i] == "--metrics") {
+      metrics_spec = flag_value(args, i);
+    } else if (args[i] == "--access-log") {
+      access_log_path = flag_value(args, i);
     } else if (args[i] == "--reload") {
       reload = true;
     } else if (args[i] == "--cache-mb") {
@@ -649,18 +660,34 @@ int run_serve(const std::vector<std::string>& args) {
   if (!tcp_spec.empty() && !socket_path.empty()) {
     throw UsageError("--tcp and --socket are mutually exclusive");
   }
+  if (!metrics_spec.empty() && tcp_spec.empty()) {
+    throw UsageError("--metrics needs --tcp (the sidecar rides the TCP "
+                     "event loop)");
+  }
+  if (!access_log_path.empty() && tcp_spec.empty()) {
+    throw UsageError("--access-log needs --tcp");
+  }
   require_store_exists(store_dir);
 
-  if (!tcp_spec.empty()) {
-    const auto colon = tcp_spec.rfind(':');
+  // Splits a HOST:PORT spec (flag is the name used in error messages).
+  const auto parse_host_port =
+      [](const char* flag,
+         const std::string& spec) -> std::pair<std::string, std::uint16_t> {
+    const auto colon = spec.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
-        colon + 1 >= tcp_spec.size()) {
-      throw UsageError("--tcp wants HOST:PORT, got '" + tcp_spec + "'");
+        colon + 1 >= spec.size()) {
+      throw UsageError(std::string(flag) + " wants HOST:PORT, got '" + spec +
+                       "'");
     }
-    const std::size_t port = parse_size("--tcp", tcp_spec.substr(colon + 1));
+    const std::size_t port = parse_size(flag, spec.substr(colon + 1));
     if (port > 65535) {
-      throw UsageError("--tcp port out of range: " + tcp_spec);
+      throw UsageError(std::string(flag) + " port out of range: " + spec);
     }
+    return {spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+  };
+
+  if (!tcp_spec.empty()) {
+    const auto [host, port] = parse_host_port("--tcp", tcp_spec);
 
     // The TCP tier always serves through a ReloadableService: request
     // counters, the store generation, and the (possibly zero-byte)
@@ -670,17 +697,25 @@ int run_serve(const std::vector<std::string>& args) {
     serve::ReloadableService::Options reload_options;
     reload_options.cache_bytes = cache_mb << 20;
     reload_options.num_threads = serve_options.num_threads;
+    reload_options.access_log = access_log_path;
     serve::ReloadableService reloadable(store_dir, reload_options);
     if (reload) {
       reloadable.start_watcher();
     }
 
     serve::TcpServerOptions tcp_options;
-    tcp_options.host = tcp_spec.substr(0, colon);
-    tcp_options.port = static_cast<std::uint16_t>(port);
+    tcp_options.host = host;
+    tcp_options.port = port;
     tcp_options.num_threads = serve_options.num_threads;
     tcp_options.max_connections = max_connections;
     tcp_options.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+    if (!metrics_spec.empty()) {
+      const auto [metrics_host, metrics_port] =
+          parse_host_port("--metrics", metrics_spec);
+      tcp_options.metrics_enabled = true;
+      tcp_options.metrics_host = metrics_host;
+      tcp_options.metrics_port = metrics_port;
+    }
     serve::TcpServer server([&] { return reloadable.service(); },
                             tcp_options);
     server.start();
@@ -690,6 +725,13 @@ int run_serve(const std::vector<std::string>& args) {
                  reloadable.service()->size(), store_dir.c_str(),
                  tcp_options.host.c_str(), server.port(),
                  reload ? "on" : "off", cache_mb);
+    if (tcp_options.metrics_enabled) {
+      std::fprintf(stderr, "metrics on http://%s:%u/metrics\n",
+                   tcp_options.metrics_host.c_str(), server.metrics_port());
+    }
+    if (!access_log_path.empty()) {
+      std::fprintf(stderr, "access log: %s\n", access_log_path.c_str());
+    }
     server.wait();
     return 0;
   }

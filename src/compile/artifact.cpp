@@ -8,6 +8,8 @@
 #include "compile/format.hpp"
 #include "core/serialize.hpp"
 #include "core/synth_cache.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/binio.hpp"
 
 namespace ftsp::compile {
@@ -227,6 +229,14 @@ std::string artifact_key(const qec::CssCode& code, qec::LogicalBasis basis,
 
 ProtocolArtifact ProtocolCompiler::compile(const qec::CssCode& code,
                                            qec::LogicalBasis basis) const {
+  const obs::TraceSpan compile_span("compile.protocol");
+  const obs::ScopedTimer compile_timer(
+      obs::Registry::instance().histogram("compile.total.duration_us"));
+  if (obs::enabled()) {
+    static obs::Counter& compiles =
+        obs::Registry::instance().counter("compile.protocol.count");
+    compiles.add(1);
+  }
   auto& cache = core::SynthCache::instance();
   const std::uint64_t hits0 = cache.hits();
   const std::uint64_t misses0 = cache.misses();
@@ -285,10 +295,15 @@ ProtocolArtifact ProtocolCompiler::package(core::Protocol protocol,
                               ? static_cast<std::uint32_t>(
                                     options_.coupling.gadget_reach)
                               : 0;
-  artifact.x_decoder_table =
-      decoder::LookupDecoder(*protocol.code, qec::PauliType::X).table();
-  artifact.z_decoder_table =
-      decoder::LookupDecoder(*protocol.code, qec::PauliType::Z).table();
+  {
+    const obs::TraceSpan span("compile.decoder_tables");
+    const obs::ScopedTimer timer(obs::Registry::instance().histogram(
+        obs::labeled("compile.stage.duration_us", "stage", "decoder_tables")));
+    artifact.x_decoder_table =
+        decoder::LookupDecoder(*protocol.code, qec::PauliType::X).table();
+    artifact.z_decoder_table =
+        decoder::LookupDecoder(*protocol.code, qec::PauliType::Z).table();
+  }
   artifact.layout = core::compute_frame_batch_layout(protocol);
 
   provenance.engine_fingerprint =

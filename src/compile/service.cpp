@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -18,6 +19,9 @@
 #include "core/rate_estimator.hpp"
 #include "core/samplers.hpp"
 #include "core/serialize.hpp"
+#include "obs/expose.hpp"
+#include "obs/registry.hpp"
+#include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 #include "serve/wire.hpp"
 
@@ -192,6 +196,8 @@ struct ServiceOps {
                            const JsonObject&);
   static std::string reload(const ProtocolService& service, const Entry*,
                             const JsonObject&);
+  static std::string metrics(const ProtocolService&, const Entry*,
+                             const JsonObject&);
 
   static std::string sample_key(const Entry& entry, const JsonObject& request);
   static std::string rate_key(const Entry& entry, const JsonObject& request);
@@ -207,6 +213,7 @@ const std::vector<ServiceOps::OpSpec>& ServiceOps::table() {
       {"health", false, false, nullptr, &ServiceOps::health},
       {"stats", false, false, nullptr, &ServiceOps::stats},
       {"reload", false, false, nullptr, &ServiceOps::reload},
+      {"metrics", false, false, nullptr, &ServiceOps::metrics},
   };
   return kOps;
 }
@@ -443,7 +450,10 @@ std::string ServiceOps::health(const ProtocolService& service, const Entry*,
   JsonWriter out;
   out.field("status", "serving");
   out.field("codes", static_cast<std::uint64_t>(service.size()));
-  out.field("generation", service.runtime()->generation.load());
+  // The snapshot's own generation, not the live runtime counter: one
+  // request answered by one service snapshot reports one generation,
+  // even when a hot reload swaps the current service mid-request.
+  out.field("generation", service.generation());
   out.field("shadowed",
             static_cast<std::uint64_t>(service.shadowed_keys().size()));
   bool reloadable = false;
@@ -456,7 +466,7 @@ std::string ServiceOps::health(const ProtocolService& service, const Entry*,
 }
 
 std::string ServiceOps::stats(const ProtocolService& service, const Entry*,
-                              const JsonObject&) {
+                              const JsonObject& request) {
   const auto& runtime = *service.runtime();
   JsonWriter out;
   out.field("generation", runtime.generation.load());
@@ -487,6 +497,47 @@ std::string ServiceOps::stats(const ProtocolService& service, const Entry*,
   } else {
     out.raw_field("cache", "null");
   }
+  // v2-only extension: latency percentiles and the per-op cache
+  // breakdown, read from the process metric registry. Strictly appended
+  // after the shared fields so v1 stats responses keep their historical
+  // bytes forever.
+  const auto vit = request.find("v");
+  const bool v2 = vit != request.end() &&
+                  vit->second.kind == JsonValue::Kind::Number &&
+                  vit->second.number >= 2.0;
+  if (v2) {
+    out.field("obs_enabled", obs::enabled());
+    auto& registry = obs::Registry::instance();
+    JsonWriter latency;
+    for (const auto& spec : table()) {
+      const auto& histogram = registry.histogram(
+          obs::labeled("serve.request.duration_us", "op", spec.name));
+      JsonWriter op_out;
+      op_out.field("count", histogram.count());
+      op_out.field("p50_us", histogram.percentile_us(0.50));
+      op_out.field("p90_us", histogram.percentile_us(0.90));
+      op_out.field("p99_us", histogram.percentile_us(0.99));
+      latency.raw_field(spec.name, "{" + op_out.take_body() + "}");
+    }
+    out.raw_field("latency", "{" + latency.take_body() + "}");
+    JsonWriter cache_ops;
+    for (const auto& spec : table()) {
+      if (spec.key == nullptr) {
+        continue;  // Never cached or coalesced: no breakdown to report.
+      }
+      JsonWriter op_out;
+      for (const char* verb : {"hit", "miss", "coalesce"}) {
+        op_out.field(verb,
+                     registry
+                         .counter(obs::labeled(
+                             std::string("serve.cache.") + verb + ".count",
+                             "op", spec.name))
+                         .value());
+      }
+      cache_ops.raw_field(spec.name, "{" + op_out.take_body() + "}");
+    }
+    out.raw_field("cache_ops", "{" + cache_ops.take_body() + "}");
+  }
   return out.take_body();
 }
 
@@ -507,6 +558,19 @@ std::string ServiceOps::reload(const ProtocolService& service, const Entry*,
   JsonWriter out;
   out.field("reloaded", true);
   out.field("generation", generation);
+  return out.take_body();
+}
+
+std::string ServiceOps::metrics(const ProtocolService&, const Entry*,
+                                const JsonObject&) {
+  if (obs::enabled()) {
+    static obs::Counter& scrapes =
+        obs::Registry::instance().counter("serve.metrics.scrape.count");
+    scrapes.add(1);
+  }
+  JsonWriter out;
+  out.field("format", "prometheus");
+  out.field("body", obs::render_prometheus());
   return out.take_body();
 }
 
@@ -597,71 +661,155 @@ void ProtocolService::set_runtime(std::shared_ptr<Runtime> runtime) {
   }
 }
 
+void ProtocolService::set_access_log(std::shared_ptr<serve::AccessLog> log) {
+  access_log_ = std::move(log);
+}
+
 std::string ProtocolService::handle_request(
     const std::string& json_line) const {
-  serve::Envelope envelope;
-  try {
-    JsonObject request;
-    try {
-      request = parse_json_object(json_line);
-    } catch (const std::exception& e) {
-      // Unparseable line: no fields were recovered, so no id to echo.
-      throw serve::ServiceError(serve::error_code::kBadRequest, e.what());
-    }
-    serve::parse_envelope(request, envelope);
-    const std::string op = string_param(request, "op", "");
-    const ServiceOps::OpSpec* spec = ServiceOps::find_op(op);
-    if (spec == nullptr) {
-      runtime_->rejected.fetch_add(1);
-      // The v1 hint is frozen (see kV1OpsHint); v2 enumerates the
-      // live table.
-      throw serve::ServiceError(
-          serve::error_code::kUnknownOp,
-          "unknown op '" + op + "' (" +
-              (envelope.version >= 2 ? ServiceOps::ops_hint()
-                                     : std::string(kV1OpsHint)) +
-              ")");
-    }
-    runtime_->op_counts.at(spec->name).fetch_add(1);
+  // Per-request telemetry, captured as dispatch runs and recorded after
+  // the response bytes are final — observation only, by construction
+  // incapable of changing them. Per-op registry series are keyed by the
+  // *registered* op name (never the client-supplied string), so a
+  // client spraying bogus op names cannot grow the append-only registry.
+  struct Telemetry {
+    std::string op;
+    std::string code;
+    int version = 1;
+    std::string status = "ok";
+    bool known_op = false;
+    bool cacheable = false;
+    bool cache_hit = false;
+    bool coalesced = false;
+  } telemetry;
+  const bool observing = obs::enabled() || access_log_ != nullptr;
+  const auto start = observing ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
 
-    const Entry* entry = nullptr;
-    if (spec->needs_code) {
-      const std::string code_name = string_param(request, "code", "");
-      entry = find(code_name);
-      if (entry == nullptr) {
-        std::string message = "unknown code '";
-        message += code_name;
-        message += "' (try {\"op\":\"codes\"})";
-        throw serve::ServiceError(serve::error_code::kUnknownCode, message);
+  const auto dispatch = [&]() -> std::string {
+    serve::Envelope envelope;
+    try {
+      JsonObject request;
+      try {
+        request = parse_json_object(json_line);
+      } catch (const std::exception& e) {
+        // Unparseable line: no fields were recovered, so no id to echo.
+        throw serve::ServiceError(serve::error_code::kBadRequest, e.what());
+      }
+      serve::parse_envelope(request, envelope);
+      telemetry.version = envelope.version;
+      const std::string op = string_param(request, "op", "");
+      const ServiceOps::OpSpec* spec = ServiceOps::find_op(op);
+      if (spec == nullptr) {
+        runtime_->rejected.fetch_add(1);
+        // The v1 hint is frozen (see kV1OpsHint); v2 enumerates the
+        // live table.
+        throw serve::ServiceError(
+            serve::error_code::kUnknownOp,
+            "unknown op '" + op + "' (" +
+                (envelope.version >= 2 ? ServiceOps::ops_hint()
+                                       : std::string(kV1OpsHint)) +
+                ")");
+      }
+      telemetry.op = spec->name;
+      telemetry.known_op = true;
+      runtime_->op_counts.at(spec->name).fetch_add(1);
+
+      const Entry* entry = nullptr;
+      if (spec->needs_code) {
+        const std::string code_name = string_param(request, "code", "");
+        telemetry.code = code_name;
+        entry = find(code_name);
+        if (entry == nullptr) {
+          std::string message = "unknown code '";
+          message += code_name;
+          message += "' (try {\"op\":\"codes\"})";
+          throw serve::ServiceError(serve::error_code::kUnknownCode, message);
+        }
+      }
+
+      std::string payload;
+      if (spec->key != nullptr && cache_ != nullptr) {
+        // Coalescable compute op with a serving cache attached: the key
+        // builder validates every result-changing parameter up front, so
+        // a cache hit rejects exactly what a fresh compute would.
+        const std::string key = spec->key(*entry, request);
+        auto outcome = cache_->get_or_compute(key, spec->memoize, [&] {
+          return spec->handler(*this, entry, request);
+        });
+        telemetry.cacheable = true;
+        telemetry.cache_hit = outcome.cache_hit;
+        telemetry.coalesced = outcome.coalesced;
+        payload = std::move(outcome.payload);
+      } else {
+        payload = spec->handler(*this, entry, request);
+      }
+      return serve::render_ok(envelope, payload);
+    } catch (const serve::ServiceError& e) {
+      telemetry.status = e.code();
+      return serve::render_error(envelope, e.code(), e.what());
+    } catch (const std::invalid_argument& e) {
+      telemetry.status = serve::error_code::kBadParam;
+      return serve::render_error(envelope, serve::error_code::kBadParam,
+                                 e.what());
+    } catch (const std::exception& e) {
+      telemetry.status = serve::error_code::kInternal;
+      return serve::render_error(envelope, serve::error_code::kInternal,
+                                 e.what());
+    }
+  };
+  std::string response = dispatch();
+  if (!observing) {
+    return response;
+  }
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const auto latency_us =
+      elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0;
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::instance();
+    static obs::Counter& requests = registry.counter("serve.request.count");
+    requests.add(1);
+    if (telemetry.status != "ok") {
+      static obs::Counter& errors =
+          registry.counter("serve.request.error.count");
+      errors.add(1);
+    }
+    if (telemetry.known_op) {
+      registry
+          .histogram(
+              obs::labeled("serve.request.duration_us", "op", telemetry.op))
+          .record(latency_us);
+      if (telemetry.cacheable) {
+        const char* verb = telemetry.cache_hit    ? "hit"
+                           : telemetry.coalesced ? "coalesce"
+                                                 : "miss";
+        registry
+            .counter(obs::labeled(
+                std::string("serve.cache.") + verb + ".count", "op",
+                telemetry.op))
+            .add(1);
       }
     }
-
-    std::string payload;
-    if (spec->key != nullptr && cache_ != nullptr) {
-      // Coalescable compute op with a serving cache attached: the key
-      // builder validates every result-changing parameter up front, so
-      // a cache hit rejects exactly what a fresh compute would.
-      const std::string key = spec->key(*entry, request);
-      payload = cache_
-                    ->get_or_compute(key, spec->memoize,
-                                     [&] {
-                                       return spec->handler(*this, entry,
-                                                            request);
-                                     })
-                    .payload;
-    } else {
-      payload = spec->handler(*this, entry, request);
-    }
-    return serve::render_ok(envelope, payload);
-  } catch (const serve::ServiceError& e) {
-    return serve::render_error(envelope, e.code(), e.what());
-  } catch (const std::invalid_argument& e) {
-    return serve::render_error(envelope, serve::error_code::kBadParam,
-                               e.what());
-  } catch (const std::exception& e) {
-    return serve::render_error(envelope, serve::error_code::kInternal,
-                               e.what());
   }
+  if (access_log_ != nullptr) {
+    serve::AccessLog::Record record;
+    record.ts_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    record.op = telemetry.op;
+    record.code = telemetry.code;
+    record.version = telemetry.version;
+    record.status = telemetry.status;
+    record.latency_us = latency_us;
+    record.cache_hit = telemetry.cache_hit;
+    record.coalesced = telemetry.coalesced;
+    access_log_->append(record);
+  }
+  return response;
 }
 
 namespace {

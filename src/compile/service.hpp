@@ -15,6 +15,7 @@
 #include "core/executor.hpp"
 
 namespace ftsp::serve {
+class AccessLog;
 class PayloadCache;
 }  // namespace ftsp::serve
 
@@ -108,7 +109,11 @@ class ProtocolService {
   ///   {"op":"circuit","code":"Steane","format":"qasm"}
   ///   {"op":"health"}            loaded-artifact count + store generation
   ///   {"op":"stats"}             per-op request counts + cache hit rates
+  ///                              (v2 adds latency percentiles and the
+  ///                              per-op cache breakdown; v1 bytes frozen)
   ///   {"op":"reload"}            re-scan the store (serve tier only)
+  ///   {"op":"metrics"}           Prometheus text rendering of the
+  ///                              process metric registry (src/obs/)
   /// "sample" is plain Monte Carlo over the batched sampler; "rate" is
   /// the stratified fault-sector estimator ("shots" caps its Monte-Carlo
   /// budget, "rel_err" its convergence target; the p_min/p_max/p_points
@@ -136,6 +141,22 @@ class ProtocolService {
   void set_runtime(std::shared_ptr<Runtime> runtime);
   const std::shared_ptr<Runtime>& runtime() const { return runtime_; }
 
+  /// Attaches a JSONL access log (see serve::AccessLog): one record per
+  /// handled request, buffered off the hot path. Null detaches. May be
+  /// shared across hot-reload swaps like the payload cache.
+  void set_access_log(std::shared_ptr<serve::AccessLog> log);
+  const std::shared_ptr<serve::AccessLog>& access_log() const {
+    return access_log_;
+  }
+
+  /// The store generation this immutable service snapshot was built
+  /// from (default 1). `health` reports it, so one request sees one
+  /// consistent generation even when a hot reload swaps the service
+  /// mid-request; the shared Runtime generation (reported by `stats`)
+  /// is the cumulative live counter.
+  void set_generation(std::uint64_t generation) { generation_ = generation; }
+  std::uint64_t generation() const { return generation_; }
+
  private:
   /// Immutable per-protocol serving state; heap-allocated so executor /
   /// decoder self-references survive map rehashing.
@@ -158,6 +179,8 @@ class ProtocolService {
   std::vector<std::string> shadowed_;
   std::shared_ptr<serve::PayloadCache> cache_;
   std::shared_ptr<Runtime> runtime_;
+  std::shared_ptr<serve::AccessLog> access_log_;
+  std::uint64_t generation_ = 1;
 };
 
 struct ServeOptions {

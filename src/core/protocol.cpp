@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "core/ft_check.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "sim/pauli_frame.hpp"
 
@@ -17,6 +19,21 @@ using qec::PauliType;
 using qec::StateContext;
 
 namespace {
+
+/// Wall-clock + trace-span coverage of one synthesis stage: a labeled
+/// series of `compile.stage.duration_us` plus a nested trace span.
+/// Observation-only — the SAT search never sees these.
+class StageObs {
+ public:
+  explicit StageObs(const char* stage)
+      : span_(std::string("compile.") + stage),
+        timer_(obs::Registry::instance().histogram(
+            obs::labeled("compile.stage.duration_us", "stage", stage))) {}
+
+ private:
+  obs::TraceSpan span_;
+  obs::ScopedTimer timer_;
+};
 
 void copy_data_error(const qec::Pauli& from, qec::Pauli& to,
                      std::size_t n) {
@@ -326,9 +343,12 @@ Protocol synthesize_protocol(const qec::CssCode& code,
     sink->record_absent("prep", "CNOT-minimal preparation circuit",
                         "caller-supplied override; optimality unproven");
   }
-  protocol.prep = overrides.prep.has_value()
-                      ? *overrides.prep
-                      : synthesize_prep(state, options.prep);
+  {
+    const StageObs stage_obs("prep");
+    protocol.prep = overrides.prep.has_value()
+                        ? *overrides.prep
+                        : synthesize_prep(state, options.prep);
+  }
   if (overrides.prep.has_value() &&
       qec::coupling_constrained(coupling)) {
     // A caller-supplied preparation circuit must honor the map too —
@@ -363,6 +383,7 @@ Protocol synthesize_protocol(const qec::CssCode& code,
       }
       v1 = *overrides.layer1_verification;
     } else {
+      const StageObs stage_obs("verif.L1");
       options.verification.proof_label = "verif.L1";
       auto synthesized = synthesize_verification(
           state.detector_generators(t1), dangerous1, options.verification);
@@ -377,6 +398,7 @@ Protocol synthesize_protocol(const qec::CssCode& code,
                     options, map);
     segments.push_back(&protocol.layer1->verif);
     events_through_l1 = enumerate_single_fault_events(n, segments);
+    const StageObs stage_obs("corr.L1");
     build_branches(state, *protocol.layer1, events_through_l1,
                    /*segment_index=*/1, options, map, "corr.L1",
                    [](const FaultEvent&) { return false; });
@@ -411,6 +433,7 @@ Protocol synthesize_protocol(const qec::CssCode& code,
       }
       v2 = *overrides.layer2_verification;
     } else {
+      const StageObs stage_obs("verif.L2");
       options.verification.proof_label = "verif.L2";
       auto synthesized = synthesize_verification(
           state.detector_generators(t2), dangerous2, options.verification);
@@ -425,6 +448,7 @@ Protocol synthesize_protocol(const qec::CssCode& code,
                                   /*final_layer=*/true, options, map);
     segments.push_back(&protocol.layer2->verif);
     const auto events_through_l2 = enumerate_single_fault_events(n, segments);
+    const StageObs stage_obs("corr.L2");
     build_branches(state, *protocol.layer2, events_through_l2,
                    /*segment_index=*/segments.size() - 1, options, map,
                    "corr.L2", hook_terminated);

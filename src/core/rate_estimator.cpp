@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/frame_runner.hpp"
+#include "obs/registry.hpp"
 
 namespace ftsp::core {
 
@@ -71,6 +72,25 @@ struct Wave {
   std::uint64_t fails = 0;
 };
 
+/// Counts one batch of planted waves (and their lanes) into the rate
+/// estimator's telemetry series. Observation-only: the estimate math
+/// never reads these.
+void record_wave_batch(const std::vector<Wave>& waves) {
+  if (!obs::enabled()) {
+    return;
+  }
+  static obs::Counter& wave_count =
+      obs::Registry::instance().counter("rate.wave.count");
+  static obs::Counter& shot_count =
+      obs::Registry::instance().counter("rate.shot.count");
+  std::uint64_t shots = 0;
+  for (const Wave& wave : waves) {
+    shots += wave.shots;
+  }
+  wave_count.add(waves.size());
+  shot_count.add(shots);
+}
+
 /// Immutable shared context + the planted-wave executor.
 class WaveRunner {
  public:
@@ -111,6 +131,7 @@ class WaveRunner {
   /// land in per-wave fields, so the final (ordered) accumulation is
   /// thread-count invariant.
   void run_waves(std::vector<Wave>& waves) const {
+    record_wave_batch(waves);
     detail::run_indexed_parallel(waves.size(), options_.num_threads,
                                  [&](std::size_t i) { run_wave(waves[i]); });
   }
@@ -585,6 +606,15 @@ std::vector<RateEstimate> run_estimator(
       sectors[best].fails += wave.fails;
     }
     spent += chunk;
+  }
+
+  if (obs::enabled()) {
+    static obs::Counter& sector_count =
+        obs::Registry::instance().counter("rate.sector.count");
+    static obs::Counter& estimate_count =
+        obs::Registry::instance().counter("rate.estimate.count");
+    sector_count.add(sectors.size());
+    estimate_count.add(1);
   }
 
   // --- Final combination per target.

@@ -5,10 +5,20 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/registry.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/parallel_solver.hpp"
 
 namespace ftsp::core {
+
+namespace {
+
+obs::Counter& synth_cache_counter(const char* verb) {
+  return obs::Registry::instance().counter(
+      std::string("core.synthcache.") + verb + ".count");
+}
+
+}  // namespace
 
 SynthCache::SynthCache() {
   if (const char* dir = std::getenv("FTSP_SAT_DUMP_DIR")) {
@@ -41,6 +51,10 @@ std::optional<std::string> SynthCache::lookup(const std::string& key) {
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        static obs::Counter& hits = synth_cache_counter("hit");
+        hits.add(1);
+      }
       touch_locked(it->second, key);
       return it->second.value;
     }
@@ -56,16 +70,29 @@ std::optional<std::string> SynthCache::lookup(const std::string& key) {
     if (auto value = load(key)) {
       backing_hits_.fetch_add(1, std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        static obs::Counter& backing_hits =
+            synth_cache_counter("backing_hit");
+        backing_hits.add(1);
+      }
       std::lock_guard<std::mutex> lock(mutex_);
       store_locked(key, *value);
       return value;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static obs::Counter& misses = synth_cache_counter("miss");
+    misses.add(1);
+  }
   return std::nullopt;
 }
 
 void SynthCache::store(const std::string& key, std::string value) {
+  if (obs::enabled()) {
+    static obs::Counter& stores = synth_cache_counter("store");
+    stores.add(1);
+  }
   BackingSave save;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -105,6 +132,10 @@ void SynthCache::evict_to_cap_locked() {
     entries_.erase(lru_.back());
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static obs::Counter& evictions = synth_cache_counter("evict");
+      evictions.add(1);
+    }
   }
 }
 

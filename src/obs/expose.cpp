@@ -1,0 +1,124 @@
+#include "obs/expose.hpp"
+
+#include <set>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace ftsp::obs {
+
+namespace {
+
+/// `sat.conflict.count` -> `sat_conflict_count` (Prometheus metric
+/// names allow [a-zA-Z0-9_:] only).
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+/// Splits a registry name into its sanitized family and the raw label
+/// block ("op=\"sample\"", no braces; empty when unlabeled).
+void split_name(const std::string& name, std::string& family,
+                std::string& labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) {
+    family = sanitize(name);
+    labels.clear();
+    return;
+  }
+  family = sanitize(name.substr(0, brace));
+  labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') {
+    labels.pop_back();
+  }
+}
+
+void type_line(std::string& out, std::set<std::string>& seen_families,
+               const std::string& family, const char* type) {
+  if (!seen_families.insert(family).second) {
+    return;
+  }
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void scalar_line(std::string& out, const std::string& family,
+                 const std::string& labels, const std::string& value) {
+  out += family;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_prometheus() {
+  const Registry::Snapshot snap = Registry::instance().snapshot();
+  std::string out;
+  out.reserve(4096);
+  std::string family;
+  std::string labels;
+  std::set<std::string> seen_families;
+
+  for (const auto& row : snap.counters) {
+    split_name(row.name, family, labels);
+    type_line(out, seen_families, family, "counter");
+    scalar_line(out, family, labels, std::to_string(row.value));
+  }
+  for (const auto& row : snap.gauges) {
+    split_name(row.name, family, labels);
+    type_line(out, seen_families, family, "gauge");
+    scalar_line(out, family, labels, std::to_string(row.value));
+  }
+  for (const auto& row : snap.histograms) {
+    split_name(row.name, family, labels);
+    type_line(out, seen_families, family, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += row.buckets[i];
+      std::string le = i + 1 == Histogram::kBuckets
+                           ? std::string("+Inf")
+                           : std::to_string(Histogram::bucket_upper_us(i));
+      std::string bucket_labels = labels;
+      if (!bucket_labels.empty()) {
+        bucket_labels += ',';
+      }
+      bucket_labels += "le=\"" + le + "\"";
+      scalar_line(out, family + "_bucket", bucket_labels,
+                  std::to_string(cumulative));
+    }
+    scalar_line(out, family + "_sum", labels, std::to_string(row.sum_us));
+    scalar_line(out, family + "_count", labels, std::to_string(row.count));
+  }
+  return out;
+}
+
+std::string render_http_metrics_response() {
+  const std::string body = render_prometheus();
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Connection: close\r\n"
+      "Content-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace ftsp::obs

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+namespace ftsp::obs {
+
+/// Prometheus text exposition (format 0.0.4) of the whole registry:
+/// dotted metric names sanitized to underscores, one `# TYPE` line per
+/// metric family, labeled series merged under their family, histograms
+/// rendered as cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+std::string render_prometheus();
+
+/// The same body wrapped as a complete `HTTP/1.0 200` response
+/// (Content-Type: text/plain; version=0.0.4; Content-Length set), for
+/// the `--metrics` plaintext sidecar endpoint.
+std::string render_http_metrics_response();
+
+}  // namespace ftsp::obs

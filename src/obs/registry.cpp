@@ -1,0 +1,218 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ftsp::obs {
+
+namespace {
+
+/// -1 = no override (environment decides), 0 = forced off, 1 = forced on.
+std::atomic<int> g_enabled_override{-1};
+
+bool env_enabled() {
+  static const bool value = [] {
+    const char* env = std::getenv("FTSP_OBS");
+    if (env == nullptr) {
+      return true;
+    }
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+  }();
+  return value;
+}
+
+}  // namespace
+
+bool enabled() {
+  const int override_value =
+      g_enabled_override.load(std::memory_order_relaxed);
+  if (override_value < 0) {
+    return env_enabled();
+  }
+  return override_value != 0;
+}
+
+void set_enabled(bool on) {
+  g_enabled_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_enabled_override() {
+  g_enabled_override.store(-1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::uint64_t value_us) {
+  if (value_us <= 1) {
+    return 0;
+  }
+  const auto width = static_cast<std::size_t>(std::bit_width(value_us - 1));
+  return width < kBuckets - 1 ? width : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_upper_us(std::size_t i) {
+  if (i >= kBuckets - 1) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return std::uint64_t{1} << i;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : counts_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::bucket_counts()
+    const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::percentile_us(double q) const {
+  const auto buckets = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : buckets) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // rank in [1, total]: the smallest bucket whose cumulative count
+  // reaches it. ceil(q * total) via integer comparison keeps the walk
+  // exact — identical snapshots give identical percentiles.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return bucket_upper_us(i);
+    }
+  }
+  return bucket_upper_us(kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Node-based maps: element addresses are stable across insertions,
+  // which is what lets call sites cache references from registration.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.counters[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.gauges[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  Snapshot out;
+  out.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    out.counters.push_back({name, counter->value()});
+  }
+  out.gauges.reserve(state.gauges.size());
+  for (const auto& [name, gauge] : state.gauges) {
+    out.gauges.push_back({name, gauge->value()});
+  }
+  out.histograms.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    HistogramRow row;
+    row.name = name;
+    row.buckets = histogram->bucket_counts();
+    row.count = 0;
+    for (const auto c : row.buckets) {
+      row.count += c;
+    }
+    row.sum_us = histogram->sum_us();
+    out.histograms.push_back(std::move(row));
+  }
+  return out;
+}
+
+void Registry::reset_for_tests() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) {
+    counter->reset();
+  }
+  for (auto& [name, gauge] : state.gauges) {
+    gauge->reset();
+  }
+  for (auto& [name, histogram] : state.histograms) {
+    histogram->reset();
+  }
+}
+
+std::string labeled(const std::string& name, const std::string& key,
+                    const std::string& value) {
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+}  // namespace ftsp::obs

@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace ftsp::obs {
+
+namespace {
+
+std::uint64_t now_us() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+std::uint64_t this_thread_hash() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+/// Per-thread stack of live span ids — the nesting structure.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceRing
+// ---------------------------------------------------------------------------
+
+struct TraceRing::Impl {
+  mutable std::mutex mutex;
+  std::deque<SpanRecord> ring;
+  std::size_t capacity = kDefaultCapacity;
+  std::uint64_t total = 0;
+};
+
+TraceRing::Impl& TraceRing::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+TraceRing& TraceRing::instance() {
+  static TraceRing ring;
+  return ring;
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.capacity = capacity;
+  while (state.ring.size() > state.capacity) {
+    state.ring.pop_front();
+  }
+}
+
+std::size_t TraceRing::capacity() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.capacity;
+}
+
+std::size_t TraceRing::size() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.ring.size();
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.total;
+}
+
+void TraceRing::push(SpanRecord record) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ++state.total;
+  if (state.capacity == 0) {
+    return;
+  }
+  state.ring.push_back(std::move(record));
+  while (state.ring.size() > state.capacity) {
+    state.ring.pop_front();
+  }
+}
+
+std::vector<SpanRecord> TraceRing::snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return {state.ring.begin(), state.ring.end()};
+}
+
+void TraceRing::clear() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.ring.clear();
+  state.total = 0;
+}
+
+std::string TraceRing::export_jsonl() const {
+  const auto spans = snapshot();
+  std::string out;
+  out.reserve(spans.size() * 96);
+  for (const auto& span : spans) {
+    out += "{\"id\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent_id);
+    out += ",\"name\":\"";
+    // Span names are registry-style dotted identifiers (no quotes or
+    // backslashes), so plain concatenation stays valid JSON.
+    out += span.name;
+    out += "\",\"start_us\":";
+    out += std::to_string(span.start_us);
+    out += ",\"dur_us\":";
+    out += std::to_string(span.duration_us);
+    out += ",\"thread\":";
+    out += std::to_string(span.thread);
+    out += "}\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan::TraceSpan(std::string name) {
+  if (!enabled()) {
+    return;
+  }
+  active_ = true;
+  name_ = std::move(name);
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  t_span_stack.push_back(id_);
+  start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) {
+    return;
+  }
+  // Pop this span (robust even if an enclosing span was destructed out
+  // of order — scope-bound RAII makes that impossible in practice).
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (*it == id_) {
+      t_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.name = std::move(name_);
+  record.start_us = start_us_;
+  record.duration_us = now_us() - start_us_;
+  record.thread = this_thread_hash();
+  TraceRing::instance().push(std::move(record));
+}
+
+}  // namespace ftsp::obs

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftsp::obs {
+
+/// One finished span. Timestamps are microseconds since an arbitrary
+/// process-local steady-clock anchor (comparable within one process,
+/// not across processes).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span.
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint64_t thread = 0;  ///< Hash of the recording thread's id.
+};
+
+/// Bounded in-memory ring of finished spans: push beyond capacity
+/// evicts the oldest. Thread-safe; the ring is telemetry, so recording
+/// threads never block on exporters longer than one mutex hand-off.
+class TraceRing {
+ public:
+  static TraceRing& instance();
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+  std::size_t size() const;
+  /// Total spans ever pushed (evicted ones included).
+  std::uint64_t total_recorded() const;
+
+  void push(SpanRecord record);
+  std::vector<SpanRecord> snapshot() const;
+  void clear();
+
+  /// One JSON object per line, oldest first:
+  ///   {"id":3,"parent":1,"name":"compile.prep","start_us":12,
+  ///    "dur_us":3400,"thread":9814...}
+  std::string export_jsonl() const;
+
+ private:
+  TraceRing() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII trace span with parent/child nesting via a thread-local span
+/// stack: a span constructed while another is live on the same thread
+/// records that span as its parent. On destruction the finished record
+/// lands in the TraceRing. No-op while `obs::enabled()` is false at
+/// construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+};
+
+}  // namespace ftsp::obs

@@ -4,7 +4,35 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/registry.hpp"
+
 namespace ftsp::sat {
+
+namespace {
+
+/// Records the deterministic referee's verdict for one portfolio race.
+void record_portfolio_winner(std::size_t winner) {
+  if (!obs::enabled()) {
+    return;
+  }
+  static obs::Counter& races =
+      obs::Registry::instance().counter("sat.portfolio.race.count");
+  static obs::Gauge& winner_index =
+      obs::Registry::instance().gauge("sat.portfolio.winner.index");
+  races.add(1);
+  winner_index.set(static_cast<std::int64_t>(winner));
+}
+
+void record_portfolio_round() {
+  if (!obs::enabled()) {
+    return;
+  }
+  static obs::Counter& rounds =
+      obs::Registry::instance().counter("sat.portfolio.round.count");
+  rounds.add(1);
+}
+
+}  // namespace
 
 ParallelSolver::ParallelSolver(const ParallelSolverOptions& options)
     : opts_(options) {
@@ -162,6 +190,7 @@ bool ParallelSolver::solve(std::span<const Lit> assumptions) {
       throw SolveInterrupted{};
     }
     last_winner_ = 0;
+    record_portfolio_winner(0);
     const bool sat = (r == LBool::True);
     if (sat) {
       model_.resize(static_cast<std::size_t>(num_vars_));
@@ -245,6 +274,7 @@ bool ParallelSolver::solve(std::span<const Lit> assumptions) {
       }
     };
 
+    record_portfolio_round();
     const std::size_t thread_count =
         std::min(opts_.num_threads, problems);
     if (thread_count <= 1) {
@@ -290,6 +320,7 @@ bool ParallelSolver::solve(std::span<const Lit> assumptions) {
 
     if (winner != problems || (cube_mode && unsat_everywhere)) {
       last_winner_ = winner;
+      record_portfolio_winner(winner);
       const bool sat = results[winner] == LBool::True;
       if (sat) {
         const Solver& s = *workers_[winner]->solver;

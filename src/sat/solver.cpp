@@ -4,10 +4,47 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/registry.hpp"
+
 namespace ftsp::sat {
 
 namespace {
 constexpr double kActivityRescaleLimit = 1e100;
+
+/// Publishes one solve call's search-effort deltas to the telemetry
+/// registry on scope exit — covers every return path of solve_limited.
+/// Pure observation: nothing here feeds back into the search.
+class SolveStatsObs {
+ public:
+  explicit SolveStatsObs(const SolverStats& stats)
+      : stats_(stats), start_(stats) {}
+  ~SolveStatsObs() {
+    if (!obs::enabled()) {
+      return;
+    }
+    auto& registry = obs::Registry::instance();
+    static obs::Counter& solves = registry.counter("sat.solve.count");
+    static obs::Counter& conflicts = registry.counter("sat.conflict.count");
+    static obs::Counter& propagations =
+        registry.counter("sat.propagation.count");
+    static obs::Counter& decisions = registry.counter("sat.decision.count");
+    static obs::Counter& restarts = registry.counter("sat.restart.count");
+    static obs::Counter& learned =
+        registry.counter("sat.learned_clause.count");
+    solves.add(1);
+    conflicts.add(stats_.conflicts - start_.conflicts);
+    propagations.add(stats_.propagations - start_.propagations);
+    decisions.add(stats_.decisions - start_.decisions);
+    restarts.add(stats_.restarts - start_.restarts);
+    learned.add(stats_.learned_clauses - start_.learned_clauses);
+  }
+  SolveStatsObs(const SolveStatsObs&) = delete;
+  SolveStatsObs& operator=(const SolveStatsObs&) = delete;
+
+ private:
+  const SolverStats& stats_;
+  const SolverStats start_;
+};
 }  // namespace
 
 std::uint64_t luby(std::uint64_t i) {
@@ -513,6 +550,7 @@ bool Solver::solve(std::span<const Lit> assumptions) {
 
 LBool Solver::solve_limited(std::span<const Lit> assumptions,
                             std::uint64_t max_conflicts) {
+  const SolveStatsObs stats_obs(stats_);
   model_.clear();
   if (proof_logging_) {
     last_proof_.reset();
@@ -587,6 +625,11 @@ void Solver::proof_log_clause(std::span<const Lit> lits, bool deletion) {
 }
 
 void Solver::proof_snapshot(std::span<const Lit> assumptions) {
+  if (obs::enabled()) {
+    static obs::Counter& proof_bytes =
+        obs::Registry::instance().counter("sat.proof.bytes");
+    proof_bytes.add(proof_drat_.size());
+  }
   UnsatProof proof;
   proof.premise = proof_premise_;
   proof.assumptions.assign(assumptions.begin(), assumptions.end());

@@ -1,0 +1,131 @@
+#include "serve/access_log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "compile/json.hpp"
+
+namespace ftsp::serve {
+
+AccessLog::AccessLog(std::string path, std::size_t flush_lines,
+                     std::size_t flush_interval_ms)
+    : path_(std::move(path)),
+      flush_lines_(flush_lines == 0 ? 1 : flush_lines),
+      flush_interval_ms_(flush_interval_ms) {
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+AccessLog::~AccessLog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  flusher_.join();
+}
+
+std::string AccessLog::render(const Record& record) {
+  std::string line = "{\"ts_us\":";
+  line += std::to_string(record.ts_us);
+  line += ",\"op\":\"";
+  line += compile::json_escape(record.op);
+  line += "\"";
+  if (!record.code.empty()) {
+    line += ",\"code\":\"";
+    line += compile::json_escape(record.code);
+    line += "\"";
+  }
+  line += ",\"v\":";
+  line += std::to_string(record.version);
+  line += ",\"status\":\"";
+  line += compile::json_escape(record.status);
+  line += "\",\"latency_us\":";
+  line += std::to_string(record.latency_us);
+  line += ",\"cache_hit\":";
+  line += record.cache_hit ? "true" : "false";
+  line += ",\"coalesced\":";
+  line += record.coalesced ? "true" : "false";
+  line += "}";
+  return line;
+}
+
+void AccessLog::append(const Record& record) {
+  std::string line = render(record);
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(line));
+    notify = pending_.size() >= flush_lines_;
+  }
+  if (notify) {
+    wake_.notify_one();
+  }
+}
+
+void AccessLog::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (pending_.empty()) {
+    return;
+  }
+  wake_.notify_one();
+  drained_.wait(lock, [&] { return pending_.empty(); });
+}
+
+std::uint64_t AccessLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+bool AccessLog::write_batch(const std::deque<std::string>& batch) {
+  // Open-append-close per batch (see class comment: this is what makes
+  // rotation-by-rename safe). std::ofstream::app maps to O_APPEND.
+  std::ofstream out(path_, std::ios::app | std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  for (const auto& line : batch) {
+    out << line << '\n';
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void AccessLog::flusher_loop() {
+  for (;;) {
+    std::deque<std::string> batch;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait_for(lock, std::chrono::milliseconds(flush_interval_ms_),
+                     [&] {
+                       return stop_ || pending_.size() >= flush_lines_;
+                     });
+      stopping = stop_;
+      batch.swap(pending_);
+    }
+    if (!batch.empty()) {
+      const bool ok = write_batch(batch);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (ok) {
+        written_ += batch.size();
+      } else if (!write_error_warned_) {
+        // Telemetry must never take the server down — warn once, drop.
+        write_error_warned_ = true;
+        std::fprintf(stderr,
+                     "ftsp-serve: WARNING: cannot append to access log "
+                     "'%s'; dropping records\n",
+                     path_.c_str());
+      }
+    }
+    drained_.notify_all();
+    if (stopping) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.empty()) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace ftsp::serve

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ftsp::serve {
+
+/// Buffered JSONL access log: one line per request, appended by request
+/// handlers and written by a background flusher thread, so the serving
+/// hot path never blocks on file I/O.
+///
+/// Each flush batch opens the log path in append mode, writes whole
+/// lines, and closes it again. That makes **rotation by rename** safe:
+/// move the current file aside (`mv access.log access.log.1`) and the
+/// next batch transparently creates a fresh file at the original path —
+/// no signal, no reopen command, no partial lines in either file.
+class AccessLog {
+ public:
+  struct Record {
+    std::uint64_t ts_us = 0;  ///< Wall-clock µs since the Unix epoch.
+    std::string op;           ///< Registered op name; "" = unparseable.
+    std::string code;         ///< "code" parameter, when present.
+    int version = 1;          ///< Wire dialect the response used.
+    std::string status;       ///< "ok" or the v2 error-code slug.
+    std::uint64_t latency_us = 0;
+    bool cache_hit = false;
+    bool coalesced = false;
+  };
+
+  /// Starts the flusher thread. Lines buffer until `flush_lines` are
+  /// pending or `flush_interval_ms` elapses, whichever first.
+  explicit AccessLog(std::string path, std::size_t flush_lines = 64,
+                     std::size_t flush_interval_ms = 500);
+  /// Flushes everything pending, then joins the flusher.
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Renders the record to one JSON line and enqueues it. Cheap (string
+  /// build + mutex push); never does file I/O.
+  void append(const Record& record);
+
+  /// Blocks until every line appended so far has been written.
+  void flush();
+
+  std::uint64_t lines_written() const;
+  const std::string& path() const { return path_; }
+
+  /// Builds the JSON line for one record (exposed for tests).
+  static std::string render(const Record& record);
+
+ private:
+  void flusher_loop();
+  bool write_batch(const std::deque<std::string>& batch);
+
+  const std::string path_;
+  const std::size_t flush_lines_;
+  const std::size_t flush_interval_ms_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::deque<std::string> pending_;
+  std::uint64_t written_ = 0;
+  bool stop_ = false;
+  bool write_error_warned_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace ftsp::serve

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace ftsp::serve {
 
 namespace fs = std::filesystem;
@@ -16,7 +18,10 @@ ReloadableService::ReloadableService(std::string store_dir,
       options_(options),
       runtime_(std::make_shared<ProtocolRuntime>()),
       cache_(std::make_shared<PayloadCache>(options.cache_bytes)) {
-  current_ = build();
+  if (!options_.access_log.empty()) {
+    access_log_ = std::make_shared<AccessLog>(options_.access_log);
+  }
+  current_ = build(runtime_->generation.load());
   fingerprint_ = index_fingerprint();
   // The reload op routes back here. The hook captures `this`; the dtor
   // clears it before tearing anything down so a request racing the
@@ -39,8 +44,8 @@ std::shared_ptr<const compile::ProtocolService> ReloadableService::service()
   return current_;
 }
 
-std::shared_ptr<const compile::ProtocolService> ReloadableService::build()
-    const {
+std::shared_ptr<const compile::ProtocolService> ReloadableService::build(
+    std::uint64_t generation) const {
   // A fresh ArtifactStore handle re-reads index.tsv from disk — that is
   // the whole reload mechanism; artifact payload files are immutable
   // (content-keyed), only the index gains/loses/repoints entries.
@@ -48,6 +53,8 @@ std::shared_ptr<const compile::ProtocolService> ReloadableService::build()
   auto service = std::make_shared<compile::ProtocolService>();
   service->set_runtime(runtime_);
   service->set_payload_cache(cache_);
+  service->set_access_log(access_log_);
+  service->set_generation(generation);
   service->load_store(store);
   return service;
 }
@@ -87,14 +94,34 @@ std::string ReloadableService::index_fingerprint() const {
 std::uint64_t ReloadableService::force_reload() {
   // Build outside `mutex_` — the expensive part (executor/decoder
   // construction per artifact) must not block `service()` snapshots.
+  // The new generation is computed up front (reload_mutex_ serializes
+  // concurrent reloads) so the fresh snapshot carries its own stamp:
+  // health and codes answered by one snapshot agree on the generation
+  // even for requests racing the swap.
   std::lock_guard<std::mutex> reload_lock(reload_mutex_);
-  auto fresh = build();
+  const auto swap_start = std::chrono::steady_clock::now();
+  const std::uint64_t generation = runtime_->generation.load() + 1;
+  auto fresh = build(generation);
   const std::string fingerprint = index_fingerprint();
-  const auto generation = runtime_->generation.fetch_add(1) + 1;
+  runtime_->generation.store(generation);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     current_ = std::move(fresh);
     fingerprint_ = fingerprint;
+  }
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::instance();
+    static obs::Counter& reloads = registry.counter("serve.reload.count");
+    static obs::Gauge& generation_gauge =
+        registry.gauge("serve.reload.generation");
+    static obs::Histogram& swap_duration =
+        registry.histogram("serve.reload.swap_duration_us");
+    reloads.add(1);
+    generation_gauge.set(static_cast<std::int64_t>(generation));
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - swap_start)
+                        .count();
+    swap_duration.record(us > 0 ? static_cast<std::uint64_t>(us) : 0);
   }
   std::fprintf(stderr,
                "ftsp-serve: store reloaded (generation %llu, %zu codes)\n",

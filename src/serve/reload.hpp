@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "compile/service.hpp"
+#include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 
 namespace ftsp::serve {
@@ -49,6 +50,9 @@ class ReloadableService {
     std::size_t cache_bytes = 0;
     /// Batch-request worker threads per service (0 = hardware).
     std::size_t num_threads = 0;
+    /// JSONL access-log path; empty = no access log. The log object is
+    /// shared across reload swaps (one file, one flusher thread).
+    std::string access_log;
   };
 
   /// Performs the initial (blocking) load. Throws if the store
@@ -83,12 +87,18 @@ class ReloadableService {
     return runtime_;
   }
   const std::shared_ptr<PayloadCache>& cache() const { return cache_; }
+  const std::shared_ptr<AccessLog>& access_log() const {
+    return access_log_;
+  }
   std::uint64_t generation() const { return runtime_->generation.load(); }
 
  private:
   /// Builds a fresh service from a fresh store handle, wiring in the
-  /// shared runtime and cache.
-  std::shared_ptr<const compile::ProtocolService> build() const;
+  /// shared runtime, cache and access log, stamped with the store
+  /// generation it serves — `health` reports that stamp, so health and
+  /// codes answered by one snapshot always agree.
+  std::shared_ptr<const compile::ProtocolService> build(
+      std::uint64_t generation) const;
   std::string index_fingerprint() const;
   void watch_loop();
 
@@ -96,6 +106,7 @@ class ReloadableService {
   Options options_;
   std::shared_ptr<ProtocolRuntime> runtime_;
   std::shared_ptr<PayloadCache> cache_;
+  std::shared_ptr<AccessLog> access_log_;
 
   mutable std::mutex mutex_;  ///< Guards current_ and fingerprint_.
   std::shared_ptr<const compile::ProtocolService> current_;

@@ -7,9 +7,13 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/expose.hpp"
+#include "obs/registry.hpp"
 #include "serve/wire.hpp"
 
 #ifndef _WIN32
@@ -53,6 +57,14 @@ std::string control_error_line(const char* code, const std::string& message) {
   return render_error(envelope, code, message) + "\n";
 }
 
+void count_connection_event(const char* verb, std::uint64_t n = 1) {
+  if (obs::enabled()) {
+    obs::Registry::instance()
+        .counter(std::string("serve.conn.") + verb + ".count")
+        .add(n);
+  }
+}
+
 }  // namespace
 
 struct TcpServer::Impl {
@@ -75,6 +87,11 @@ struct TcpServer::Impl {
     bool want_write = false;
     bool eof = false;   ///< Peer half-closed; close once drained.
     bool dead = false;  ///< Marked for removal this iteration.
+    /// Metrics-sidecar connection: bytes read are an HTTP request, the
+    /// (single) response is a Prometheus text page, written-then-closed
+    /// through the ordinary flush + drained-EOF machinery.
+    bool metrics = false;
+    bool metrics_responded = false;
   };
 
   struct Task {
@@ -92,19 +109,21 @@ struct TcpServer::Impl {
   // Reserved event ids (connection ids start above them).
   static constexpr std::uint64_t kListenerId = 0;
   static constexpr std::uint64_t kWakeId = 1;
+  static constexpr std::uint64_t kMetricsListenerId = 2;
 
   ServiceSnapshotFn snapshot;
   TcpServerOptions options;
   Stats* stats = nullptr;
 
   int listener = -1;
+  int metrics_listener = -1;
   int wake_read = -1;
   int wake_write = -1;
 #ifdef __linux__
   int epoll_fd = -1;
 #endif
 
-  std::uint64_t next_conn_id = 2;
+  std::uint64_t next_conn_id = 3;
   std::unordered_map<std::uint64_t, Connection> conns;
 
   std::mutex task_mutex;
@@ -130,6 +149,7 @@ struct TcpServer::Impl {
 
   ~Impl() {
     if (listener >= 0) ::close(listener);
+    if (metrics_listener >= 0) ::close(metrics_listener);
     if (wake_read >= 0) ::close(wake_read);
     if (wake_write >= 0 && wake_write != wake_read) ::close(wake_write);
 #ifdef __linux__
@@ -140,35 +160,52 @@ struct TcpServer::Impl {
     }
   }
 
-  std::uint16_t bind_and_listen() {
-    listener = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listener < 0) {
+  /// Binds one nonblocking IPv4 listener and returns {fd, bound port}.
+  static std::pair<int, std::uint16_t> bind_listener(const std::string& host,
+                                                     std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
       throw std::runtime_error("serve_tcp: socket() failed");
     }
     const int one = 1;
-    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in address{};
     address.sin_family = AF_INET;
-    address.sin_port = htons(options.port);
-    if (::inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1) {
-      throw std::runtime_error("serve_tcp: bad IPv4 host '" + options.host +
-                               "'");
+    address.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("serve_tcp: bad IPv4 host '" + host + "'");
     }
-    if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
                sizeof(address)) != 0) {
-      throw std::runtime_error("serve_tcp: cannot bind " + options.host +
-                               ":" + std::to_string(options.port));
+      ::close(fd);
+      throw std::runtime_error("serve_tcp: cannot bind " + host + ":" +
+                               std::to_string(port));
     }
-    if (::listen(listener, 128) != 0) {
+    if (::listen(fd, 128) != 0) {
+      ::close(fd);
       throw std::runtime_error("serve_tcp: listen() failed");
     }
-    set_nonblocking(listener);
+    set_nonblocking(fd);
 
     sockaddr_in bound{};
     socklen_t bound_len = sizeof(bound);
-    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
-                      &bound_len) != 0) {
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      ::close(fd);
       throw std::runtime_error("serve_tcp: getsockname() failed");
+    }
+    return {fd, ntohs(bound.sin_port)};
+  }
+
+  /// Returns {request port, metrics port} (metrics port 0 = disabled).
+  std::pair<std::uint16_t, std::uint16_t> bind_and_listen() {
+    std::uint16_t bound_port = 0;
+    std::tie(listener, bound_port) = bind_listener(options.host, options.port);
+    std::uint16_t bound_metrics_port = 0;
+    if (options.metrics_enabled) {
+      std::tie(metrics_listener, bound_metrics_port) =
+          bind_listener(options.metrics_host, options.metrics_port);
     }
 
 #ifdef __linux__
@@ -181,6 +218,10 @@ struct TcpServer::Impl {
       throw std::runtime_error("serve_tcp: epoll_create1() failed");
     }
     epoll_add(listener, kListenerId, /*read=*/true, /*write=*/false);
+    if (metrics_listener >= 0) {
+      epoll_add(metrics_listener, kMetricsListenerId, /*read=*/true,
+                /*write=*/false);
+    }
     epoll_add(wake_read, kWakeId, /*read=*/true, /*write=*/false);
 #else
     int pipe_fds[2];
@@ -192,7 +233,7 @@ struct TcpServer::Impl {
     set_nonblocking(wake_read);
     set_nonblocking(wake_write);
 #endif
-    return ntohs(bound.sin_port);
+    return {bound_port, bound_metrics_port};
   }
 
   // -------------------------------------------------------------------
@@ -252,6 +293,10 @@ struct TcpServer::Impl {
     std::vector<std::uint64_t> ids;
     fds.push_back({listener, POLLIN, 0});
     ids.push_back(kListenerId);
+    if (metrics_listener >= 0) {
+      fds.push_back({metrics_listener, POLLIN, 0});
+      ids.push_back(kMetricsListenerId);
+    }
     fds.push_back({wake_read, POLLIN, 0});
     ids.push_back(kWakeId);
     for (auto& [id, conn] : conns) {
@@ -336,6 +381,7 @@ struct TcpServer::Impl {
         // Over the admission cap: tell the client *why* before closing
         // — a silent RST is indistinguishable from a network fault.
         stats->rejected_overloaded.fetch_add(1);
+        count_connection_event("reject");
         const std::string line = control_error_line(
             error_code::kOverloaded,
             "connection limit reached (" +
@@ -349,6 +395,7 @@ struct TcpServer::Impl {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       stats->accepted.fetch_add(1);
+      count_connection_event("accept");
       const std::uint64_t id = next_conn_id++;
       Connection conn;
       conn.fd = fd;
@@ -357,6 +404,86 @@ struct TcpServer::Impl {
       epoll_add(fd, id, /*read=*/true, /*write=*/false);
 #endif
       conns.emplace(id, std::move(conn));
+    }
+  }
+
+  void accept_metrics_ready() {
+    for (;;) {
+      const int fd = ::accept(metrics_listener, nullptr, nullptr);
+      if (fd < 0) {
+        return;  // EAGAIN (or transient error): back to the loop.
+      }
+      if (conns.size() >= options.max_connections) {
+        stats->rejected_overloaded.fetch_add(1);
+        count_connection_event("reject");
+        static constexpr char k503[] =
+            "HTTP/1.0 503 Service Unavailable\r\n"
+            "Content-Length: 0\r\nConnection: close\r\n\r\n";
+        [[maybe_unused]] const auto n =
+            ::send(fd, k503, sizeof(k503) - 1, kSendFlags);
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      stats->accepted.fetch_add(1);
+      count_connection_event("accept");
+      const std::uint64_t id = next_conn_id++;
+      Connection conn;
+      conn.fd = fd;
+      conn.metrics = true;
+      conn.last_activity = std::chrono::steady_clock::now();
+#ifdef __linux__
+      epoll_add(fd, id, /*read=*/true, /*write=*/false);
+#endif
+      conns.emplace(id, std::move(conn));
+    }
+  }
+
+  /// Reads the (ignored) HTTP request off a metrics connection, then
+  /// preloads one Prometheus page into `conn.out` and half-closes —
+  /// the ordinary flush + drained-EOF machinery writes and reaps it.
+  /// The request bytes are not parsed: every path scrapes the same
+  /// registry, so GET /metrics, GET /, and HEAD all get the page.
+  void metrics_read_ready(Connection& conn) {
+    char chunk[4096];
+    for (;;) {
+      const auto got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn.last_activity = std::chrono::steady_clock::now();
+        conn.in.append(chunk, static_cast<std::size_t>(got));
+        if (conn.in.size() > options.max_line_bytes) {
+          conn.dead = true;  // Absurd "HTTP request": not a scraper.
+          return;
+        }
+        continue;
+      }
+      if (got == 0) {
+        conn.eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        break;
+      }
+      conn.dead = true;
+      return;
+    }
+    // Respond only after the header terminator (or peer EOF): writing
+    // before the request has fully arrived risks an RST tearing down
+    // the response bytes still in flight.
+    const bool have_request =
+        conn.in.find("\r\n\r\n") != std::string::npos ||
+        conn.in.find("\n\n") != std::string::npos;
+    if ((have_request || conn.eof) && !conn.metrics_responded) {
+      conn.metrics_responded = true;
+      if (obs::enabled()) {
+        static obs::Counter& scrapes =
+            obs::Registry::instance().counter("serve.metrics.scrape.count");
+        scrapes.add(1);
+      }
+      conn.out = obs::render_http_metrics_response();
+      conn.eof = true;  // Write-and-close (HTTP/1.0, Connection: close).
     }
   }
 
@@ -510,13 +637,18 @@ struct TcpServer::Impl {
   }
 
   void reap_dead() {
+    std::uint64_t reaped = 0;
     for (auto it = conns.begin(); it != conns.end();) {
       if (it->second.dead) {
         ::close(it->second.fd);
         it = conns.erase(it);
+        ++reaped;
       } else {
         ++it;
       }
+    }
+    if (reaped > 0) {
+      count_connection_event("reap", reaped);
     }
   }
 
@@ -553,12 +685,22 @@ struct TcpServer::Impl {
           }
           continue;
         }
+        if (event.id == kMetricsListenerId) {
+          if (!draining) {
+            accept_metrics_ready();
+          }
+          continue;
+        }
         const auto it = conns.find(event.id);
         if (it == conns.end()) {
           continue;  // Stale event for a just-closed connection.
         }
         if (event.readable && !it->second.dead && !draining) {
-          read_ready(event.id, it->second);
+          if (it->second.metrics) {
+            metrics_read_ready(it->second);
+          } else {
+            read_ready(event.id, it->second);
+          }
         }
         // Writes are retried for every connection below.
       }
@@ -612,7 +754,7 @@ TcpServer::TcpServer(ServiceSnapshotFn service, TcpServerOptions options)
   impl_->snapshot = std::move(service);
   impl_->options = options;
   impl_->stats = &stats_;
-  port_ = impl_->bind_and_listen();
+  std::tie(port_, metrics_port_) = impl_->bind_and_listen();
 }
 
 TcpServer::~TcpServer() { stop(); }

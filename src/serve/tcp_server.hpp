@@ -34,6 +34,16 @@ struct TcpServerOptions {
   /// it has this many requests queued or computing; resumes as
   /// responses flush.
   std::size_t max_inflight_per_connection = 64;
+  /// Optional plaintext metrics sidecar: when enabled, a second
+  /// listener on metrics_host:metrics_port answers every HTTP request
+  /// with one Prometheus text rendering of the process metric registry
+  /// (see src/obs/expose.hpp) and closes — scrape with curl or a
+  /// Prometheus scrape job, no JSON protocol handshake needed. Served
+  /// by the same event loop; read back the bound port via
+  /// `TcpServer::metrics_port()` when 0.
+  bool metrics_enabled = false;
+  std::string metrics_host = "127.0.0.1";
+  std::uint16_t metrics_port = 0;
 };
 
 /// Multi-client TCP front-end for the line protocol: one event-loop
@@ -73,6 +83,9 @@ class TcpServer {
   /// Actual bound port (resolves port 0 requests).
   std::uint16_t port() const { return port_; }
 
+  /// Actual bound metrics-sidecar port; 0 when the sidecar is disabled.
+  std::uint16_t metrics_port() const { return metrics_port_; }
+
   /// Starts the event loop and worker threads (idempotent).
   void start();
 
@@ -94,6 +107,7 @@ class TcpServer {
   std::unique_ptr<Impl> impl_;
   Stats stats_;
   std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
 };
 
 }  // namespace ftsp::serve

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "compile/json.hpp"
+#include "obs/registry.hpp"
 #include "qec/code_library.hpp"
 #include "serve/cache.hpp"
 
@@ -391,6 +392,66 @@ TEST_F(ServiceTest, CachedServingIsByteIdenticalAndCounted) {
   const auto sample_b = service.handle_request(sample);
   EXPECT_EQ(sample_a, sample_b);
   EXPECT_EQ(cache->stats().hits, 2u) << "sample must not be memoized";
+}
+
+TEST_F(ServiceTest, MetricsOpReturnsPrometheusRendering) {
+  obs::set_enabled(true);
+  // Serve something first so request-count metrics exist in the scrape.
+  service_->handle_request(R"({"v":2,"op":"health"})");
+  const auto response = service_->handle_request(R"({"v":2,"op":"metrics"})");
+  obs::clear_enabled_override();
+
+  EXPECT_EQ(response.rfind(R"({"v":2,"ok":true,)", 0), 0u) << response;
+  EXPECT_NE(response.find(R"("format":"prometheus")"), std::string::npos);
+  // The body is one JSON string holding the whole exposition (names
+  // sanitized to underscores); the scrape counter is bumped before
+  // rendering, so it sees itself.
+  EXPECT_NE(response.find("# TYPE serve_request_count counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_metrics_scrape_count"), std::string::npos);
+}
+
+TEST_F(ServiceTest, StatsV2CarriesLatencyAndCacheBreakdown) {
+  obs::set_enabled(true);
+  const ProtocolCompiler compiler;
+  ProtocolService service;
+  service.add(compiler.compile(qec::steane()));
+  service.set_payload_cache(std::make_shared<serve::PayloadCache>(1u << 20));
+  const std::string rate_request =
+      R"({"op":"rate","code":"Steane","p":0.01,"shots":1024,"seed":1})";
+  service.handle_request(rate_request);
+  service.handle_request(rate_request);  // second one is a cache hit
+
+  const auto v2 = service.handle_request(R"({"v":2,"op":"stats"})");
+  obs::clear_enabled_override();
+
+  EXPECT_NE(v2.find(R"("obs_enabled":true)"), std::string::npos) << v2;
+  // Latency percentiles for every registered op, p50 <= p99 within one
+  // snapshot by construction.
+  for (const char* op : {"codes", "info", "sample", "rate", "circuit",
+                         "health", "stats", "reload", "metrics"}) {
+    EXPECT_NE(v2.find("\"" + std::string(op) + "\":{\"count\":"),
+              std::string::npos)
+        << "missing latency block for " << op << " in " << v2;
+  }
+  EXPECT_NE(v2.find(R"("p50_us":)"), std::string::npos);
+  EXPECT_NE(v2.find(R"("p99_us":)"), std::string::npos);
+  // Cache breakdown only for the coalescable ops (sample, rate). The
+  // registry is process-global, so assert presence, not exact counts.
+  const auto cache_ops_at = v2.find(R"("cache_ops":{)");
+  ASSERT_NE(cache_ops_at, std::string::npos) << v2;
+  const std::string cache_ops = v2.substr(cache_ops_at);
+  EXPECT_NE(cache_ops.find(R"("rate":{"hit":)"), std::string::npos);
+  EXPECT_NE(cache_ops.find(R"("sample":{"hit":)"), std::string::npos);
+  EXPECT_EQ(cache_ops.find(R"("codes":{"hit":)"), std::string::npos)
+      << "codes is never cached; it must not get a cache_ops block";
+
+  // The v1 stats response is frozen: none of the v2 extension fields
+  // may appear.
+  const auto v1 = service.handle_request(R"({"op":"stats"})");
+  EXPECT_EQ(v1.find("obs_enabled"), std::string::npos) << v1;
+  EXPECT_EQ(v1.find("latency"), std::string::npos) << v1;
+  EXPECT_EQ(v1.find("cache_ops"), std::string::npos) << v1;
 }
 
 TEST(PayloadCacheTest, EvictsLruAndTracksBytes) {

@@ -20,11 +20,16 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "compile/artifact.hpp"
 #include "compile/service.hpp"
 #include "compile/store.hpp"
+#include "obs/registry.hpp"
 #include "qec/code_library.hpp"
 #include "qec/coupling.hpp"
+#include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 #include "serve/reload.hpp"
 
@@ -396,6 +401,169 @@ TEST_F(ServeTcpTest, CoalescedAndUncoalescedServingAreBitIdentical) {
   const auto stats = cache->stats();
   EXPECT_GT(stats.hits, 0u) << "repeated rate query never hit the cache";
   server.stop();
+}
+
+// Regression: health used to read the *live* runtime generation, so a
+// request racing a hot reload could see codes from the old snapshot but
+// the generation of the new one. Both now come from the same immutable
+// service snapshot.
+TEST_F(ServeTcpTest, HealthGenerationAgreesWithSnapshotAcrossReload) {
+  TempDir store_dir;
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(*artifact_);
+  }
+  ReloadableService reloadable(store_dir.path.string(), {});
+
+  // Hold the pre-reload snapshot open, exactly like an in-flight
+  // request would across a swap.
+  const auto old_snapshot = reloadable.service();
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(linear_variant());
+  }
+  EXPECT_EQ(reloadable.force_reload(), 2u);
+
+  const auto old_health =
+      old_snapshot->handle_request(R"({"v":2,"op":"health"})");
+  EXPECT_NE(old_health.find(R"("codes":1)"), std::string::npos) << old_health;
+  EXPECT_NE(old_health.find(R"("generation":1)"), std::string::npos)
+      << "old snapshot must keep reporting the generation it serves: "
+      << old_health;
+
+  const auto new_health =
+      reloadable.service()->handle_request(R"({"v":2,"op":"health"})");
+  EXPECT_NE(new_health.find(R"("codes":2)"), std::string::npos) << new_health;
+  EXPECT_NE(new_health.find(R"("generation":2)"), std::string::npos)
+      << new_health;
+
+  // stats stays cumulative (live runtime counter) by design.
+  const auto stats = old_snapshot->handle_request(R"({"v":2,"op":"stats"})");
+  EXPECT_NE(stats.find(R"("generation":2)"), std::string::npos) << stats;
+}
+
+/// One HTTP GET against the metrics sidecar, reading to EOF (the
+/// sidecar answers every request with one rendering and closes).
+std::string http_get_metrics(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const auto got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      break;
+    }
+    response.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServeTcpTest, MetricsSidecarServesPrometheusText) {
+  obs::set_enabled(true);
+  const auto service = make_service();
+  TcpServerOptions options;
+  options.num_threads = 1;
+  options.metrics_enabled = true;
+  TcpServer server([&] { return service; }, options);
+  server.start();
+  ASSERT_NE(server.metrics_port(), 0u);
+  ASSERT_NE(server.metrics_port(), server.port());
+
+  // Serve one JSON request first so serve.request.count exists and is
+  // nonzero in the scrape.
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(R"({"v":2,"op":"health"})"));
+  ASSERT_NE(client.read_line().find(R"("status":"serving")"),
+            std::string::npos);
+
+  const std::string response = http_get_metrics(server.metrics_port());
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("# TYPE serve_request_count counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("serve_metrics_scrape_count"), std::string::npos);
+  // The JSON line protocol on the main port is untouched by the
+  // sidecar: the same connection still answers.
+  ASSERT_TRUE(client.send_line(R"({"op":"codes"})"));
+  EXPECT_NE(client.read_line().find(R"("ok":true)"), std::string::npos);
+
+  // A second scrape works (one connection per scrape, like Prometheus).
+  EXPECT_NE(http_get_metrics(server.metrics_port())
+                .find("serve_metrics_scrape_count"),
+            std::string::npos);
+  server.stop();
+  obs::clear_enabled_override();
+}
+
+TEST_F(ServeTcpTest, AccessLogWritesOneJsonLinePerRequest) {
+  TempDir store_dir;
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(*artifact_);
+  }
+  const std::string log_path = (store_dir.path / "access.jsonl").string();
+  ReloadableService::Options reload_options;
+  reload_options.access_log = log_path;
+  ReloadableService reloadable(store_dir.path.string(), reload_options);
+  ASSERT_NE(reloadable.access_log(), nullptr);
+
+  const auto service = reloadable.service();
+  service->handle_request(R"({"v":2,"op":"health"})");
+  service->handle_request(R"({"op":"codes"})");
+  service->handle_request(R"({"v":2,"op":"nope"})");
+  reloadable.access_log()->flush();
+  EXPECT_EQ(reloadable.access_log()->lines_written(), 3u);
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find(R"("op":"health")"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find(R"("v":2)"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find(R"("status":"ok")"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find(R"("op":"codes")"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find(R"("v":1)"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find(R"("status":"unknown_op")"), std::string::npos)
+      << lines[2];
+  for (const auto& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find(R"("ts_us":)"), std::string::npos) << l;
+    EXPECT_NE(l.find(R"("latency_us":)"), std::string::npos) << l;
+  }
+
+  // Rotation by rename: move the file aside; the next batch creates a
+  // fresh file at the original path.
+  const std::string rotated = log_path + ".1";
+  fs::rename(log_path, rotated);
+  service->handle_request(R"({"v":2,"op":"health"})");
+  reloadable.access_log()->flush();
+  std::ifstream fresh(log_path);
+  ASSERT_TRUE(fresh.good()) << "no new file after rotation";
+  std::string fresh_line;
+  ASSERT_TRUE(std::getline(fresh, fresh_line));
+  EXPECT_NE(fresh_line.find(R"("op":"health")"), std::string::npos);
 }
 
 }  // namespace
