@@ -57,16 +57,44 @@ struct Options {
 /// latency numbers are honest per-request round trips).
 class Client {
  public:
-  Client(const std::string& host, std::uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  /// Connects with a bounded retry loop — exponential backoff from 50ms
+  /// doubling to a 2s cap, ~10 attempts. A just-launched server (CI
+  /// starts `ftsp_cli serve` and this bench back to back) needs a beat
+  /// before its listener answers, and a busy accept queue can refuse
+  /// transiently; anything persistent still fails within seconds. The
+  /// jitter that spreads concurrent clients apart is deterministic
+  /// (derived from the client index and attempt number), keeping runs
+  /// reproducible.
+  Client(const std::string& host, std::uint16_t port, std::size_t salt = 0) {
     sockaddr_in address{};
     address.sin_family = AF_INET;
     address.sin_port = htons(port);
     ::inet_pton(AF_INET, host.c_str(), &address.sin_addr);
-    ok_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
-                    sizeof(address)) == 0;
-    const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    constexpr int kMaxAttempts = 10;
+    std::chrono::milliseconds backoff(50);
+    for (int attempt = 0; attempt < kMaxAttempts && !ok_; ++attempt) {
+      if (attempt > 0) {
+        const std::chrono::milliseconds jitter(
+            (salt * 7919 + static_cast<std::size_t>(attempt) * 104729) % 25);
+        std::this_thread::sleep_for(backoff + jitter);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(2000));
+      }
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) {
+        continue;
+      }
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                    sizeof(address)) == 0) {
+        ok_ = true;
+        break;
+      }
+      ::close(fd_);
+      fd_ = -1;
+    }
+    if (ok_) {
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
   }
   ~Client() {
     if (fd_ >= 0) {
@@ -180,7 +208,7 @@ int run(const Options& options) {
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < options.clients; ++c) {
     threads.emplace_back([&, c] {
-      Client client(host, port);
+      Client client(host, port, c);
       if (!client.ok()) {
         failures.fetch_add(options.requests_per_client);
         return;

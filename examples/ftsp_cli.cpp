@@ -53,6 +53,7 @@
 //   ftsp_cli serve   --store DIR [--threads N] [--socket PATH]
 //                    [--tcp HOST:PORT] [--reload] [--cache-mb N]
 //                    [--max-connections N] [--idle-timeout-ms N]
+//                    [--request-timeout-ms N]
 //                    [--metrics HOST:PORT] [--access-log FILE]
 //       Loads every artifact and answers newline-delimited JSON requests
 //       on stdin, a unix socket file, or a multi-client TCP endpoint —
@@ -62,7 +63,11 @@
 //       (--cache-mb). --metrics serves a Prometheus plaintext scrape
 //       endpoint on a second port; --access-log appends one JSONL line
 //       per request (rotate by rename, see src/serve/access_log.hpp).
-//       See src/serve/protocol.md for the wire protocol.
+//       --request-timeout-ms bounds every request from arrival to
+//       answer (expired requests get a `deadline_exceeded` error and
+//       cancel cooperatively mid-compute). SIGTERM/SIGINT drain
+//       gracefully: in-flight requests finish, the access log flushes,
+//       and the process exits 0. See src/serve/protocol.md.
 //   ftsp_cli query   --store DIR <json|->
 //       One-shot request against the store (reads stdin when "-").
 //       Failures print the same machine-readable error envelope the
@@ -75,6 +80,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,6 +117,10 @@
 #include "serve/tcp_server.hpp"
 #include "serve/wire.hpp"
 #include "util/binio.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -249,8 +259,8 @@ int usage() {
                "       ftsp_cli serve --store DIR [--threads N] "
                "[--socket PATH] [--tcp HOST:PORT] [--reload] "
                "[--cache-mb N] [--max-connections N] "
-               "[--idle-timeout-ms N] [--metrics HOST:PORT] "
-               "[--access-log FILE],\n"
+               "[--idle-timeout-ms N] [--request-timeout-ms N] "
+               "[--metrics HOST:PORT] [--access-log FILE],\n"
                "       ftsp_cli query --store DIR [--coupling NAME] "
                "<json|->\n"
                "coupling maps: all, linear, ring, grid, heavy-hex, or a "
@@ -613,6 +623,20 @@ void require_store_exists(const std::string& dir) {
   }
 }
 
+#ifndef _WIN32
+/// Self-pipe for graceful shutdown: a signal handler may only call
+/// async-signal-safe functions, so SIGTERM/SIGINT write one byte here
+/// and a waiter thread turns it into TcpServer::stop() — in-flight
+/// requests drain, the access log flushes, the process exits 0.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void handle_shutdown_signal(int) {
+  const char byte = 1;
+  // Only job is waking the waiter; a full pipe has already done that.
+  [[maybe_unused]] const ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+#endif
+
 int run_serve(const std::vector<std::string>& args) {
   std::string store_dir;
   std::string socket_path;
@@ -623,6 +647,7 @@ int run_serve(const std::vector<std::string>& args) {
   std::size_t cache_mb = 0;
   std::size_t max_connections = 256;
   std::size_t idle_timeout_ms = 0;
+  std::size_t request_timeout_ms = 0;
   compile::ServeOptions serve_options;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--store") {
@@ -650,6 +675,9 @@ int run_serve(const std::vector<std::string>& args) {
     } else if (args[i] == "--idle-timeout-ms") {
       idle_timeout_ms =
           parse_size("--idle-timeout-ms", flag_value(args, i));
+    } else if (args[i] == "--request-timeout-ms") {
+      request_timeout_ms =
+          parse_size("--request-timeout-ms", flag_value(args, i));
     } else {
       throw UsageError("unknown argument '" + args[i] + "'");
     }
@@ -709,6 +737,8 @@ int run_serve(const std::vector<std::string>& args) {
     tcp_options.num_threads = serve_options.num_threads;
     tcp_options.max_connections = max_connections;
     tcp_options.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+    tcp_options.request_timeout =
+        std::chrono::milliseconds(request_timeout_ms);
     if (!metrics_spec.empty()) {
       const auto [metrics_host, metrics_port] =
           parse_host_port("--metrics", metrics_spec);
@@ -719,6 +749,24 @@ int run_serve(const std::vector<std::string>& args) {
     serve::TcpServer server([&] { return reloadable.service(); },
                             tcp_options);
     server.start();
+#ifndef _WIN32
+    if (::pipe(g_shutdown_pipe) != 0) {
+      throw std::runtime_error("serve: cannot create shutdown pipe");
+    }
+    struct sigaction shutdown_action {};
+    shutdown_action.sa_handler = &handle_shutdown_signal;
+    ::sigemptyset(&shutdown_action.sa_mask);
+    ::sigaction(SIGTERM, &shutdown_action, nullptr);
+    ::sigaction(SIGINT, &shutdown_action, nullptr);
+    std::thread shutdown_waiter([&server] {
+      char byte = 0;
+      while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      std::fprintf(stderr, "ftsp-serve: shutdown signal received; draining "
+                           "in-flight requests\n");
+      server.stop();
+    });
+#endif
     std::fprintf(stderr,
                  "serving %zu protocol(s) from %s on %s:%u (reload=%s, "
                  "cache=%zuMB)\n",
@@ -733,6 +781,22 @@ int run_serve(const std::vector<std::string>& args) {
       std::fprintf(stderr, "access log: %s\n", access_log_path.c_str());
     }
     server.wait();
+#ifndef _WIN32
+    // wait() can also return on a fatal event-loop error: poke the pipe
+    // so the waiter always wakes, join it, then restore default signal
+    // dispositions for the rest of the process.
+    handle_shutdown_signal(0);
+    shutdown_waiter.join();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    ::close(g_shutdown_pipe[0]);
+    ::close(g_shutdown_pipe[1]);
+    g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
+#endif
+    if (reloadable.access_log() != nullptr) {
+      reloadable.access_log()->flush();
+    }
+    std::fprintf(stderr, "ftsp-serve: drained; exiting cleanly\n");
     return 0;
   }
 
@@ -740,7 +804,7 @@ int run_serve(const std::vector<std::string>& args) {
     throw UsageError("--reload needs --tcp (stdin/socket serving loads "
                      "the store once)");
   }
-  const compile::ArtifactStore store(store_dir);
+  compile::ArtifactStore store(store_dir);
   compile::ProtocolService service;
   if (cache_mb != 0) {
     service.set_payload_cache(
@@ -838,7 +902,7 @@ int run_query(const std::vector<std::string>& args) {
   }
   try {
     require_store_exists(store_dir);
-    const compile::ArtifactStore store(store_dir);
+    compile::ArtifactStore store(store_dir);
     compile::ProtocolService service;
     service.load_store(store);
     std::printf("%s\n", service.handle_request(request).c_str());

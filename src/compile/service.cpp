@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "compile/format.hpp"
 #include "compile/json.hpp"
 #include "core/qasm_export.hpp"
 #include "core/rate_estimator.hpp"
@@ -156,8 +157,13 @@ std::string quoted_json_array(const std::vector<std::string>& items) {
 struct ServiceOps {
   using Entry = ProtocolService::Entry;
   /// Payload producer. `entry` is non-null iff the op `needs_code`.
+  /// `cancel` is the request's cooperative deadline token (never null;
+  /// tokenless requests get one that never fires) — long-running
+  /// handlers thread it into their compute loops, everything else
+  /// ignores it.
   using Handler = std::string (*)(const ProtocolService&, const Entry*,
-                                  const JsonObject&);
+                                  const JsonObject&,
+                                  const util::CancelToken*);
   /// Canonical cache/coalescing key builder. Validates every
   /// result-changing parameter (so a cached hit rejects exactly the
   /// requests a fresh compute would) and excludes parameters that
@@ -181,23 +187,26 @@ struct ServiceOps {
   static std::string ops_hint();
 
   static std::string codes(const ProtocolService& service, const Entry*,
-                           const JsonObject&);
+                           const JsonObject&, const util::CancelToken*);
   static std::string info(const ProtocolService&, const Entry* entry,
-                          const JsonObject&);
+                          const JsonObject&, const util::CancelToken*);
   static std::string sample(const ProtocolService&, const Entry* entry,
-                            const JsonObject& request);
+                            const JsonObject& request,
+                            const util::CancelToken*);
   static std::string rate(const ProtocolService&, const Entry* entry,
-                          const JsonObject& request);
+                          const JsonObject& request,
+                          const util::CancelToken* cancel);
   static std::string circuit(const ProtocolService&, const Entry* entry,
-                             const JsonObject& request);
+                             const JsonObject& request,
+                             const util::CancelToken*);
   static std::string health(const ProtocolService& service, const Entry*,
-                            const JsonObject&);
+                            const JsonObject&, const util::CancelToken*);
   static std::string stats(const ProtocolService& service, const Entry*,
-                           const JsonObject&);
+                           const JsonObject&, const util::CancelToken*);
   static std::string reload(const ProtocolService& service, const Entry*,
-                            const JsonObject&);
+                            const JsonObject&, const util::CancelToken*);
   static std::string metrics(const ProtocolService&, const Entry*,
-                             const JsonObject&);
+                             const JsonObject&, const util::CancelToken*);
 
   static std::string sample_key(const Entry& entry, const JsonObject& request);
   static std::string rate_key(const Entry& entry, const JsonObject& request);
@@ -239,7 +248,8 @@ std::string ServiceOps::ops_hint() {
 }
 
 std::string ServiceOps::codes(const ProtocolService& service, const Entry*,
-                              const JsonObject&) {
+                              const JsonObject&,
+                              const util::CancelToken*) {
   JsonWriter out;
   out.raw_field("codes", quoted_json_array(service.code_names()));
   // Only when non-empty: shadow-free stores keep the historical v1
@@ -251,7 +261,8 @@ std::string ServiceOps::codes(const ProtocolService& service, const Entry*,
 }
 
 std::string ServiceOps::info(const ProtocolService&, const Entry* entry,
-                             const JsonObject&) {
+                             const JsonObject&,
+                             const util::CancelToken*) {
   const ProtocolArtifact& artifact = entry->artifact;
   const auto& code = *artifact.protocol.code;
   JsonWriter out;
@@ -300,7 +311,8 @@ std::string ServiceOps::sample_key(const Entry& entry,
 }
 
 std::string ServiceOps::sample(const ProtocolService&, const Entry* entry,
-                               const JsonObject& request) {
+                               const JsonObject& request,
+                               const util::CancelToken*) {
   const ProtocolArtifact& artifact = entry->artifact;
   const double p = probability_param(request, "p", 0.01);
   const auto shots = static_cast<std::size_t>(
@@ -369,7 +381,8 @@ std::string ServiceOps::rate_key(const Entry& entry,
 }
 
 std::string ServiceOps::rate(const ProtocolService&, const Entry* entry,
-                             const JsonObject& request) {
+                             const JsonObject& request,
+                             const util::CancelToken* cancel) {
   // Stratified fault-sector estimation (see core/rate_estimator.hpp):
   // exhaustive small sectors + adaptively allocated conditional
   // sampling, served from the artifact's precomputed layout and run
@@ -391,6 +404,10 @@ std::string ServiceOps::rate(const ProtocolService&, const Entry* entry,
     throw std::invalid_argument("parameter 'rel_err' must be in (0, 1]");
   }
   rate_options.layout = &artifact.layout;
+  // Per-request deadline: the estimator checks between wave batches and
+  // throws CancelledError, which dispatch maps to `deadline_exceeded` —
+  // a pathological rate request frees its worker instead of holding it.
+  rate_options.cancel = cancel;
   const auto p_points = static_cast<std::size_t>(
       integer_param(request, "p_points", 0, 256));
   JsonWriter out;
@@ -426,7 +443,8 @@ std::string ServiceOps::rate(const ProtocolService&, const Entry* entry,
 }
 
 std::string ServiceOps::circuit(const ProtocolService&, const Entry* entry,
-                                const JsonObject& request) {
+                                const JsonObject& request,
+                                const util::CancelToken*) {
   const ProtocolArtifact& artifact = entry->artifact;
   const std::string format = string_param(request, "format", "qasm");
   std::string body;
@@ -446,7 +464,8 @@ std::string ServiceOps::circuit(const ProtocolService&, const Entry* entry,
 }
 
 std::string ServiceOps::health(const ProtocolService& service, const Entry*,
-                               const JsonObject&) {
+                               const JsonObject&,
+                               const util::CancelToken*) {
   JsonWriter out;
   out.field("status", "serving");
   out.field("codes", static_cast<std::uint64_t>(service.size()));
@@ -457,16 +476,37 @@ std::string ServiceOps::health(const ProtocolService& service, const Entry*,
   out.field("shadowed",
             static_cast<std::uint64_t>(service.shadowed_keys().size()));
   bool reloadable = false;
+  std::string last_error;
   {
     std::lock_guard<std::mutex> lock(service.runtime()->hook_mutex);
     reloadable = static_cast<bool>(service.runtime()->reload_hook);
+    last_error = service.runtime()->last_reload_error;
   }
   out.field("reloadable", reloadable);
+  // Resilience surface, emitted only when relevant (the `shadowed`
+  // precedent): healthy stores keep their historical response bytes.
+  // `degraded` = the last reload failed and an older snapshot is still
+  // answering; the recovery counts = damage this snapshot's load
+  // survived (skipped index lines, quarantined artifacts).
+  if (service.runtime()->degraded.load()) {
+    out.field("degraded", true);
+    out.field("last_error", last_error);
+  }
+  const auto& recovery = service.store_recovery();
+  if (recovery.quarantined != 0) {
+    out.field("quarantined",
+              static_cast<std::uint64_t>(recovery.quarantined));
+  }
+  if (recovery.malformed_index_lines != 0) {
+    out.field("recovered_index_lines",
+              static_cast<std::uint64_t>(recovery.malformed_index_lines));
+  }
   return out.take_body();
 }
 
 std::string ServiceOps::stats(const ProtocolService& service, const Entry*,
-                              const JsonObject& request) {
+                              const JsonObject& request,
+                              const util::CancelToken*) {
   const auto& runtime = *service.runtime();
   JsonWriter out;
   out.field("generation", runtime.generation.load());
@@ -542,7 +582,8 @@ std::string ServiceOps::stats(const ProtocolService& service, const Entry*,
 }
 
 std::string ServiceOps::reload(const ProtocolService& service, const Entry*,
-                               const JsonObject&) {
+                               const JsonObject&,
+                               const util::CancelToken*) {
   std::function<std::uint64_t()> hook;
   {
     std::lock_guard<std::mutex> lock(service.runtime()->hook_mutex);
@@ -562,7 +603,8 @@ std::string ServiceOps::reload(const ProtocolService& service, const Entry*,
 }
 
 std::string ServiceOps::metrics(const ProtocolService&, const Entry*,
-                                const JsonObject&) {
+                                const JsonObject&,
+                                const util::CancelToken*) {
   if (obs::enabled()) {
     static obs::Counter& scrapes =
         obs::Registry::instance().counter("serve.metrics.scrape.count");
@@ -605,12 +647,21 @@ std::string ProtocolService::serving_name(const ProtocolArtifact& artifact) {
   return name;
 }
 
-std::size_t ProtocolService::load_store(const ArtifactStore& store) {
+std::size_t ProtocolService::load_store(ArtifactStore& store) {
   for (const std::string& key : store.keys()) {
-    if (auto artifact = store.get(key)) {
-      add(std::move(*artifact));
+    try {
+      if (auto artifact = store.get(key)) {
+        add(std::move(*artifact));
+      }
+    } catch (const ArtifactFormatError& e) {
+      // One unreadable/corrupt artifact must not take down every other
+      // protocol in the store: move it aside (quarantine/ keeps the
+      // bytes for a post-mortem), drop its index entry, keep loading.
+      // The count surfaces in `health` as "quarantined".
+      store.quarantine(key, e.what());
     }
   }
+  store_recovery_ = store.recovery();
   return entries_.size();
 }
 
@@ -667,6 +718,12 @@ void ProtocolService::set_access_log(std::shared_ptr<serve::AccessLog> log) {
 
 std::string ProtocolService::handle_request(
     const std::string& json_line) const {
+  return handle_request(json_line, std::chrono::steady_clock::time_point{});
+}
+
+std::string ProtocolService::handle_request(
+    const std::string& json_line,
+    std::chrono::steady_clock::time_point deadline) const {
   // Per-request telemetry, captured as dispatch runs and recorded after
   // the response bytes are final — observation only, by construction
   // incapable of changing them. Per-op registry series are keyed by the
@@ -698,6 +755,24 @@ std::string ProtocolService::handle_request(
       }
       serve::parse_envelope(request, envelope);
       telemetry.version = envelope.version;
+      // Effective deadline: the server-imposed one (absolute, stamped at
+      // request arrival so queue wait counts), optionally *tightened* —
+      // never extended — by a v2 `deadline_ms` field, relative to now.
+      auto effective_deadline = deadline;
+      if (envelope.version >= 2) {
+        constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;  // One day.
+        const std::uint64_t deadline_ms =
+            integer_param(request, "deadline_ms", 0, kMaxDeadlineMs);
+        if (deadline_ms != 0) {
+          const auto requested = std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(deadline_ms);
+          if (effective_deadline == std::chrono::steady_clock::time_point{} ||
+              requested < effective_deadline) {
+            effective_deadline = requested;
+          }
+        }
+      }
+      const util::CancelToken cancel_token(effective_deadline);
       const std::string op = string_param(request, "op", "");
       const ServiceOps::OpSpec* spec = ServiceOps::find_op(op);
       if (spec == nullptr) {
@@ -728,6 +803,12 @@ std::string ProtocolService::handle_request(
         }
       }
 
+      // Expired before compute even starts (long queue wait, tiny
+      // client budget): answer without burning a worker on doomed work.
+      if (cancel_token.cancelled()) {
+        throw util::CancelledError("deadline exceeded before compute");
+      }
+
       std::string payload;
       if (spec->key != nullptr && cache_ != nullptr) {
         // Coalescable compute op with a serving cache attached: the key
@@ -735,14 +816,14 @@ std::string ProtocolService::handle_request(
         // a cache hit rejects exactly what a fresh compute would.
         const std::string key = spec->key(*entry, request);
         auto outcome = cache_->get_or_compute(key, spec->memoize, [&] {
-          return spec->handler(*this, entry, request);
+          return spec->handler(*this, entry, request, &cancel_token);
         });
         telemetry.cacheable = true;
         telemetry.cache_hit = outcome.cache_hit;
         telemetry.coalesced = outcome.coalesced;
         payload = std::move(outcome.payload);
       } else {
-        payload = spec->handler(*this, entry, request);
+        payload = spec->handler(*this, entry, request, &cancel_token);
       }
       return serve::render_ok(envelope, payload);
     } catch (const serve::ServiceError& e) {
@@ -752,6 +833,16 @@ std::string ProtocolService::handle_request(
       telemetry.status = serve::error_code::kBadParam;
       return serve::render_error(envelope, serve::error_code::kBadParam,
                                  e.what());
+    } catch (const util::CancelledError&) {
+      // A fired deadline, whether caught before compute started or
+      // thrown out of a cancelled estimator loop (possibly propagated
+      // to every coalesced waiter — cancelled computes are never
+      // cached). One stable message: deadline responses must not leak
+      // how far the compute got.
+      telemetry.status = serve::error_code::kDeadlineExceeded;
+      return serve::render_error(envelope,
+                                 serve::error_code::kDeadlineExceeded,
+                                 "deadline exceeded");
     } catch (const std::exception& e) {
       telemetry.status = serve::error_code::kInternal;
       return serve::render_error(envelope, serve::error_code::kInternal,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -13,6 +14,7 @@
 #include "compile/artifact.hpp"
 #include "compile/store.hpp"
 #include "core/executor.hpp"
+#include "util/cancel.hpp"
 
 namespace ftsp::serve {
 class AccessLog;
@@ -69,6 +71,12 @@ class ProtocolService {
     /// Read and written under `hook_mutex` (the handler copies it out
     /// before invoking).
     std::function<std::uint64_t()> reload_hook;
+    /// Degraded-but-serving state: a hot reload that failed to build
+    /// (torn index, unreadable store) keeps the previous snapshot live
+    /// and records the failure here; `health` surfaces
+    /// `"degraded":true` + the last error until a reload succeeds.
+    std::atomic<bool> degraded{false};
+    std::string last_reload_error;  ///< Guarded by hook_mutex.
     std::mutex hook_mutex;
 
     Runtime();  ///< Pre-populates op_counts from the op table.
@@ -82,7 +90,13 @@ class ProtocolService {
   /// other — last key in store order wins — and every overwritten key
   /// is recorded in `shadowed_keys()` and warned about on stderr, so
   /// an operator can see which artifacts a store is NOT serving.
-  std::size_t load_store(const ArtifactStore& store);
+  ///
+  /// Resilient: an artifact that fails to read or decode is quarantined
+  /// in the store (see ArtifactStore::quarantine) and skipped — one
+  /// corrupt file must not take down every other protocol. The
+  /// quarantined count (plus any index lines the store's recovery-mode
+  /// loader skipped) is surfaced by `health`.
+  std::size_t load_store(ArtifactStore& store);
 
   /// Adds one artifact directly (tests, in-process pipelines). An
   /// artifact displacing an already-loaded serving name records the
@@ -125,7 +139,18 @@ class ProtocolService {
   /// (shots capped at 2^22 per request, threads at 256) — out-of-range
   /// values are rejected, not clamped. Never throws: malformed requests
   /// produce the error envelope of the request's wire version.
+  ///
+  /// The `deadline` overload enforces a per-request deadline (absolute,
+  /// so time queued upstream counts): expired before compute starts or
+  /// fired mid-compute (cooperative CancelToken threaded into the rate
+  /// estimator) answers `deadline_exceeded` and frees the worker. A v2
+  /// request may tighten (never extend) it with its own `deadline_ms`
+  /// field, which also works when the server imposes no deadline. The
+  /// default time_point means "no server deadline".
   std::string handle_request(const std::string& json_line) const;
+  std::string handle_request(
+      const std::string& json_line,
+      std::chrono::steady_clock::time_point deadline) const;
 
   /// Attaches a serving-side payload cache (LRU memoization +
   /// cross-request single-flight coalescing) consulted by the compute
@@ -157,6 +182,13 @@ class ProtocolService {
   void set_generation(std::uint64_t generation) { generation_ = generation; }
   std::uint64_t generation() const { return generation_; }
 
+  /// Store damage survived while this snapshot loaded (malformed index
+  /// lines skipped, artifacts quarantined). Surfaced by `health` — only
+  /// when nonzero, so healthy stores keep their historical bytes.
+  const ArtifactStore::RecoveryReport& store_recovery() const {
+    return store_recovery_;
+  }
+
  private:
   /// Immutable per-protocol serving state; heap-allocated so executor /
   /// decoder self-references survive map rehashing.
@@ -181,6 +213,7 @@ class ProtocolService {
   std::shared_ptr<Runtime> runtime_;
   std::shared_ptr<serve::AccessLog> access_log_;
   std::uint64_t generation_ = 1;
+  ArtifactStore::RecoveryReport store_recovery_;
 };
 
 struct ServeOptions {

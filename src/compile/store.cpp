@@ -8,6 +8,7 @@
 #include <sstream>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #else
 #include <process.h>
@@ -16,6 +17,7 @@
 #include "compile/format.hpp"
 #include "core/synth_cache.hpp"
 #include "util/binio.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ftsp::compile {
 
@@ -25,6 +27,76 @@ namespace {
 
 constexpr const char* kIndexName = "index.tsv";
 constexpr const char* kSatCacheDir = "satcache";
+constexpr const char* kQuarantineDir = "quarantine";
+
+namespace fault = util::fault;
+
+/// Durability half of the temp-file + rename pattern: rename alone makes
+/// the *name* transition atomic, but nothing orders the data blocks
+/// before the metadata — after a crash the new name can point at a
+/// zero-length or partial file. fsync the payload before the rename and
+/// the containing directory after it. Best effort on purpose (returns
+/// false instead of throwing): an fsync failure on an exotic filesystem
+/// must not break a store that worked before this hardening, and the
+/// rename path already detects genuinely unwritable directories.
+bool sync_file(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;  // std::ofstream close flushed; no cheap fsync handle here.
+#endif
+}
+
+bool sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::string parent = fs::path(path).parent_path().string();
+  const int fd =
+      ::open(parent.empty() ? "." : parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+/// One crash-safe publish: fsync the finished temp file, rename it over
+/// `path`, fsync the directory so the rename itself is durable. The
+/// `store.fsync` / `store.rename` injection sites let the crash tests
+/// park a writer between the write and the publish (delay) or force the
+/// error paths (fail). Throws ArtifactFormatError, cleaning up the temp.
+void publish_tmp(const std::string& tmp, const std::string& path,
+                 const char* what) {
+  if (fault::should_fail("store.fsync") || !sync_file(tmp)) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    throw ArtifactFormatError(std::string("store: cannot sync ") + what);
+  }
+  std::error_code ec;
+  if (fault::should_fail("store.rename")) {
+    ec = std::make_error_code(std::errc::io_error);
+  } else {
+    fs::rename(tmp, path, ec);
+  }
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    throw ArtifactFormatError(std::string("store: cannot replace ") + what +
+                              ": " + ec.message());
+  }
+  sync_parent_dir(path);  // Advisory: the name flip is already atomic.
+}
 
 /// A writer-unique "<path>.<pid>.<tick>.<serial>.tmp" name (extension
 /// stays .tmp so prune() reclaims leftovers). A shared fixed temp name
@@ -120,6 +192,12 @@ void ArtifactStore::load_index() {
   if (!in) {
     return;  // Fresh store.
   }
+  // Recovery mode: a reader must be able to open whatever a crashed or
+  // concurrent writer left behind, so a malformed line (no tab, empty
+  // filename, empty key — a torn write) is skipped with a warning and
+  // counted, never thrown. One torn byte used to brick every load and
+  // hot reload of the whole store. Writer paths stay loud: put() still
+  // throws on anything it cannot persist completely.
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
@@ -128,15 +206,26 @@ void ArtifactStore::load_index() {
       continue;
     }
     const auto tab = line.find('\t');
-    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
-      throw ArtifactFormatError("store: malformed index line " +
-                                std::to_string(line_number));
+    const char* reason = nullptr;
+    if (tab == std::string::npos) {
+      reason = "no tab separator";
+    } else if (tab == 0) {
+      reason = "empty filename";
+    } else if (tab + 1 >= line.size()) {
+      reason = "empty key";
+    }
+    if (reason != nullptr) {
+      std::fprintf(stderr,
+                   "ftsp: store %s: skipping malformed index line %zu (%s)\n",
+                   dir_.c_str(), line_number, reason);
+      ++recovery_.malformed_index_lines;
+      continue;
     }
     index_.emplace(line.substr(tab + 1), line.substr(0, tab));
   }
 }
 
-void ArtifactStore::save_index_locked() const {
+void ArtifactStore::save_index_locked(const std::string* drop_key) const {
   const std::string path = (fs::path(dir_) / kIndexName).string();
   // Merge-on-write: re-read the on-disk index and overlay our in-memory
   // entries on top of it. Two processes compiling into one directory
@@ -147,11 +236,10 @@ void ArtifactStore::save_index_locked() const {
   // one read-modify-rename; both contended entries' artifact files are
   // on disk either way, so the next put or an index rebuild restores
   // them.)
-  // Unlike load_index (which throws on malformed lines — a reader must
-  // not trust a corrupt store), the merge deliberately *skips* them: a
-  // concurrent writer's torn line must not make every subsequent put in
-  // this process fail forever. The skipped line's artifact file stays on
-  // disk for a rebuild.
+  // Malformed lines are skipped here exactly like load_index's recovery
+  // mode: a concurrent writer's torn line must not make every subsequent
+  // put in this process fail forever. The skipped line's artifact file
+  // stays on disk for a rebuild.
   std::map<std::string, std::string> merged;
   {
     std::ifstream in(path);
@@ -166,25 +254,33 @@ void ArtifactStore::save_index_locked() const {
   for (const auto& [key, filename] : index_) {
     merged[key] = filename;
   }
+  // A quarantined key must not be resurrected by the merge: its on-disk
+  // entry is exactly what we are removing.
+  if (drop_key != nullptr) {
+    merged.erase(*drop_key);
+  }
 
   const std::string tmp = unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
+    if (!out || fault::should_fail("store.write")) {
+      std::error_code cleanup;
+      out.close();
+      fs::remove(tmp, cleanup);
       throw ArtifactFormatError("store: cannot write index in " + dir_);
     }
     for (const auto& [key, filename] : merged) {
       out << filename << '\t' << key << '\n';
     }
+    out.flush();
+    if (!out) {
+      std::error_code cleanup;
+      out.close();
+      fs::remove(tmp, cleanup);
+      throw ArtifactFormatError("store: short write to index in " + dir_);
+    }
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code cleanup;
-    fs::remove(tmp, cleanup);
-    throw ArtifactFormatError("store: cannot replace index: " +
-                              ec.message());
-  }
+  publish_tmp(tmp, path, "index");
 }
 
 void ArtifactStore::put(const ProtocolArtifact& artifact) {
@@ -201,22 +297,22 @@ void ArtifactStore::put(const ProtocolArtifact& artifact) {
   const std::string tmp = unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    if (!out || fault::should_fail("store.write")) {
+      std::error_code cleanup;
+      out.close();
+      fs::remove(tmp, cleanup);
       throw ArtifactFormatError("store: cannot write " + filename);
     }
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
     if (!out) {
+      std::error_code cleanup;
+      out.close();
+      fs::remove(tmp, cleanup);
       throw ArtifactFormatError("store: short write to " + filename);
     }
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code cleanup;
-    fs::remove(tmp, cleanup);
-    throw ArtifactFormatError("store: cannot replace " + filename + ": " +
-                              ec.message());
-  }
+  publish_tmp(tmp, path, filename.c_str());
 
   // Proof sidecar (see the header contract): write when the artifact
   // carries bytes, remove a stale one when it carries no proof entries
@@ -231,22 +327,20 @@ void ArtifactStore::put(const ProtocolArtifact& artifact) {
     bool written = false;
     {
       std::ofstream out(proof_tmp, std::ios::binary | std::ios::trunc);
-      if (out) {
+      if (out && !fault::should_fail("store.write")) {
         out.write(sidecar.data(),
                   static_cast<std::streamsize>(sidecar.size()));
+        out.flush();
         written = static_cast<bool>(out);
       }
     }
-    std::error_code proof_ec;
-    if (written) {
-      fs::rename(proof_tmp, proof_path, proof_ec);
-    }
-    if (!written || proof_ec) {
+    if (!written) {
       std::error_code cleanup;
       fs::remove(proof_tmp, cleanup);
       throw ArtifactFormatError("store: cannot write proof sidecar for " +
                                 filename);
     }
+    publish_tmp(proof_tmp, proof_path, "proof sidecar");
   } else if (artifact.proofs.empty()) {
     std::error_code remove_ec;
     fs::remove(proof_path, remove_ec);  // Stale sidecar of a prior compile.
@@ -269,7 +363,7 @@ std::optional<ProtocolArtifact> ArtifactStore::get(
     filename = it->second;
   }
   std::ifstream in(artifact_path(filename), std::ios::binary);
-  if (!in) {
+  if (!in || fault::should_fail("store.read")) {
     throw ArtifactFormatError("store: indexed artifact missing: " +
                               filename);
   }
@@ -309,6 +403,38 @@ std::vector<std::string> ArtifactStore::keys() const {
 std::size_t ArtifactStore::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return index_.size();
+}
+
+ArtifactStore::RecoveryReport ArtifactStore::recovery() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_;
+}
+
+void ArtifactStore::quarantine(const std::string& key,
+                               const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    return;
+  }
+  const std::string filename = it->second;
+  const fs::path quarantine_dir = fs::path(dir_) / kQuarantineDir;
+  std::error_code ec;
+  fs::create_directories(quarantine_dir, ec);
+  // Move the container and its proof sidecar aside rather than deleting:
+  // the bytes stay available for a post-mortem (and `prune` never
+  // descends into subdirectories, so quarantined files are never GC'd).
+  // rename-over within one filesystem; failures (file already gone,
+  // permissions) degrade to just dropping the index entry.
+  for (const std::string& name : {filename, hash_name(key, ".proof")}) {
+    std::error_code move_ec;
+    fs::rename(fs::path(dir_) / name, quarantine_dir / name, move_ec);
+  }
+  std::fprintf(stderr, "ftsp: store %s: quarantining %s (%s)\n",
+               dir_.c_str(), filename.c_str(), reason.c_str());
+  index_.erase(it);
+  ++recovery_.quarantined;
+  save_index_locked(&key);
 }
 
 ArtifactStore::PruneReport ArtifactStore::prune(

@@ -18,6 +18,7 @@ namespace ftsp::compile {
 ///   index.tsv         one line per artifact: "<filename>\t<key>"
 ///   <keyhash>.ftsa    artifact container files (see format.md)
 ///   satcache/         persisted SynthCache entries (read/write-through)
+///   quarantine/       artifacts moved aside as corrupt (see quarantine)
 ///
 /// The index is keyed by the same canonical strings the in-memory
 /// `SynthCache` uses (matrices + options + engine fingerprint), so a
@@ -35,14 +36,22 @@ namespace ftsp::compile {
 class ArtifactStore {
  public:
   /// Opens (creating if needed) a store rooted at `dir` and loads the
-  /// index. Throws `ArtifactFormatError` if the directory cannot be
-  /// created or the index is malformed.
+  /// index in recovery mode: malformed index lines (torn writes, partial
+  /// crashes) are skipped with a stderr warning and counted in
+  /// `recovery()` rather than failing the whole store — a reader must be
+  /// able to open whatever a crash left behind. Throws
+  /// `ArtifactFormatError` only if the directory itself cannot be
+  /// created.
   explicit ArtifactStore(std::string dir);
 
   const std::string& directory() const { return dir_; }
 
   /// Persists an artifact (container file + index entry), overwriting
-  /// any previous artifact with the same key. Proof bytes, when the
+  /// any previous artifact with the same key. Crash-safe: every file is
+  /// written to a writer-unique temp, fsync'd, renamed into place, and
+  /// the directory fsync'd — a process killed at any instant leaves
+  /// either the old complete state or the new one, never a name
+  /// pointing at torn bytes. Any failure throws loudly. Proof bytes, when the
   /// artifact carries any, land in a `<keyhash>.proof` sidecar next to
   /// the container; an artifact with *no* proof entries removes a stale
   /// sidecar, while a metadata-only artifact (present entries whose
@@ -59,6 +68,23 @@ class ArtifactStore {
   bool contains(const std::string& key) const;
   std::vector<std::string> keys() const;
   std::size_t size() const;
+
+  /// Damage survived while opening or serving from this store.
+  struct RecoveryReport {
+    /// Index lines skipped by the recovery-mode loader.
+    std::size_t malformed_index_lines = 0;
+    /// Artifacts moved aside by `quarantine`.
+    std::size_t quarantined = 0;
+  };
+  RecoveryReport recovery() const;
+
+  /// Moves the artifact for `key` (container + proof sidecar) into the
+  /// store's `quarantine/` subdirectory, drops its index entry, and
+  /// rewrites the index — the recovery path for an artifact that is
+  /// indexed but unreadable or corrupt, so one bad file stops failing
+  /// every load of the whole store. Best effort: a missing file just
+  /// drops the index entry. No-op for keys not in the index.
+  void quarantine(const std::string& key, const std::string& reason);
 
   /// What `prune` found (and, unless dry-run, removed). Paths are
   /// relative to the store directory.
@@ -95,12 +121,16 @@ class ArtifactStore {
 
  private:
   void load_index();
-  void save_index_locked() const;
+  /// Rewrites index.tsv (merge-on-write; see store.cpp). `drop_key`,
+  /// when set, is removed even if the on-disk index still carries it —
+  /// quarantine uses this so the merge can't resurrect the bad entry.
+  void save_index_locked(const std::string* drop_key = nullptr) const;
   std::string artifact_path(const std::string& filename) const;
 
   std::string dir_;
   mutable std::mutex mutex_;
   std::map<std::string, std::string> index_;  ///< key -> filename.
+  RecoveryReport recovery_;                   ///< guarded by mutex_.
 };
 
 }  // namespace ftsp::compile

@@ -129,8 +129,15 @@ class WaveRunner {
 
   /// Runs a batch of waves over the configured thread count. Results
   /// land in per-wave fields, so the final (ordered) accumulation is
-  /// thread-count invariant.
+  /// thread-count invariant. The single cancellation choke point of the
+  /// estimator: every loop (exhaustive enumeration, initial allocation,
+  /// adaptive refinement) funnels through here, and checking *between*
+  /// wave batches means a cancelled estimate never returns — it throws —
+  /// so partial results can't leak nondeterminism.
   void run_waves(std::vector<Wave>& waves) const {
+    if (options_.cancel != nullptr) {
+      options_.cancel->throw_if_cancelled("rate estimate cancelled");
+    }
     record_wave_batch(waves);
     detail::run_indexed_parallel(waves.size(), options_.num_threads,
                                  [&](std::size_t i) { run_wave(waves[i]); });

@@ -7,6 +7,7 @@
 #include "core/samplers.hpp"
 #include "decoder/lookup_decoder.hpp"
 #include "sim/fault_sectors.hpp"
+#include "util/cancel.hpp"
 
 namespace ftsp::core {
 
@@ -52,6 +53,12 @@ struct RateOptions {
   /// Optional precomputed layout (artifact-driven serving), validated
   /// against the protocol exactly like `SamplerOptions::layout`.
   const FrameBatchLayout* layout = nullptr;
+  /// Optional cooperative cancellation (per-request deadlines in the
+  /// serving tier). Checked between wave batches — never mid-wave, so
+  /// every result that *is* returned stays deterministic; a fired token
+  /// aborts the estimate with `util::CancelledError` instead. Null =
+  /// never cancelled.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// One fault-count sector's contribution.

@@ -101,7 +101,25 @@ std::uint64_t ReloadableService::force_reload() {
   std::lock_guard<std::mutex> reload_lock(reload_mutex_);
   const auto swap_start = std::chrono::steady_clock::now();
   const std::uint64_t generation = runtime_->generation.load() + 1;
-  auto fresh = build(generation);
+  std::shared_ptr<const compile::ProtocolService> fresh;
+  try {
+    fresh = build(generation);
+  } catch (const std::exception& e) {
+    // Degraded, not down: the previous snapshot keeps answering while
+    // `health` surfaces "degraded":true + this error, until a later
+    // reload succeeds and clears it.
+    {
+      std::lock_guard<std::mutex> lock(runtime_->hook_mutex);
+      runtime_->last_reload_error = e.what();
+    }
+    runtime_->degraded.store(true);
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(runtime_->hook_mutex);
+    runtime_->last_reload_error.clear();
+  }
+  runtime_->degraded.store(false);
   const std::string fingerprint = index_fingerprint();
   runtime_->generation.store(generation);
   {

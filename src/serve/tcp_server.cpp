@@ -15,6 +15,7 @@
 #include "obs/expose.hpp"
 #include "obs/registry.hpp"
 #include "serve/wire.hpp"
+#include "util/fault_inject.hpp"
 
 #ifndef _WIN32
 
@@ -98,6 +99,9 @@ struct TcpServer::Impl {
     std::uint64_t conn_id;
     std::uint64_t seq;
     std::string line;
+    /// When the line was parsed off the socket — the base of the
+    /// per-request deadline, so queue wait counts against the budget.
+    std::chrono::steady_clock::time_point arrival;
   };
 
   struct Completion {
@@ -358,7 +362,25 @@ struct TcpServer::Impl {
       // Snapshot once per request: the request computes wholly against
       // one store generation even if a reload swaps mid-compute.
       const auto service = snapshot();
-      std::string response = service->handle_request(task.line);
+      // Server-imposed deadline, anchored at arrival. The service layer
+      // may tighten it further from a v2 `deadline_ms` request field.
+      const auto deadline =
+          options.request_timeout.count() > 0
+              ? task.arrival + options.request_timeout
+              : std::chrono::steady_clock::time_point{};
+      std::string response;
+      // The `serve.compute` chaos site: a delay action holds the worker
+      // (exercising deadlines and drain), a fail action simulates a
+      // handler crash — answered as a well-formed v2 internal error
+      // line, so even injected faults never corrupt the wire.
+      if (util::fault::hit("serve.compute").fail) {
+        Envelope envelope;
+        envelope.version = 2;
+        response = render_error(envelope, error_code::kInternal,
+                                "injected fault at serve.compute");
+      } else {
+        response = service->handle_request(task.line, deadline);
+      }
       {
         std::lock_guard<std::mutex> lock(done_mutex);
         done.push_back({task.conn_id, task.seq, std::move(response)});
@@ -376,6 +398,14 @@ struct TcpServer::Impl {
       const int fd = ::accept(listener, nullptr, nullptr);
       if (fd < 0) {
         return;  // EAGAIN (or transient error): back to the loop.
+      }
+      // The `serve.accept` chaos site: a fail action drops the freshly
+      // accepted connection, simulating fd exhaustion / transient accept
+      // errors. (Delays are applied too, but keep them short — this is
+      // the event-loop thread.)
+      if (util::fault::hit("serve.accept").fail) {
+        ::close(fd);
+        continue;
       }
       if (conns.size() >= options.max_connections) {
         // Over the admission cap: tell the client *why* before closing
@@ -510,7 +540,8 @@ struct TcpServer::Impl {
       ++conn.inflight;
       {
         std::lock_guard<std::mutex> lock(task_mutex);
-        tasks.push_back({id, conn.next_seq++, std::move(line)});
+        tasks.push_back({id, conn.next_seq++, std::move(line),
+                         std::chrono::steady_clock::now()});
       }
       ++queued;
     }

@@ -24,6 +24,12 @@ struct TcpServerOptions {
   /// Idle connections (no bytes received, nothing in flight) are closed
   /// after this long. 0 disables the idle reaper.
   std::chrono::milliseconds idle_timeout{0};
+  /// Per-request deadline, measured from request *arrival* (so time
+  /// spent queued behind other work counts). An expired request answers
+  /// with the `deadline_exceeded` error code and — for compute ops —
+  /// cooperatively cancels mid-estimate, freeing its worker. 0 disables;
+  /// a v2 request's `deadline_ms` field can tighten (never extend) it.
+  std::chrono::milliseconds request_timeout{0};
   /// Backpressure, output side: a connection whose un-flushed response
   /// bytes exceed this (client not reading) is closed loudly.
   std::size_t max_output_bytes = 8u << 20;

@@ -22,6 +22,7 @@ inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kShuttingDown = "shutting_down";
 inline constexpr const char* kStoreError = "store_error";
 inline constexpr const char* kInternal = "internal";
+inline constexpr const char* kDeadlineExceeded = "deadline_exceeded";
 }  // namespace error_code
 
 /// A service-level failure with a stable v2 error-code slug. The

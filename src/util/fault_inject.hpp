@@ -1,0 +1,83 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+/// Deterministic fault-injection harness.
+///
+/// Code under test declares *named injection sites* (`store.write`,
+/// `serve.compute`, ...) at the points where real-world faults strike —
+/// just before a write syscall, just after an accept, around a compute.
+/// A plan in the `FTSP_FAULTS` environment variable (or installed by a
+/// test via `set_plan`) arms some of those sites with actions:
+///
+///   FTSP_FAULTS="store.write:fail@3,serve.compute:delay=200ms@p0.1"
+///
+/// Grammar (comma-separated rules, first matching rule per site wins):
+///
+///   rule    := site ":" action [ "@" trigger ]
+///   action  := "fail" | "delay=" <uint> "ms"
+///   trigger := <uint>          fire exactly on the Nth hit (1-based)
+///            | "p" <float>     fire with probability p per hit
+///            | (absent)        fire on every hit
+///
+/// Probabilistic triggers draw from one process-wide PRNG seeded by
+/// `FTSP_FAULTS_SEED` (default 1), so a chaos schedule replays
+/// identically. Hit counters are per site and process-wide.
+///
+/// The same observation-only contract as `FTSP_OBS` applies: with no
+/// plan installed, every site is a single relaxed atomic load — no
+/// locks, no allocation, no behavior change. Malformed plans fail loud
+/// at first use (std::runtime_error) rather than silently injecting
+/// nothing.
+namespace ftsp::util::fault {
+
+/// Thrown by `maybe_throw` when a site's `fail` action fires. Callers
+/// that want a custom error type use `should_fail` instead.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What a site hit resolved to. `delay` has already been slept by the
+/// time `hit` returns; it is reported for tests/logging only.
+struct Action {
+  bool fail = false;
+  std::chrono::milliseconds delay{0};
+};
+
+/// True when a fault plan is installed (env or override). Sites do not
+/// need to call this — `hit` self-gates — but cold-path code can use it
+/// to skip setup work.
+bool enabled();
+
+/// Record one hit of `site`. Applies any armed delay (sleeps), then
+/// reports whether a `fail` action fired. The caller decides what
+/// "fail" means at its site (throw, errno, close, drop).
+Action hit(const char* site);
+
+/// Convenience: `hit(site).fail`.
+bool should_fail(const char* site);
+
+/// Convenience: throws InjectedFault("<what>: injected fault at <site>")
+/// when the site's `fail` action fires.
+void maybe_throw(const char* site, const char* what);
+
+/// Test override: install a plan string (same grammar as FTSP_FAULTS),
+/// replacing the environment plan. Resets all hit counters and reseeds
+/// the PRNG. An empty string forces injection *off* (even when
+/// FTSP_FAULTS is set — tests use this to isolate themselves from an
+/// ambient chaos schedule). Throws std::runtime_error on a malformed
+/// plan, leaving the previous plan armed.
+void set_plan(const std::string& plan);
+
+/// Reverts `set_plan` and resets counters; the environment plan (if
+/// any) applies again.
+void clear_plan();
+
+/// Hits recorded against `site` so far (post-parse plans only; 0 when
+/// disabled). For tests.
+std::uint64_t hit_count(const char* site);
+
+}  // namespace ftsp::util::fault

@@ -16,6 +16,8 @@
 #include <thread>
 
 #include "compile/artifact.hpp"
+#include "compile/format.hpp"
+#include "compile/service.hpp"
 #include "core/executor.hpp"
 #include "core/ft_check.hpp"
 #include "core/samplers.hpp"
@@ -23,6 +25,7 @@
 #include "core/synth_cache.hpp"
 #include "qec/code_library.hpp"
 #include "sat/parallel_solver.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ftsp::compile {
 namespace {
@@ -410,6 +413,142 @@ TEST(ArtifactStore, PruneRemovesOrphansAndKeepsIndexedArtifacts) {
   const auto again = store.prune(/*dry_run=*/false);
   EXPECT_TRUE(again.removed.empty());
   EXPECT_EQ(again.bytes, 0u);
+}
+
+TEST(ArtifactStore, RecoveryModeSkipsMalformedIndexLines) {
+  reset_cache();
+  const TempDir dir("store-torn-index");
+  {
+    // Hand-write a torn index: two valid entries bracketing the kinds
+    // of damage a crash mid-rewrite (pre-crash-safety builds) or disk
+    // corruption leaves behind.
+    std::ofstream index(dir.path / "index.tsv", std::ios::binary);
+    index << "aaaa0000aaaa0000.ftsa\tkey-one\n"
+          << "no tab separator on this line\n"
+          << "\tkey-with-empty-filename\n"
+          << "bbbb0000bbbb0000.ftsa\t\n"
+          << "cccc0000cccc0000.ftsa\tkey-two\n";
+  }
+  const ArtifactStore store(dir.path.string());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains("key-one"));
+  EXPECT_TRUE(store.contains("key-two"));
+  EXPECT_EQ(store.recovery().malformed_index_lines, 3u);
+  EXPECT_EQ(store.recovery().quarantined, 0u);
+}
+
+TEST(ArtifactStore, QuarantineMovesArtifactAndDropsIndexEntry) {
+  reset_cache();
+  const TempDir dir("store-quarantine");
+  const ProtocolCompiler compiler;
+  const auto artifact = compiler.compile(qec::steane());
+  ArtifactStore store(dir.path.string());
+  store.put(artifact);
+  ASSERT_TRUE(store.contains(artifact.key));
+
+  store.quarantine(artifact.key, "test corruption");
+  EXPECT_FALSE(store.contains(artifact.key));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.recovery().quarantined, 1u);
+
+  // The payload moved (not deleted) into quarantine/ for post-mortems.
+  std::size_t quarantined_payloads = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path / "quarantine")) {
+    quarantined_payloads += entry.path().extension() == ".ftsa" ? 1 : 0;
+  }
+  EXPECT_EQ(quarantined_payloads, 1u);
+
+  // The index rewrite persisted: a fresh handle agrees, and nothing in
+  // quarantine/ resurfaces as a servable artifact.
+  const ArtifactStore reopened(dir.path.string());
+  EXPECT_EQ(reopened.size(), 0u);
+  EXPECT_FALSE(reopened.contains(artifact.key));
+}
+
+TEST(ArtifactStore, CorruptArtifactQuarantinedAtServiceLoad) {
+  reset_cache();
+  const TempDir dir("store-corrupt-load");
+  const ProtocolCompiler compiler;
+  const auto good = compiler.compile(qec::steane());
+  const auto victim = compiler.compile(qec::surface3());
+  ArtifactStore store(dir.path.string());
+  store.put(good);
+  store.put(victim);
+
+  // Garble the victim's payload mid-file (CRC catches it at read).
+  std::string victim_file;
+  {
+    std::ifstream index(dir.path / "index.tsv");
+    std::string line;
+    while (std::getline(index, line)) {
+      const auto tab = line.find('\t');
+      if (tab != std::string::npos && line.substr(tab + 1) == victim.key) {
+        victim_file = line.substr(0, tab);
+      }
+    }
+  }
+  ASSERT_FALSE(victim_file.empty());
+  {
+    std::fstream payload(dir.path / victim_file,
+                         std::ios::in | std::ios::out | std::ios::binary);
+    payload.seekp(128);
+    payload.write("CORRUPTCORRUPT", 14);
+  }
+
+  // One corrupt artifact must not take down the rest of the store: the
+  // healthy protocol loads, the corrupt one is quarantined and the
+  // damage is surfaced for `health`.
+  ArtifactStore reopened(dir.path.string());
+  ProtocolService service;
+  EXPECT_EQ(service.load_store(reopened), 1u);
+  EXPECT_FALSE(reopened.contains(victim.key));
+  EXPECT_TRUE(reopened.contains(good.key));
+  EXPECT_EQ(service.store_recovery().quarantined, 1u);
+  EXPECT_TRUE(fs::exists(dir.path / "quarantine" / victim_file));
+}
+
+TEST(ArtifactStore, InjectedWriteFailureLeavesStoreConsistent) {
+  reset_cache();
+  const TempDir dir("store-write-fault");
+  const ProtocolCompiler compiler;
+  const auto artifact = compiler.compile(qec::steane());
+  {
+    ArtifactStore store(dir.path.string());
+    util::fault::set_plan("store.write:fail@1");
+    EXPECT_THROW(store.put(artifact), ArtifactFormatError);
+    util::fault::clear_plan();
+    EXPECT_FALSE(store.contains(artifact.key));
+  }
+  // The failed put left no index entry and no half-written payload a
+  // reload would trip over; a clean retry then succeeds.
+  {
+    ArtifactStore reopened(dir.path.string());
+    EXPECT_EQ(reopened.size(), 0u);
+    EXPECT_EQ(reopened.recovery().malformed_index_lines, 0u);
+    reopened.put(artifact);
+  }
+  const ArtifactStore final_store(dir.path.string());
+  EXPECT_TRUE(final_store.contains(artifact.key));
+  EXPECT_TRUE(final_store.get(artifact.key).has_value());
+}
+
+TEST(ArtifactStore, InjectedRenameFailureNeverPublishes) {
+  reset_cache();
+  const TempDir dir("store-rename-fault");
+  const ProtocolCompiler compiler;
+  const auto artifact = compiler.compile(qec::steane());
+  ArtifactStore store(dir.path.string());
+  util::fault::set_plan("store.rename:fail@1");
+  EXPECT_THROW(store.put(artifact), std::exception);
+  util::fault::clear_plan();
+
+  // Publication is atomic-or-nothing: no payload file and no index
+  // entry may exist after a failed rename.
+  const ArtifactStore reopened(dir.path.string());
+  EXPECT_EQ(reopened.size(), 0u);
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    EXPECT_NE(entry.path().extension(), ".ftsa") << entry.path();
+  }
 }
 
 // CI golden-artifact cross-check: when FTSP_GOLDEN_STORE points at a

@@ -1,0 +1,147 @@
+// Kill-9 crash recovery: SIGKILL a real `ftsp_cli compile` mid-publish
+// (fault-injected delays widen the write/rename windows so the kill
+// lands inside them) and prove the store is always loadable afterwards
+// — the ArtifactStore constructor succeeds, `ftsp_cli audit` passes,
+// and a clean recompile heals the store to fully servable. Drives the
+// real binary, whose path CMake injects as FTSP_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "compile/store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ftsp-crash-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Runs the CLI to completion (no faults); returns the exit code.
+int run_cli(const std::string& args) {
+  const std::string command = std::string(FTSP_CLI_PATH) + " " + args +
+                              " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Forks `ftsp_cli compile Steane --store <dir>` under a FTSP_FAULTS
+/// delay schedule, then SIGKILLs it the moment a file matching
+/// `extension` appears in the store directory — i.e. mid-way through
+/// the multi-step publish sequence the delays stretched out. Returns
+/// true when the kill landed before the child exited on its own (a
+/// too-fast child completed cleanly; the consistency assertions still
+/// hold, the crash just wasn't exercised).
+bool compile_and_kill_at(const fs::path& store_dir,
+                         const std::string& extension) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Delay every write and rename so the publish sequence (payload tmp
+    // -> fsync -> rename -> proof -> index) spans seconds, giving the
+    // parent a wide window to SIGKILL inside it.
+    ::setenv("FTSP_FAULTS", "store.write:delay=400ms,store.rename:delay=400ms",
+             1);
+    ::execl(FTSP_CLI_PATH, FTSP_CLI_PATH, "compile", "Steane", "--store",
+            store_dir.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  bool killed = false;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  for (;;) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      break;  // Finished before we saw the trigger file.
+    }
+    bool trigger = false;
+    std::error_code ec;
+    for (fs::directory_iterator it(store_dir, ec), end; !ec && it != end;
+         ++it) {
+      if (it->path().extension() == extension) {
+        trigger = true;
+        break;
+      }
+    }
+    if (trigger) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      killed = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() > give_up) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      ADD_FAILURE() << "compile child never produced a " << extension
+                    << " file";
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return killed;
+}
+
+/// The invariant every kill schedule must preserve: the store loads
+/// without throwing and a full offline audit passes.
+void expect_store_consistent(const fs::path& store_dir) {
+  std::size_t loaded = 0;
+  EXPECT_NO_THROW({
+    const ftsp::compile::ArtifactStore store(store_dir.string());
+    loaded = store.size();
+  });
+  EXPECT_EQ(run_cli("audit --store " + store_dir.string()), 0)
+      << "audit failed on a store with " << loaded << " artifacts";
+}
+
+void expect_recompile_heals(const fs::path& store_dir) {
+  ASSERT_EQ(run_cli("compile Steane --store " + store_dir.string()), 0);
+  const ftsp::compile::ArtifactStore store(store_dir.string());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(run_cli("audit --store " + store_dir.string()), 0);
+}
+
+TEST(CrashRecovery, KillDuringTempWriteLeavesStoreLoadable) {
+  const TempDir dir("tmp-write");
+  // Trigger on the first .tmp file: the child dies somewhere between
+  // creating the payload temp and publishing the index.
+  const bool killed = compile_and_kill_at(dir.path, ".tmp");
+  if (!killed) {
+    std::fprintf(stderr, "note: compile finished before the kill landed\n");
+  }
+  expect_store_consistent(dir.path);
+  expect_recompile_heals(dir.path);
+}
+
+TEST(CrashRecovery, KillAfterPayloadPublishLeavesStoreLoadable) {
+  const TempDir dir("payload-publish");
+  // Trigger on the first published .ftsa: the child dies between the
+  // payload rename and the index rewrite — the artifact file exists but
+  // may be orphaned (not yet indexed). Both outcomes must reload.
+  const bool killed = compile_and_kill_at(dir.path, ".ftsa");
+  if (!killed) {
+    std::fprintf(stderr, "note: compile finished before the kill landed\n");
+  }
+  expect_store_consistent(dir.path);
+  expect_recompile_heals(dir.path);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Fault-injection harness semantics: plan grammar, trigger kinds,
+// deterministic replay, the test override, and the off-by-default
+// contract (no plan installed -> every site is a no-op).
+#include "util/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace fault = ftsp::util::fault;
+
+namespace {
+
+/// Every test runs with an explicit plan (or explicitly forced off) and
+/// restores the environment-driven default on exit, so the suite is
+/// immune to an ambient FTSP_FAULTS schedule and leaves none behind.
+struct PlanGuard {
+  explicit PlanGuard(const std::string& plan) { fault::set_plan(plan); }
+  ~PlanGuard() { fault::clear_plan(); }
+};
+
+TEST(FaultInject, DisabledSitesAreNoOps) {
+  const PlanGuard guard("");
+  EXPECT_FALSE(fault::enabled());
+  const fault::Action action = fault::hit("store.write");
+  EXPECT_FALSE(action.fail);
+  EXPECT_EQ(action.delay.count(), 0);
+  EXPECT_FALSE(fault::should_fail("store.write"));
+  EXPECT_NO_THROW(fault::maybe_throw("store.write", "test"));
+  EXPECT_EQ(fault::hit_count("store.write"), 0u);
+}
+
+TEST(FaultInject, UnarmedSiteIsUntouchedByOtherRules) {
+  const PlanGuard guard("store.write:fail");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_FALSE(fault::should_fail("store.rename"));
+  EXPECT_EQ(fault::hit_count("store.rename"), 0u);
+  EXPECT_TRUE(fault::should_fail("store.write"));
+}
+
+TEST(FaultInject, AlwaysTriggerFiresEveryHit) {
+  const PlanGuard guard("serve.compute:fail");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fault::should_fail("serve.compute"));
+  }
+  EXPECT_EQ(fault::hit_count("serve.compute"), 5u);
+}
+
+TEST(FaultInject, NthTriggerFiresExactlyOnce) {
+  const PlanGuard guard("store.write:fail@3");
+  EXPECT_FALSE(fault::should_fail("store.write"));
+  EXPECT_FALSE(fault::should_fail("store.write"));
+  EXPECT_TRUE(fault::should_fail("store.write"));
+  EXPECT_FALSE(fault::should_fail("store.write"));
+  EXPECT_EQ(fault::hit_count("store.write"), 4u);
+}
+
+TEST(FaultInject, DelayActionReportsItsDuration) {
+  const PlanGuard guard("serve.compute:delay=1ms");
+  const auto start = std::chrono::steady_clock::now();
+  const fault::Action action = fault::hit("serve.compute");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(action.fail);
+  EXPECT_EQ(action.delay.count(), 1);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(1));
+}
+
+TEST(FaultInject, ProbabilityEdgesAreDeterministic) {
+  {
+    const PlanGuard guard("a:fail@p1.0");
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(fault::should_fail("a"));
+    }
+  }
+  {
+    const PlanGuard guard("a:fail@p0.0");
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_FALSE(fault::should_fail("a"));
+    }
+  }
+}
+
+TEST(FaultInject, ProbabilisticScheduleReplaysIdentically) {
+  // Same plan + same (default) seed -> identical fire pattern, the
+  // property that makes a chaos run reproducible from its FTSP_FAULTS
+  // line alone.
+  std::string first;
+  {
+    const PlanGuard guard("a:fail@p0.5");
+    for (int i = 0; i < 64; ++i) {
+      first += fault::should_fail("a") ? '1' : '0';
+    }
+  }
+  std::string second;
+  {
+    const PlanGuard guard("a:fail@p0.5");
+    for (int i = 0; i < 64; ++i) {
+      second += fault::should_fail("a") ? '1' : '0';
+    }
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST(FaultInject, MultiRulePlansArmEachSiteIndependently) {
+  const PlanGuard guard("a:fail@2,b:delay=1ms,c:fail");
+  EXPECT_FALSE(fault::should_fail("a"));
+  EXPECT_TRUE(fault::should_fail("a"));
+  const fault::Action b = fault::hit("b");
+  EXPECT_FALSE(b.fail);
+  EXPECT_EQ(b.delay.count(), 1);
+  EXPECT_TRUE(fault::should_fail("c"));
+}
+
+TEST(FaultInject, MaybeThrowCarriesSiteAndContext) {
+  const PlanGuard guard("store.write:fail");
+  try {
+    fault::maybe_throw("store.write", "index");
+    FAIL() << "expected InjectedFault";
+  } catch (const fault::InjectedFault& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("index"), std::string::npos);
+    EXPECT_NE(what.find("store.write"), std::string::npos);
+  }
+}
+
+TEST(FaultInject, SetPlanResetsCounters) {
+  fault::set_plan("a:fail@1");
+  EXPECT_TRUE(fault::should_fail("a"));
+  EXPECT_EQ(fault::hit_count("a"), 1u);
+  fault::set_plan("a:fail@1");
+  EXPECT_EQ(fault::hit_count("a"), 0u);
+  EXPECT_TRUE(fault::should_fail("a"));  // Counter restarted -> fires again.
+  fault::clear_plan();
+}
+
+TEST(FaultInject, MalformedPlansThrowAndLeaveOldPlanArmed) {
+  const PlanGuard guard("a:fail");
+  const char* bad_plans[] = {
+      "a",                // no action
+      ":fail",            // no site
+      "a:bogus",          // unknown action
+      "a:fail@0",         // @0 never fires
+      "a:fail@",          // empty trigger
+      "a:fail@p1.5",      // probability out of range
+      "a:fail@px",        // non-numeric probability
+      "a:delay=5",        // missing ms suffix
+      "a:delay=xms",      // non-numeric delay
+      "a:fail,a:fail@2",  // duplicate site
+  };
+  for (const char* bad : bad_plans) {
+    EXPECT_THROW(fault::set_plan(bad), std::runtime_error) << bad;
+    // The previous good plan must survive the failed install.
+    EXPECT_TRUE(fault::should_fail("a")) << bad;
+  }
+}
+
+}  // namespace

@@ -32,6 +32,7 @@
 #include "serve/access_log.hpp"
 #include "serve/cache.hpp"
 #include "serve/reload.hpp"
+#include "util/fault_inject.hpp"
 
 namespace ftsp::serve {
 namespace {
@@ -564,6 +565,115 @@ TEST_F(ServeTcpTest, AccessLogWritesOneJsonLinePerRequest) {
   std::string fresh_line;
   ASSERT_TRUE(std::getline(fresh, fresh_line));
   EXPECT_NE(fresh_line.find(R"("op":"health")"), std::string::npos);
+}
+
+TEST_F(ServeTcpTest, RequestTimeoutAnswersDeadlineExceededAndFreesWorker) {
+  // The injected 300ms pre-compute delay on the FIRST request only
+  // outlasts the 50ms per-request deadline (measured from arrival), so
+  // the expiry is checked before compute even starts — deterministic.
+  util::fault::set_plan("serve.compute:delay=300ms@1");
+  const auto service = make_service();
+  TcpServerOptions options;
+  options.num_threads = 1;
+  options.request_timeout = std::chrono::milliseconds(50);
+  TcpServer server([&] { return service; }, options);
+  server.start();
+
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_line(
+      R"({"v":2,"op":"sample","code":"Steane","p":0.02,"shots":512,)"
+      R"("seed":9})"));
+  const std::string expired = client.read_line();
+  EXPECT_NE(expired.find(R"("code":"deadline_exceeded")"), std::string::npos)
+      << expired;
+  // The stable message only — never partial compute progress.
+  EXPECT_NE(expired.find("deadline exceeded"), std::string::npos) << expired;
+  EXPECT_EQ(expired.find(R"("ok":true)"), std::string::npos) << expired;
+
+  // The worker is free again: a follow-up on the same connection (no
+  // injected delay this time) answers well inside its own 50ms budget.
+  ASSERT_TRUE(client.send_line(R"({"v":2,"op":"health"})"));
+  EXPECT_NE(client.read_line().find(R"("status":"serving")"),
+            std::string::npos);
+  util::fault::clear_plan();
+  server.stop();
+}
+
+TEST_F(ServeTcpTest, V2DeadlineMsCancelsMidCompute) {
+  const auto service = make_service();
+  TcpServerOptions options;
+  options.num_threads = 1;  // No server-side timeout: the request's own
+                            // deadline_ms is the only deadline.
+  TcpServer server([&] { return service; }, options);
+  server.start();
+
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  // A maximum-budget, tight-tolerance rate estimate runs far longer
+  // than 5ms; the cooperative CancelToken fires between wave batches
+  // and frees the worker long before the estimate would finish.
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.send_line(
+      R"({"v":2,"op":"rate","code":"Steane","p":0.001,"shots":4194304,)"
+      R"("rel_err":0.0001,"deadline_ms":5})"));
+  const std::string cancelled = client.read_line();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(cancelled.find(R"("code":"deadline_exceeded")"),
+            std::string::npos)
+      << cancelled;
+  EXPECT_LT(elapsed, std::chrono::seconds(30))
+      << "cancellation did not free the worker promptly";
+
+  // Deadline bookkeeping is per-request: the next request has none.
+  ASSERT_TRUE(client.send_line(R"({"v":2,"op":"health"})"));
+  EXPECT_NE(client.read_line().find(R"("status":"serving")"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServeTcpTest, FailedReloadDegradesHealthButKeepsServing) {
+  TempDir store_dir;
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(*artifact_);
+  }
+  ReloadableService reloadable(store_dir.path.string(), {});
+  const auto health_before =
+      reloadable.service()->handle_request(R"({"v":2,"op":"health"})");
+  EXPECT_EQ(health_before.find("degraded"), std::string::npos)
+      << health_before;
+
+  // Make the reload's fresh store scan fail hard: reads fail, and the
+  // quarantine fallback's index rewrite fails too, so build() throws.
+  util::fault::set_plan("store.read:fail,store.write:fail");
+  EXPECT_THROW(reloadable.force_reload(), std::exception);
+  util::fault::clear_plan();
+  EXPECT_EQ(reloadable.generation(), 1u) << "failed reload bumped generation";
+
+  // Degraded, not down: the old snapshot keeps answering compute...
+  const auto service = reloadable.service();
+  EXPECT_NE(service->handle_request(kSampleRequest).find(R"("ok":true)"),
+            std::string::npos);
+  // ...and health surfaces the failure.
+  const auto degraded =
+      service->handle_request(R"({"v":2,"op":"health"})");
+  EXPECT_NE(degraded.find(R"("degraded":true)"), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find(R"("last_error":)"), std::string::npos) << degraded;
+
+  // A later successful reload clears the flag. (The failed attempt
+  // quarantined the artifact before its index rewrite threw, so
+  // re-publish it first — exactly what an operator repairing a bad
+  // store would do.)
+  {
+    compile::ArtifactStore store(store_dir.path.string());
+    store.put(*artifact_);
+  }
+  EXPECT_EQ(reloadable.force_reload(), 2u);
+  const auto recovered =
+      reloadable.service()->handle_request(R"({"v":2,"op":"health"})");
+  EXPECT_EQ(recovered.find("degraded"), std::string::npos) << recovered;
 }
 
 }  // namespace
