@@ -321,9 +321,14 @@ ProtocolArtifact ProtocolCompiler::package(core::Protocol protocol,
   provenance.verification_measurements = verif;
   provenance.branch_count = branches;
   if (provenance.compiled_at_unix == 0) {
+    // Provenance records when a compile happened; the section is
+    // excluded from the bit-identity contract (callers pin
+    // compiled_at_unix when they need reproducible bytes).
+    // ftsp-lint: allow(det-wall-clock) provenance-only timestamp
+    const auto now = std::chrono::system_clock::now();
     provenance.compiled_at_unix = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::seconds>(
-            std::chrono::system_clock::now().time_since_epoch())
+            now.time_since_epoch())
             .count());
   }
   artifact.provenance = std::move(provenance);

@@ -566,12 +566,22 @@ std::string ServiceOps::stats(const ProtocolService& service, const Entry*,
         continue;  // Never cached or coalesced: no breakdown to report.
       }
       JsonWriter op_out;
-      for (const char* verb : {"hit", "miss", "coalesce"}) {
-        op_out.field(verb,
+      // Full literal metric names: the append-only name registry is
+      // extracted from source by ftsp_lint, so names are never composed
+      // at runtime.
+      static constexpr struct {
+        const char* verb;
+        const char* metric;
+      } kCacheCounters[] = {
+          {"hit", "serve.cache.hit.count"},
+          {"miss", "serve.cache.miss.count"},
+          {"coalesce", "serve.cache.coalesce.count"},
+      };
+      for (const auto& counter : kCacheCounters) {
+        op_out.field(counter.verb,
                      registry
-                         .counter(obs::labeled(
-                             std::string("serve.cache.") + verb + ".count",
-                             "op", spec.name))
+                         .counter(obs::labeled(counter.metric, "op",
+                                               spec.name))
                          .value());
       }
       cache_ops.raw_field(spec.name, "{" + op_out.take_body() + "}");
@@ -874,22 +884,23 @@ std::string ProtocolService::handle_request(
               obs::labeled("serve.request.duration_us", "op", telemetry.op))
           .record(latency_us);
       if (telemetry.cacheable) {
-        const char* verb = telemetry.cache_hit    ? "hit"
-                           : telemetry.coalesced ? "coalesce"
-                                                 : "miss";
-        registry
-            .counter(obs::labeled(
-                std::string("serve.cache.") + verb + ".count", "op",
-                telemetry.op))
-            .add(1);
+        const char* metric = telemetry.cache_hit ? "serve.cache.hit.count"
+                             : telemetry.coalesced
+                                 ? "serve.cache.coalesce.count"
+                                 : "serve.cache.miss.count";
+        registry.counter(obs::labeled(metric, "op", telemetry.op)).add(1);
       }
     }
   }
   if (access_log_ != nullptr) {
     serve::AccessLog::Record record;
+    // Access-log timestamps are observational only — they never reach
+    // artifacts or wire bytes.
+    // ftsp-lint: allow(det-wall-clock) observational access-log timestamp
+    const auto wall_now = std::chrono::system_clock::now();
     record.ts_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::system_clock::now().time_since_epoch())
+            wall_now.time_since_epoch())
             .count());
     record.op = telemetry.op;
     record.code = telemetry.code;

@@ -257,6 +257,7 @@ struct BernoulliInjector {
   const sim::NoiseParams& q;
   const KindMaskTables& masks;
   Trajectory* out;
+  // ftsp-lint: allow(det-unseeded-rng) member decl; ctor seeds it with the shard seed
   std::mt19937_64 rng;
 
   BernoulliInjector(const sim::NoiseParams& q_in,

@@ -8,14 +8,17 @@
 #include "obs/registry.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/parallel_solver.hpp"
+#include "util/hash.hpp"
 
 namespace ftsp::core {
 
 namespace {
 
-obs::Counter& synth_cache_counter(const char* verb) {
-  return obs::Registry::instance().counter(
-      std::string("core.synthcache.") + verb + ".count");
+// Call sites spell the full registered metric name (not a composed
+// "core.synthcache." + verb) so the append-only name registry stays
+// greppable and ftsp_lint can extract it.
+obs::Counter& synth_cache_counter(const char* name) {
+  return obs::Registry::instance().counter(name);
 }
 
 }  // namespace
@@ -52,7 +55,8 @@ std::optional<std::string> SynthCache::lookup(const std::string& key) {
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (obs::enabled()) {
-        static obs::Counter& hits = synth_cache_counter("hit");
+        static obs::Counter& hits =
+            synth_cache_counter("core.synthcache.hit.count");
         hits.add(1);
       }
       touch_locked(it->second, key);
@@ -72,7 +76,7 @@ std::optional<std::string> SynthCache::lookup(const std::string& key) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (obs::enabled()) {
         static obs::Counter& backing_hits =
-            synth_cache_counter("backing_hit");
+            synth_cache_counter("core.synthcache.backing_hit.count");
         backing_hits.add(1);
       }
       std::lock_guard<std::mutex> lock(mutex_);
@@ -82,7 +86,8 @@ std::optional<std::string> SynthCache::lookup(const std::string& key) {
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
-    static obs::Counter& misses = synth_cache_counter("miss");
+    static obs::Counter& misses =
+        synth_cache_counter("core.synthcache.miss.count");
     misses.add(1);
   }
   return std::nullopt;
@@ -90,7 +95,8 @@ std::optional<std::string> SynthCache::lookup(const std::string& key) {
 
 void SynthCache::store(const std::string& key, std::string value) {
   if (obs::enabled()) {
-    static obs::Counter& stores = synth_cache_counter("store");
+    static obs::Counter& stores =
+        synth_cache_counter("core.synthcache.store.count");
     stores.add(1);
   }
   BackingSave save;
@@ -133,7 +139,8 @@ void SynthCache::evict_to_cap_locked() {
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) {
-      static obs::Counter& evictions = synth_cache_counter("evict");
+      static obs::Counter& evictions =
+          synth_cache_counter("core.synthcache.evict.count");
       evictions.add(1);
     }
   }
@@ -246,12 +253,9 @@ std::string cache_key_errors(const std::vector<f2::BitVec>& errors) {
 }
 
 std::uint64_t cache_key_hash(const std::string& key) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : key) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  // Canonical byte-wise FNV-1a; hashes name persisted satcache files,
+  // so the fold is frozen.
+  return util::fnv1a64(key);
 }
 
 }  // namespace ftsp::core

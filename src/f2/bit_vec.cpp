@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace ftsp::f2 {
 
 BitVec::BitVec(std::size_t size) : size_(size), words_(word_count(size), 0) {}
@@ -161,14 +163,15 @@ std::string BitVec::to_string() const {
 }
 
 std::size_t BitVec::hash() const {
-  std::uint64_t h = 14695981039346656037ULL;
+  // Whole-word folds plus a final size fold. This sequence seeds
+  // deterministic synthesis downstream, so it is frozen: word-wise,
+  // canonical offset, size folded last.
+  util::Fnv1a64 h;
   for (std::uint64_t w : words_) {
-    h ^= w;
-    h *= 1099511628211ULL;
+    h.word(w);
   }
-  h ^= size_;
-  h *= 1099511628211ULL;
-  return static_cast<std::size_t>(h);
+  h.word(size_);
+  return static_cast<std::size_t>(h.value());
 }
 
 }  // namespace ftsp::f2

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace ftsp::qec {
 
 using f2::BitVec;
@@ -302,22 +304,18 @@ bool CouplingMap::has_walk(const BitVec& support) const {
 
 std::string CouplingMap::fingerprint() const {
   // FNV-1a over the site count and the sorted edge list; the name is
-  // deliberately excluded so equal structures hash equally.
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t value) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (value >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(num_sites());
+  // deliberately excluded so equal structures hash equally. The legacy
+  // seed and le64 fold order are baked into artifact-store keys —
+  // frozen.
+  util::Fnv1a64 h(util::kFnv1a64LegacyOffset);
+  h.le64(num_sites());
   for (const auto& [a, b] : edges()) {
-    mix(a);
-    mix(b);
+    h.le64(a);
+    h.le64(b);
   }
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "k%zu-%016llx", num_sites(),
-                static_cast<unsigned long long>(h));
+                static_cast<unsigned long long>(h.value()));
   return buffer;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/registry.hpp"
+#include "util/hash.hpp"
 
 namespace ftsp::serve {
 
@@ -79,15 +80,14 @@ std::string ReloadableService::index_fingerprint() const {
                    .count())
       << ':';
   std::ifstream in(index, std::ios::binary);
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a.
+  // Legacy-seed FNV-1a; the value is compared against stamps persisted
+  // by earlier generations, so the seed is frozen.
+  util::Fnv1a64 hash(util::kFnv1a64LegacyOffset);
   char chunk[4096];
   while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
-    for (std::streamsize i = 0; i < in.gcount(); ++i) {
-      hash ^= static_cast<unsigned char>(chunk[i]);
-      hash *= 1099511628211ULL;
-    }
+    hash.bytes(chunk, static_cast<std::size_t>(in.gcount()));
   }
-  out << hash;
+  out << hash.value();
   return out.str();
 }
 

@@ -58,11 +58,12 @@ std::string control_error_line(const char* code, const std::string& message) {
   return render_error(envelope, code, message) + "\n";
 }
 
-void count_connection_event(const char* verb, std::uint64_t n = 1) {
+/// `metric` is the full registered name ("serve.conn.accept.count", ...)
+/// — spelled out at every call site so the append-only metric-name
+/// registry stays greppable and ftsp_lint can extract it.
+void count_connection_event(const char* metric, std::uint64_t n = 1) {
   if (obs::enabled()) {
-    obs::Registry::instance()
-        .counter(std::string("serve.conn.") + verb + ".count")
-        .add(n);
+    obs::Registry::instance().counter(metric).add(n);
   }
 }
 
@@ -411,7 +412,7 @@ struct TcpServer::Impl {
         // Over the admission cap: tell the client *why* before closing
         // — a silent RST is indistinguishable from a network fault.
         stats->rejected_overloaded.fetch_add(1);
-        count_connection_event("reject");
+        count_connection_event("serve.conn.reject.count");
         const std::string line = control_error_line(
             error_code::kOverloaded,
             "connection limit reached (" +
@@ -425,7 +426,7 @@ struct TcpServer::Impl {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       stats->accepted.fetch_add(1);
-      count_connection_event("accept");
+      count_connection_event("serve.conn.accept.count");
       const std::uint64_t id = next_conn_id++;
       Connection conn;
       conn.fd = fd;
@@ -445,7 +446,7 @@ struct TcpServer::Impl {
       }
       if (conns.size() >= options.max_connections) {
         stats->rejected_overloaded.fetch_add(1);
-        count_connection_event("reject");
+        count_connection_event("serve.conn.reject.count");
         static constexpr char k503[] =
             "HTTP/1.0 503 Service Unavailable\r\n"
             "Content-Length: 0\r\nConnection: close\r\n\r\n";
@@ -458,7 +459,7 @@ struct TcpServer::Impl {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       stats->accepted.fetch_add(1);
-      count_connection_event("accept");
+      count_connection_event("serve.conn.accept.count");
       const std::uint64_t id = next_conn_id++;
       Connection conn;
       conn.fd = fd;
@@ -679,7 +680,7 @@ struct TcpServer::Impl {
       }
     }
     if (reaped > 0) {
-      count_connection_event("reap", reaped);
+      count_connection_event("serve.conn.reap.count", reaped);
     }
   }
 

@@ -33,6 +33,7 @@ struct SiteState {
 
 struct Plan {
   std::map<std::string, SiteState, std::less<>> sites;
+  // ftsp-lint: allow(det-unseeded-rng) parse_plan() seeds it from FTSP_FAULTS_SEED
   std::mt19937_64 rng;
 };
 

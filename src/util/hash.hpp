@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// Shared non-cryptographic hashing for the whole tree. Every FNV-1a
+/// fold lives here; call sites never spell the offset/prime constants
+/// (ftsp_lint's hyg-local-crc rule rejects them outside src/util/).
+///
+/// CRC32 stays in util/binio.hpp: it is part of the .ftsa container
+/// contract and its table belongs next to the reader/writer.
+
+namespace ftsp::util {
+
+/// Canonical 64-bit FNV-1a parameters.
+inline constexpr std::uint64_t kFnv1a64Offset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+/// Frozen legacy seed: the canonical offset with its final digit
+/// dropped, inherited from early fingerprint code. It is baked into
+/// persisted artifacts — coupling fingerprints keyed into artifact
+/// stores and reload generation stamps — so it must never change and
+/// must never be "fixed" to the canonical offset.
+inline constexpr std::uint64_t kFnv1a64LegacyOffset = 1469598103934665603ULL;
+
+/// Incremental FNV-1a/64. Fold order is the contract: two streams hash
+/// equal iff the same fold calls happen in the same order, so callers
+/// that persist hashes document their fold sequence at the call site.
+class Fnv1a64 {
+ public:
+  explicit constexpr Fnv1a64(std::uint64_t seed = kFnv1a64Offset)
+      : h_(seed) {}
+
+  /// One byte, the canonical FNV-1a step.
+  constexpr Fnv1a64& byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnv1a64Prime;
+    return *this;
+  }
+
+  /// One whole 64-bit word folded in a single step (not byte-wise).
+  /// Faster but distribution-weaker than le64(); used where the word
+  /// granularity is already part of a persisted contract.
+  constexpr Fnv1a64& word(std::uint64_t w) {
+    h_ ^= w;
+    h_ *= kFnv1a64Prime;
+    return *this;
+  }
+
+  /// One 64-bit value folded byte-wise, little-endian.
+  constexpr Fnv1a64& le64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+    }
+    return *this;
+  }
+
+  /// A raw byte range.
+  Fnv1a64& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      byte(p[i]);
+    }
+    return *this;
+  }
+
+  /// Every byte of a string view.
+  constexpr Fnv1a64& text(std::string_view s) {
+    for (const char c : s) {
+      byte(static_cast<std::uint8_t>(c));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+/// One-shot FNV-1a/64 of a string.
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnv1a64Offset) {
+  return Fnv1a64(seed).text(s).value();
+}
+
+}  // namespace ftsp::util

@@ -1,0 +1,5 @@
+#include <cstdlib>
+int draw() {
+  // ftsp-lint: allow(det-rand) fixture exercises a justified suppression
+  return std::rand();
+}

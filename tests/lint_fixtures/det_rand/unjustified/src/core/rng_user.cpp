@@ -1,0 +1,5 @@
+#include <cstdlib>
+int draw() {
+  // ftsp-lint: allow(det-rand)
+  return std::rand();
+}

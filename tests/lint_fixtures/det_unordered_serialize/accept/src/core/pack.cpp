@@ -1,0 +1,13 @@
+#include <map>
+#include <string>
+struct ByteWriter {
+  std::string bytes;
+  void u32(unsigned v) { bytes.push_back(static_cast<char>(v)); }
+};
+std::string pack(const std::map<int, int>& ordered) {
+  ByteWriter w;
+  for (const auto& [k, v] : ordered) {
+    w.u32(static_cast<unsigned>(k + v));
+  }
+  return w.bytes;
+}

@@ -1,0 +1,13 @@
+#include <string>
+#include <unordered_map>
+struct ByteWriter {
+  std::string bytes;
+  void u32(unsigned v) { bytes.push_back(static_cast<char>(v)); }
+};
+std::string pack(const std::unordered_map<int, int>& table) {
+  ByteWriter w;
+  for (const auto& [k, v] : table) {
+    w.u32(static_cast<unsigned>(k + v));
+  }
+  return w.bytes;
+}

@@ -1,0 +1,5 @@
+#include <random>
+std::uint64_t draw() {
+  std::mt19937_64 rng;
+  return rng();
+}

@@ -1,0 +1,7 @@
+#include <chrono>
+std::uint64_t elapsed_us() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+      .count();
+}

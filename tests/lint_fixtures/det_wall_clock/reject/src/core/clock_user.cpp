@@ -1,0 +1,5 @@
+#include <chrono>
+long long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,2 @@
+#include <stdexcept>
+void fail(const char* why) { throw std::runtime_error(why); }

@@ -1,0 +1,2 @@
+#include <cstdint>
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) { return a * 31 + b; }

@@ -1,0 +1,10 @@
+#include <cstdint>
+#include <string_view>
+std::uint64_t local_fnv(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}

@@ -1,0 +1,6 @@
+#include <memory>
+struct Widget {
+  Widget(const Widget&) = delete;
+  int value = 0;
+};
+std::unique_ptr<int> make() { return std::make_unique<int>(3); }

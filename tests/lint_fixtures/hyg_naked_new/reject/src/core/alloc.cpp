@@ -1,0 +1,2 @@
+int* make() { return new int(3); }
+void unmake(int* p) { delete p; }

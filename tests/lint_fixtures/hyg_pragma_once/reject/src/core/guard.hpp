@@ -1,0 +1,3 @@
+namespace demo {
+int value();
+}

@@ -1,0 +1,6 @@
+#include <cstdio>
+#include <iostream>
+void diag(const char* msg) {
+  std::cerr << msg << "\n";
+  std::fprintf(stderr, "%s\n", msg);
+}

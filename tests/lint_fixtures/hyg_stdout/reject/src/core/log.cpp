@@ -1,0 +1,2 @@
+#include <iostream>
+void diag(const char* msg) { std::cout << msg << "\n"; }

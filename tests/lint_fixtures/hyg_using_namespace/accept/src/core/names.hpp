@@ -1,0 +1,5 @@
+#pragma once
+#include <string>
+namespace demo {
+std::string greet();
+}

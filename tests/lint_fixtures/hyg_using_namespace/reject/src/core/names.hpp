@@ -1,0 +1,6 @@
+#pragma once
+#include <string>
+using namespace std;
+namespace demo {
+string greet();
+}

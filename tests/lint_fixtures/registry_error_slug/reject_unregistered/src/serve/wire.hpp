@@ -1,0 +1,7 @@
+#pragma once
+namespace ftsp::serve::wire {
+namespace error_code {
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kNotFound = "not_found";
+}  // namespace error_code
+}  // namespace ftsp::serve::wire

@@ -1,0 +1,3 @@
+struct Counter { void add(int); };
+Counter& counter(const char*);
+void touch() { counter("demo.cache.hit.count").add(1); }

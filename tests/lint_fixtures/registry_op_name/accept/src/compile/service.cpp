@@ -1,0 +1,7 @@
+namespace ftsp::compile {
+struct Op { const char* name; int id; };
+constexpr Op kOps = {
+    {"codes", 1},
+    {"info", 2},
+};
+}  // namespace ftsp::compile

@@ -1,0 +1,8 @@
+#pragma once
+#include <cstdint>
+namespace ftsp::compile {
+enum class SectionId : std::uint16_t {
+  Meta = 1,
+  Payload = 3,
+};
+}  // namespace ftsp::compile
